@@ -1,0 +1,194 @@
+package columndisturb
+
+// The benchmark harness regenerates every table and figure of the paper
+// (one benchmark per artifact, at the benchmark-scale configuration; use
+// `cmd/cdlab run <id> -full` for the paper-breadth sweeps) plus micro
+// benchmarks of the core machinery. Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"columndisturb/internal/chipdb"
+	"columndisturb/internal/core"
+	"columndisturb/internal/dram"
+	"columndisturb/internal/ecc"
+	"columndisturb/internal/experiments"
+	"columndisturb/internal/memsim"
+	"columndisturb/internal/sim/rng"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := experiments.Small()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// One benchmark per paper artifact (see DESIGN.md §4 for the experiment
+// index mapping each to its workload and modules).
+
+func BenchmarkTable1ChipCatalog(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkFig2BitflipMap(b *testing.B)           { benchExperiment(b, "fig2") }
+func BenchmarkFig6TimeToFirstByDie(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7BitflipDirection(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8AggressorDataPattern(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig9AggressorOnTime(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10ColumnVoltage(b *testing.B)       { benchExperiment(b, "fig10") }
+func BenchmarkFig11BlastRadius(b *testing.B)         { benchExperiment(b, "fig11") }
+func BenchmarkFig12HBM2(b *testing.B)                { benchExperiment(b, "fig12") }
+func BenchmarkFig13Temperature(b *testing.B)         { benchExperiment(b, "fig13") }
+func BenchmarkFig14TemperatureFraction(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15BlastRadiusGrid(b *testing.B)     { benchExperiment(b, "fig15") }
+func BenchmarkFig16AggOnSweep(b *testing.B)          { benchExperiment(b, "fig16") }
+func BenchmarkFig17AccessPattern(b *testing.B)       { benchExperiment(b, "fig17") }
+func BenchmarkFig18DataPatternTTF(b *testing.B)      { benchExperiment(b, "fig18") }
+func BenchmarkFig19DataPatternCount(b *testing.B)    { benchExperiment(b, "fig19") }
+func BenchmarkFig20AggressorLocation(b *testing.B)   { benchExperiment(b, "fig20") }
+func BenchmarkFig21ECCChunks(b *testing.B)           { benchExperiment(b, "fig21") }
+func BenchmarkFig22RefreshOps(b *testing.B)          { benchExperiment(b, "fig22") }
+func BenchmarkFig23RAIDR(b *testing.B)               { benchExperiment(b, "fig23") }
+func BenchmarkSec61Mitigations(b *testing.B)         { benchExperiment(b, "sec61") }
+func BenchmarkPRVRSimulation(b *testing.B)           { benchExperiment(b, "prvr-sim") }
+func BenchmarkAblationCouplingLaw(b *testing.B)      { benchExperiment(b, "ablation-f") }
+func BenchmarkAblationBitline(b *testing.B)          { benchExperiment(b, "ablation-bitline") }
+
+// --- Micro benchmarks of the core machinery ---
+
+// BenchmarkDeviceReadRow measures the cell-explicit tier's hot path: a
+// fault-evaluated read of one 1024-column row.
+func BenchmarkDeviceReadRow(b *testing.B) {
+	spec, _ := chipdb.ByID("S0")
+	mod, err := spec.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mod.WriteRowPattern(0, 5, dram.PatFF); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod.AdvanceNs(1e9) // one second of decay to evaluate per read
+		if _, err := mod.ReadRow(0, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHammer512ms measures the analytic fast-forward of a full 512 ms
+// pressing campaign.
+func BenchmarkHammer512ms(b *testing.B) {
+	spec, _ := chipdb.ByID("S0")
+	mod, err := spec.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mod.Device.HammerFor(0, 1536, 512e6, 70200, 14); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStatisticalSubarray measures one statistical-tier subarray count
+// experiment (1024 × 1024 cells).
+func BenchmarkStatisticalSubarray(b *testing.B) {
+	spec, _ := chipdb.ByID("S0")
+	p := spec.BuildParams()
+	cfg := core.SubarrayConfig{
+		Params: p, TempC: 85, DurationMs: 512,
+		Rows: 1024, Cols: 1024,
+		Classes: core.AggressorSubarrayClasses(p, core.PatternSetup{
+			AggPattern: dram.Pat00, VictimPattern: dram.PatFF,
+			TAggOnNs: 70200, TRPNs: 14,
+		}),
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SampleCounts(cfg, r)
+	}
+}
+
+// BenchmarkTTFSample measures one order-statistic time-to-first-bitflip
+// draw over a 1M-cell subarray.
+func BenchmarkTTFSample(b *testing.B) {
+	spec, _ := chipdb.ByID("M8")
+	p := spec.BuildParams()
+	m := core.NewRateModel(p, 85, p.RhoHammer(70200, 14, 0))
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SampleTTFms(1<<20, r)
+	}
+}
+
+// BenchmarkSECDecode measures the (136,128) on-die ECC decode path.
+func BenchmarkSECDecode(b *testing.B) {
+	c, err := ecc.NewSEC(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 128)
+	cw, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cw[17] ^= 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmp := append([]byte(nil), cw...)
+		if _, _, err := c.Decode(tmp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemsimMix measures one four-core memory-system simulation under
+// RAIDR refresh.
+func BenchmarkMemsimMix(b *testing.B) {
+	sys := memsim.DefaultSystem()
+	sys.WarmupInstr = 5000
+	sys.MeasureInstr = 40000
+	mix := memsim.Mixes(1)[0]
+	rc := memsim.DefaultRAIDR(memsim.TrackerBloom)
+	rc.WeakFraction = 0.001
+	eng, _, err := memsim.NewRAIDR(sys, rc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := memsim.Run(sys, mix, eng, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRowCloneScan measures the RowClone-based boundary reverse
+// engineering of a small bank.
+func BenchmarkRowCloneScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		chip, err := OpenScaled("H0", 1, 3, 32, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := chip.SubarrayBoundaries(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

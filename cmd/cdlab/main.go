@@ -1,0 +1,116 @@
+// Command cdlab runs the ColumnDisturb reproduction experiments: it can
+// list the catalog of simulated DRAM modules, enumerate the paper's tables
+// and figures, and regenerate any (or all) of them at benchmark or full
+// sweep scale.
+//
+// Usage:
+//
+//	cdlab catalog                 # Table 1's chip population
+//	cdlab list                    # every reproducible artifact
+//	cdlab run <id> [-full]        # regenerate one table/figure
+//	cdlab run all [-full] [-o d]  # regenerate everything (optionally into a directory)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"columndisturb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "catalog":
+		catalog()
+	case "list":
+		list()
+	case "run":
+		run(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cdlab catalog | list | run <id|all> [-full] [-o dir]")
+}
+
+func catalog() {
+	fmt.Printf("%-6s %-10s %-5s %-6s %-8s %-7s %s\n",
+		"ID", "Mfr", "Type", "Chips", "Die Rev.", "Density", "Org")
+	for _, c := range columndisturb.Catalog() {
+		fmt.Printf("%-6s %-10s %-5s %-6d %-8s %-7s %s\n",
+			c.ID, c.Manufacturer, c.Type, c.Chips, orNA(c.DieRevision), orNA(c.Density), orNA(c.Org))
+	}
+}
+
+func orNA(s string) string {
+	if s == "" {
+		return "N/A"
+	}
+	return s
+}
+
+func list() {
+	for _, e := range columndisturb.ListExperiments() {
+		fmt.Printf("%-18s %-28s %s\n", e.ID, e.Paper, e.Title)
+	}
+}
+
+func run(args []string) {
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	full := fs.Bool("full", false, "run the paper-breadth sweep instead of the benchmark-scale one")
+	outDir := fs.String("o", "", "write each result to <dir>/<id>.txt instead of stdout")
+	if err := fs.Parse(args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	var ids []string
+	if id == "all" {
+		for _, e := range columndisturb.ListExperiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = []string{id}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, eid := range ids {
+		t0 := time.Now()
+		rep, err := columndisturb.RunExperiment(eid, *full)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", eid, err))
+		}
+		body := fmt.Sprintf("%s(%s in %s)\n\n", rep.Text, eid, time.Since(t0).Round(time.Millisecond))
+		if *outDir != "" {
+			path := filepath.Join(*outDir, eid+".txt")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%s)\n", path, time.Since(t0).Round(time.Millisecond))
+		} else {
+			fmt.Print(body)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cdlab:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+// Package columndisturb is a simulation-based reproduction of
+// "ColumnDisturb: Understanding Column-based Read Disturbance in Real DRAM
+// Chips and Implications for Future Systems" (MICRO 2025).
+//
+// ColumnDisturb is a read-disturbance phenomenon in which repeatedly
+// opening (hammering) or keeping open (pressing) a DRAM row disturbs cells
+// through the *bitlines* the row drives: every row sharing those bitlines —
+// up to three consecutive subarrays, thousands of rows — can experience
+// bitflips, in stark contrast to RowHammer and RowPress, which affect only
+// the aggressor's immediate neighbours.
+//
+// The original work characterizes 216 real DDR4 and 4 HBM2 chips on an
+// FPGA-based testing infrastructure. This library substitutes calibrated
+// device-level simulation for the hardware (see DESIGN.md): a cell-explicit
+// DRAM model driven by command programs, a statistical population model for
+// the paper's large sweeps, the full characterization methodology (RowClone
+// boundary reverse engineering, retention profiling, bisection search), the
+// ECC analyses, and a memory-system simulator for the retention-aware
+// refresh evaluation.
+//
+// The package exposes three levels of API:
+//
+//   - Chip: open a catalog module as a simulated device and drive it with
+//     the paper's access patterns (hammer, press, idle), read back bitflips
+//     and run methodology steps such as subarray boundary reverse
+//     engineering and the time-to-first-bitflip search.
+//   - Experiments: regenerate any table or figure of the paper
+//     (RunExperiment, ListExperiments).
+//   - Analyses: the §6 mitigation arithmetic and RAIDR sweeps
+//     (AnalyzeMitigations, RAIDRSweep).
+//
+// Everything is deterministic for a fixed seed and runs on a laptop; see
+// EXPERIMENTS.md for measured-vs-paper results of every artifact.
+package columndisturb

@@ -1,0 +1,182 @@
+// Package bender simulates the FPGA-based COTS DRAM testing infrastructure
+// the paper's experiments run on (DRAM Bender, built on SoftMC): test
+// programs are sequences of precisely-timed DDR commands, executed by a
+// host against a DRAM module, with a temperature controller holding the
+// chips at a target temperature.
+//
+// Programs use *logical* row addresses, exactly like the real
+// infrastructure: the in-DRAM logical-to-physical mapping is part of the
+// device under test and must be reverse engineered by the methodology layer
+// (internal/charz) before physical-adjacency reasoning is sound.
+//
+// The interpreter recognizes canonical hammer loops and fast-forwards them
+// analytically through the device model, which is what makes 512 ms × tens
+// of thousands of activations tractable; the equivalence of literal and
+// fast-forwarded execution is covered by tests.
+package bender
+
+import (
+	"fmt"
+
+	"columndisturb/internal/dram"
+)
+
+// Instr is one test-program instruction.
+type Instr interface{ instr() }
+
+// Act activates (opens) a logical row.
+type Act struct {
+	Bank int
+	Row  int
+}
+
+// Pre precharges (closes) the bank.
+type Pre struct{ Bank int }
+
+// Wait advances time by Ns nanoseconds.
+type Wait struct{ Ns float64 }
+
+// Write fills a logical row with a repeating data pattern (the
+// infrastructure's bulk row initialization).
+type Write struct {
+	Bank    int
+	Row     int
+	Pattern dram.DataPattern
+}
+
+// Read reads a logical row and records the returned data under Tag.
+type Read struct {
+	Bank int
+	Row  int
+	Tag  string
+}
+
+// RefreshAll issues a REFab-equivalent sweep restoring every row of the
+// bank.
+type RefreshAll struct{ Bank int }
+
+// RefreshRow refreshes a single logical row.
+type RefreshRow struct {
+	Bank int
+	Row  int
+}
+
+// SetTemp retargets the temperature controller (heater pads + sensor).
+type SetTemp struct{ CelsiusC float64 }
+
+// Loop repeats Body Count times. Canonical single- and two-aggressor
+// hammer bodies are fast-forwarded analytically.
+type Loop struct {
+	Count int
+	Body  []Instr
+}
+
+func (Act) instr()        {}
+func (Pre) instr()        {}
+func (Wait) instr()       {}
+func (Write) instr()      {}
+func (Read) instr()       {}
+func (RefreshAll) instr() {}
+func (RefreshRow) instr() {}
+func (SetTemp) instr()    {}
+func (Loop) instr()       {}
+
+// Program is a named instruction sequence.
+type Program struct {
+	Name   string
+	Instrs []Instr
+}
+
+// ReadRecord is the data captured by one Read instruction.
+type ReadRecord struct {
+	Bank, Row int
+	Tag       string
+	Data      []uint64
+}
+
+// Result collects everything a program run produced.
+type Result struct {
+	Reads      []ReadRecord
+	ElapsedNs  float64
+	ActsIssued int
+}
+
+// ByTag returns the read records carrying the given tag.
+func (r *Result) ByTag(tag string) []ReadRecord {
+	var out []ReadRecord
+	for _, rec := range r.Reads {
+		if rec.Tag == tag {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// --- Program builders for the paper's standard experiments (§3.2) ---
+
+// HammerProgram builds the key access pattern of §3.2:
+// ACT R_agg –tAggOn– PRE –tRP– ACT R_agg – … repeated numActs times.
+func HammerProgram(bank, row, numActs int, tAggOnNs, tRPNs float64) Program {
+	return Program{
+		Name: fmt.Sprintf("hammer(b%d,r%d,%d acts)", bank, row, numActs),
+		Instrs: []Instr{
+			Loop{Count: numActs, Body: []Instr{
+				Act{bank, row}, Wait{tAggOnNs}, Pre{bank}, Wait{tRPNs},
+			}},
+		},
+	}
+}
+
+// TwoAggressorProgram builds the §5.3 pattern alternating two aggressor
+// rows with complementary data patterns.
+func TwoAggressorProgram(bank, row1, row2, numPairs int, tAggOnNs, tRPNs float64) Program {
+	return Program{
+		Name: fmt.Sprintf("hammer2(b%d,r%d/r%d,%d pairs)", bank, row1, row2, numPairs),
+		Instrs: []Instr{
+			Loop{Count: numPairs, Body: []Instr{
+				Act{bank, row1}, Wait{tAggOnNs}, Pre{bank}, Wait{tRPNs},
+				Act{bank, row2}, Wait{tAggOnNs}, Pre{bank}, Wait{tRPNs},
+			}},
+		},
+	}
+}
+
+// RetentionProgram keeps the bank idle (precharged) for waitMs.
+func RetentionProgram(waitMs float64) Program {
+	return Program{
+		Name:   fmt.Sprintf("retention(%.1fms)", waitMs),
+		Instrs: []Instr{Wait{waitMs * 1e6}},
+	}
+}
+
+// InitRowsProgram writes the pattern into the logical rows [first, last].
+func InitRowsProgram(bank, first, last int, p dram.DataPattern) Program {
+	var ins []Instr
+	for r := first; r <= last; r++ {
+		ins = append(ins, Write{bank, r, p})
+	}
+	return Program{Name: "init-rows", Instrs: ins}
+}
+
+// ReadRowsProgram reads logical rows [first, last] under the given tag.
+func ReadRowsProgram(bank, first, last int, tag string) Program {
+	var ins []Instr
+	for r := first; r <= last; r++ {
+		ins = append(ins, Read{bank, r, tag})
+	}
+	return Program{Name: "read-rows", Instrs: ins}
+}
+
+// RowCloneProgram issues the §3.2 in-DRAM copy sequence: ACT src, PRE,
+// and an immediate ACT dst violating tRP, then a clean precharge.
+func RowCloneProgram(bank, src, dst int, t dram.Timing) Program {
+	return Program{
+		Name: fmt.Sprintf("rowclone(b%d,%d→%d)", bank, src, dst),
+		Instrs: []Instr{
+			Act{bank, src}, Wait{t.TRASns}, Pre{bank},
+			Wait{t.RowCloneViolationNs / 2},
+			Act{bank, dst}, Wait{t.TRASns}, Pre{bank},
+			Wait{t.TRPns},
+		},
+	}
+}

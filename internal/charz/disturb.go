@@ -1,0 +1,128 @@
+package charz
+
+import (
+	"fmt"
+	"sort"
+
+	"columndisturb/internal/bender"
+	"columndisturb/internal/dram"
+)
+
+// DisturbMode selects the §3.2 access pattern of a disturbance experiment.
+type DisturbMode int
+
+// Experiment modes.
+const (
+	// ModeHammer runs the single-aggressor ACT–tAggOn–PRE–tRP pattern for
+	// the full duration (hammering for tAggOn ≈ tRAS, pressing for larger
+	// tAggOn; the paper treats them as one pattern parameterized by
+	// tAggOn).
+	ModeHammer DisturbMode = iota
+	// ModeTwoAggressor alternates two aggressor rows with complementary
+	// data patterns (§5.3).
+	ModeTwoAggressor
+	// ModeIdle keeps the bank precharged: the retention failure baseline.
+	ModeIdle
+)
+
+// DisturbConfig describes one disturbance experiment on a bank.
+type DisturbConfig struct {
+	Bank          int
+	AggRow        int // physical aggressor row (ignored for ModeIdle)
+	AggRow2       int // second aggressor (ModeTwoAggressor)
+	Mode          DisturbMode
+	AggPattern    dram.DataPattern
+	Agg2Pattern   dram.DataPattern
+	VictimPattern dram.DataPattern
+	DurationMs    float64
+	TAggOnNs      float64
+	TRPNs         float64
+	// Subarrays to initialize and read; nil means the aggressor's
+	// perturbed triple (or subarray 0 for ModeIdle).
+	Subarrays []int
+}
+
+// RunDisturb initializes the victim rows, runs the access pattern for the
+// configured duration with refresh disabled, reads every tested row and
+// returns per-subarray row flip summaries (filtered through f, which may be
+// nil for raw counts). Rows are reported with physical indices.
+//
+// The helper assumes a subarray-preserving row mapping (vendor mappings
+// scramble within small groups, so the logical and physical row sets of a
+// subarray coincide), which ScanSubarrayBoundaries verifies in practice.
+func RunDisturb(h *bender.Host, cfg DisturbConfig, f *Filter) (map[int][]RowFlips, error) {
+	g := h.Module().Geometry()
+	m := h.Module().Mapping()
+	subs := cfg.Subarrays
+	if subs == nil {
+		if cfg.Mode == ModeIdle {
+			for s := 0; s < g.SubarraysPerBank; s++ {
+				subs = append(subs, s)
+			}
+		} else {
+			subs = g.PerturbedSubarrays(g.SubarrayOf(cfg.AggRow))
+		}
+	}
+	// Initialize victims.
+	for _, s := range subs {
+		first := g.SubarrayBase(s)
+		if _, err := h.Run(bender.InitRowsProgram(cfg.Bank, first, first+g.RowsPerSubarray-1, cfg.VictimPattern)); err != nil {
+			return nil, err
+		}
+	}
+	// Initialize aggressor(s) and run the pattern.
+	switch cfg.Mode {
+	case ModeHammer:
+		if _, err := h.Run(bender.Program{Instrs: []bender.Instr{
+			bender.Write{Bank: cfg.Bank, Row: m.Logical(cfg.AggRow), Pattern: cfg.AggPattern},
+		}}); err != nil {
+			return nil, err
+		}
+		cycle := cfg.TAggOnNs + cfg.TRPNs
+		acts := int(cfg.DurationMs * 1e6 / cycle)
+		if acts < 1 {
+			return nil, fmt.Errorf("charz: duration %v ms too short for one cycle", cfg.DurationMs)
+		}
+		if _, err := h.Run(bender.HammerProgram(cfg.Bank, m.Logical(cfg.AggRow), acts, cfg.TAggOnNs, cfg.TRPNs)); err != nil {
+			return nil, err
+		}
+	case ModeTwoAggressor:
+		if _, err := h.Run(bender.Program{Instrs: []bender.Instr{
+			bender.Write{Bank: cfg.Bank, Row: m.Logical(cfg.AggRow), Pattern: cfg.AggPattern},
+			bender.Write{Bank: cfg.Bank, Row: m.Logical(cfg.AggRow2), Pattern: cfg.Agg2Pattern},
+		}}); err != nil {
+			return nil, err
+		}
+		cycle := 2 * (cfg.TAggOnNs + cfg.TRPNs)
+		pairs := int(cfg.DurationMs * 1e6 / cycle)
+		if pairs < 1 {
+			return nil, fmt.Errorf("charz: duration %v ms too short for one pair", cfg.DurationMs)
+		}
+		if _, err := h.Run(bender.TwoAggressorProgram(cfg.Bank, m.Logical(cfg.AggRow), m.Logical(cfg.AggRow2), pairs, cfg.TAggOnNs, cfg.TRPNs)); err != nil {
+			return nil, err
+		}
+	case ModeIdle:
+		if _, err := h.Run(bender.RetentionProgram(cfg.DurationMs)); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("charz: unknown mode %d", cfg.Mode)
+	}
+	// Read back and summarize.
+	out := make(map[int][]RowFlips, len(subs))
+	for _, s := range subs {
+		first := g.SubarrayBase(s)
+		res, err := h.Run(bender.ReadRowsProgram(cfg.Bank, first, first+g.RowsPerSubarray-1, "d"))
+		if err != nil {
+			return nil, err
+		}
+		recs := res.ByTag("d")
+		for i := range recs {
+			recs[i].Row = m.Physical(recs[i].Row)
+		}
+		rows := DiffReads(recs, cfg.VictimPattern, f)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Row < rows[j].Row })
+		out[s] = rows
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+// Package charz implements the paper's characterization methodology (§3.2)
+// on top of the bender testing infrastructure: reverse engineering of
+// subarray boundaries via RowClone, reverse engineering of the in-DRAM row
+// address mapping via RowHammer probing, retention failure profiling with
+// repeated trials (variable retention time coverage), bisection search for
+// the time to the first ColumnDisturb bitflip, and the filtered bitflip
+// metrics (guard-banding the aggressor's RowHammer/RowPress neighbourhood,
+// excluding profiled retention-weak cells).
+package charz
+
+import (
+	"columndisturb/internal/bender"
+	"columndisturb/internal/dram"
+)
+
+// CellID packs a bank-local (row, col) coordinate into a single key.
+func CellID(row, col, cols int) int64 {
+	return int64(row)*int64(cols) + int64(col)
+}
+
+// Filter selects which observed bitflips count towards ColumnDisturb
+// metrics, implementing the paper's two-step exclusion: the aggressor row
+// and its nearest neighbours (RowHammer/RowPress territory, excluded with a
+// guard band), and cells known to fail by retention within the test
+// interval.
+type Filter struct {
+	// ExcludedRows are bank-level rows whose flips are ignored entirely.
+	ExcludedRows map[int]bool
+	// ExcludedCells are bank-local cell IDs (CellID) ignored as known
+	// retention failures.
+	ExcludedCells map[int64]bool
+	// Cols is the geometry's column count, needed to compute cell IDs.
+	Cols int
+}
+
+// RowExcluded reports whether the row is filtered out.
+func (f *Filter) RowExcluded(row int) bool {
+	return f != nil && f.ExcludedRows != nil && f.ExcludedRows[row]
+}
+
+// CellExcluded reports whether the cell is filtered out.
+func (f *Filter) CellExcluded(row, col int) bool {
+	return f != nil && f.ExcludedCells != nil && f.ExcludedCells[CellID(row, col, f.Cols)]
+}
+
+// GuardRows returns the paper's guard band: the aggressor row plus the
+// `guard` nearest rows on each side that lie in the same subarray
+// (industry read-disturbance mitigations refresh up to eight neighbours, so
+// the paper excludes eight nearest victims; guard=4 reproduces that).
+func GuardRows(g dram.Geometry, aggRows []int, guard int) map[int]bool {
+	out := make(map[int]bool)
+	for _, agg := range aggRows {
+		for r := agg - guard; r <= agg+guard; r++ {
+			if r >= 0 && r < g.RowsPerBank() && g.SameSubarray(agg, r) {
+				out[r] = true
+			}
+		}
+	}
+	return out
+}
+
+// RowFlips summarizes the bitflips of one row against its expected pattern.
+type RowFlips struct {
+	Row        int
+	Flips      int // total counted flips (after filtering)
+	OneToZero  int
+	ZeroToOne  int
+	ChunkFlips map[int]int // flips per 64-bit (8-byte) chunk index, for ECC analysis
+}
+
+// DiffReads compares read records against the expected victim pattern and
+// returns per-row flip summaries, applying the filter.
+func DiffReads(recs []bender.ReadRecord, want dram.DataPattern, f *Filter) []RowFlips {
+	var out []RowFlips
+	for _, rec := range recs {
+		if f.RowExcluded(rec.Row) {
+			continue
+		}
+		rf := RowFlips{Row: rec.Row, ChunkFlips: make(map[int]int)}
+		for w, word := range rec.Data {
+			for b := 0; b < 64; b++ {
+				col := w*64 + b
+				got := byte(word>>uint(b)) & 1
+				exp := want.Bit(col)
+				if got == exp {
+					continue
+				}
+				if f.CellExcluded(rec.Row, col) {
+					continue
+				}
+				rf.Flips++
+				rf.ChunkFlips[w]++
+				if exp == 1 {
+					rf.OneToZero++
+				} else {
+					rf.ZeroToOne++
+				}
+			}
+		}
+		out = append(out, rf)
+	}
+	return out
+}
+
+// Totals aggregates row summaries.
+type Totals struct {
+	Flips      int
+	OneToZero  int
+	ZeroToOne  int
+	RowsWith   int // blast radius: rows with at least one counted flip
+	RowsTested int
+}
+
+// Aggregate computes totals over row summaries.
+func Aggregate(rows []RowFlips) Totals {
+	var t Totals
+	for _, r := range rows {
+		t.RowsTested++
+		t.Flips += r.Flips
+		t.OneToZero += r.OneToZero
+		t.ZeroToOne += r.ZeroToOne
+		if r.Flips > 0 {
+			t.RowsWith++
+		}
+	}
+	return t
+}
+
+// FractionOfCells returns the fraction of tested cells that flipped, the
+// paper's subarray-size-independent vulnerability metric (§4.4).
+func (t Totals) FractionOfCells(cols int) float64 {
+	if t.RowsTested == 0 {
+		return 0
+	}
+	return float64(t.Flips) / (float64(t.RowsTested) * float64(cols))
+}
+
+// ChunkHistogram builds the Fig 21 distribution: how many 8-byte chunks
+// contain exactly k bitflips, for k = 1..maxK (larger counts clamp to
+// maxK).
+func ChunkHistogram(rows []RowFlips, maxK int) []int {
+	hist := make([]int, maxK+1) // index k = chunks with k flips; index 0 unused
+	for _, r := range rows {
+		for _, n := range r.ChunkFlips {
+			if n > maxK {
+				n = maxK
+			}
+			if n >= 1 {
+				hist[n]++
+			}
+		}
+	}
+	return hist
+}

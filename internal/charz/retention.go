@@ -1,0 +1,117 @@
+package charz
+
+import (
+	"columndisturb/internal/bender"
+	"columndisturb/internal/dram"
+)
+
+// RetentionConfig controls retention failure profiling (§3.2): the
+// state-of-the-art methodology tests multiple data patterns and repeats
+// each test many times to cover variable retention time, keeping the
+// *minimum* observed retention time per cell.
+type RetentionConfig struct {
+	// Patterns to write into the rows under test (default: the five
+	// standard patterns plus all-1).
+	Patterns []dram.DataPattern
+	// Trials per pattern/interval (the paper uses 50; experiments on the
+	// simulated modules converge with fewer because the VRT state space is
+	// small).
+	Trials int
+	// IntervalsMs are the idle intervals to test, ascending.
+	IntervalsMs []float64
+}
+
+// DefaultRetentionConfig returns the paper's methodology parameters.
+func DefaultRetentionConfig(intervalsMs []float64) RetentionConfig {
+	return RetentionConfig{
+		Patterns:    append(dram.StandardPatterns(), dram.PatFF),
+		Trials:      50,
+		IntervalsMs: intervalsMs,
+	}
+}
+
+// RetentionProfile records, for every cell that ever failed, the minimum
+// interval at which it failed across all patterns and trials.
+type RetentionProfile struct {
+	// MinFailMs maps CellID(row, col, Cols) → smallest failing interval.
+	MinFailMs map[int64]float64
+	Cols      int
+	RowFirst  int
+	RowLast   int
+}
+
+// FailingWithin returns the set of cells whose minimum retention time is
+// within (≤) the given interval — the exclusion set for ColumnDisturb
+// bitflip counting.
+func (p *RetentionProfile) FailingWithin(ms float64) map[int64]bool {
+	out := make(map[int64]bool)
+	for id, t := range p.MinFailMs {
+		if t <= ms {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// WeakRows returns the rows containing at least one cell failing within the
+// interval — the weak-row classification retention-aware refresh
+// mechanisms use.
+func (p *RetentionProfile) WeakRows(ms float64) map[int]bool {
+	out := make(map[int]bool)
+	for id, t := range p.MinFailMs {
+		if t <= ms {
+			out[int(id)/p.Cols] = true
+		}
+	}
+	return out
+}
+
+// ProfileRetention runs the retention methodology over logical rows
+// [rowFirst, rowLast] of the bank: for each pattern, trial and interval it
+// writes the rows, idles the bank with refresh disabled, reads back, and
+// records each failing cell's minimum failing interval. The device's VRT
+// trial state is swept so that variable-retention-time cells are caught at
+// their worst, as the 50-iteration methodology intends.
+func ProfileRetention(h *bender.Host, bank, rowFirst, rowLast int, cfg RetentionConfig) (*RetentionProfile, error) {
+	g := h.Module().Geometry()
+	prof := &RetentionProfile{
+		MinFailMs: make(map[int64]float64),
+		Cols:      g.Cols,
+		RowFirst:  rowFirst,
+		RowLast:   rowLast,
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		h.Module().SetTrial(trial)
+		for _, pat := range cfg.Patterns {
+			for _, interval := range cfg.IntervalsMs {
+				if _, err := h.Run(bender.InitRowsProgram(bank, rowFirst, rowLast, pat)); err != nil {
+					return nil, err
+				}
+				if _, err := h.Run(bender.RetentionProgram(interval)); err != nil {
+					return nil, err
+				}
+				res, err := h.Run(bender.ReadRowsProgram(bank, rowFirst, rowLast, "ret"))
+				if err != nil {
+					return nil, err
+				}
+				for _, rec := range res.ByTag("ret") {
+					for w, word := range rec.Data {
+						for b := 0; b < 64; b++ {
+							col := w*64 + b
+							got := byte(word>>uint(b)) & 1
+							if got == pat.Bit(col) {
+								continue
+							}
+							id := CellID(rec.Row, col, g.Cols)
+							if cur, ok := prof.MinFailMs[id]; !ok || interval < cur {
+								prof.MinFailMs[id] = interval
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	h.Module().SetTrial(0)
+	return prof, nil
+}

@@ -1,0 +1,173 @@
+package charz
+
+import (
+	"fmt"
+	"sort"
+
+	"columndisturb/internal/bender"
+	"columndisturb/internal/dram"
+)
+
+// ProbeConfig controls RowHammer-based neighbour probing.
+type ProbeConfig struct {
+	// Acts is the hammer count per probe; it must comfortably exceed the
+	// module's weakest-neighbour-cell thresholds so that physical
+	// neighbours light up unambiguously.
+	Acts int
+	// TAggOnNs/TRPNs shape the hammer cycle (tRAS/tRP by default).
+	TAggOnNs, TRPNs float64
+	// Window is how far (in logical rows) around the aggressor to look for
+	// victims; vendor mappings scramble locally, so a small window
+	// suffices.
+	Window int
+	// MinFlips is the detection threshold separating RowHammer victims
+	// from background ColumnDisturb flips accumulated during the probe.
+	MinFlips int
+}
+
+// DefaultProbeConfig returns probing parameters that work on the catalog
+// modules (10M activations ≈ 500 ms of hammering).
+func DefaultProbeConfig(t dram.Timing) ProbeConfig {
+	return ProbeConfig{
+		Acts:     10_000_000,
+		TAggOnNs: t.TRASns,
+		TRPNs:    t.TRPns,
+		Window:   8,
+		MinFlips: 16,
+	}
+}
+
+// ProbeNeighbors hammers the logical aggressor row and returns the logical
+// rows in the window that show RowHammer-level bitflip counts — the
+// physical neighbours of the aggressor under the module's hidden mapping.
+// Victim rows carry 0xAA so both flip directions are visible (§4.3).
+func ProbeNeighbors(h *bender.Host, bank, aggRow int, cfg ProbeConfig) ([]int, error) {
+	g := h.Module().Geometry()
+	lo := aggRow - cfg.Window
+	if lo < 0 {
+		lo = 0
+	}
+	hi := aggRow + cfg.Window
+	if hi >= g.RowsPerBank() {
+		hi = g.RowsPerBank() - 1
+	}
+	if _, err := h.Run(bender.InitRowsProgram(bank, lo, hi, dram.PatAA)); err != nil {
+		return nil, err
+	}
+	if _, err := h.Run(bender.HammerProgram(bank, aggRow, cfg.Acts, cfg.TAggOnNs, cfg.TRPNs)); err != nil {
+		return nil, err
+	}
+	res, err := h.Run(bender.ReadRowsProgram(bank, lo, hi, "probe"))
+	if err != nil {
+		return nil, err
+	}
+	var neighbours []int
+	for _, rf := range DiffReads(res.ByTag("probe"), dram.PatAA, &Filter{Cols: g.Cols}) {
+		if rf.Row == aggRow {
+			continue
+		}
+		if rf.Flips >= cfg.MinFlips {
+			neighbours = append(neighbours, rf.Row)
+		}
+	}
+	sort.Ints(neighbours)
+	return neighbours, nil
+}
+
+// InferRowOrder reconstructs the physical ordering of the logical rows
+// [first, first+count) by probing each row's physical neighbours and
+// walking the resulting adjacency chain. The returned slice lists logical
+// rows in physical order; the orientation (forward vs reversed) is
+// inherently ambiguous and normalized so the first element is the smaller
+// endpoint. The rows must form one physically contiguous block strictly
+// inside a subarray (no boundary effects), which is how vendor group-local
+// scrambling behaves.
+func InferRowOrder(h *bender.Host, bank, first, count int, cfg ProbeConfig) ([]int, error) {
+	if count < 2 {
+		return nil, fmt.Errorf("charz: need at least 2 rows to order")
+	}
+	adj := make(map[int][]int, count)
+	inBlock := func(r int) bool { return r >= first && r < first+count }
+	for r := first; r < first+count; r++ {
+		ns, err := ProbeNeighbors(h, bank, r, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range ns {
+			if inBlock(n) {
+				adj[r] = append(adj[r], n)
+			}
+		}
+	}
+	// Endpoints of the physical chain have exactly one in-block neighbour.
+	var ends []int
+	for r := first; r < first+count; r++ {
+		switch len(adj[r]) {
+		case 1:
+			ends = append(ends, r)
+		case 2:
+			// interior row
+		default:
+			return nil, fmt.Errorf("charz: row %d has %d in-block neighbours; "+
+				"block is not physically contiguous", r, len(adj[r]))
+		}
+	}
+	if len(ends) != 2 {
+		return nil, fmt.Errorf("charz: found %d chain endpoints, want 2", len(ends))
+	}
+	start := ends[0]
+	if ends[1] < start {
+		start = ends[1]
+	}
+	order := make([]int, 0, count)
+	prev, cur := -1, start
+	for len(order) < count {
+		order = append(order, cur)
+		next := -1
+		for _, n := range adj[cur] {
+			if n != prev {
+				next = n
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		prev, cur = cur, next
+	}
+	if len(order) != count {
+		return nil, fmt.Errorf("charz: adjacency walk covered %d of %d rows", len(order), count)
+	}
+	return order, nil
+}
+
+// VerifyMapping checks a hypothesized row mapping against the device by
+// probing each sample row and comparing the observed neighbours with the
+// mapping's prediction.
+func VerifyMapping(h *bender.Host, bank int, m dram.RowMapping, sampleRows []int, cfg ProbeConfig) error {
+	g := h.Module().Geometry()
+	for _, l := range sampleRows {
+		want := map[int]bool{}
+		p := m.Physical(l)
+		for _, pn := range []int{p - 1, p + 1} {
+			if pn >= 0 && pn < g.RowsPerBank() && g.SameSubarray(p, pn) {
+				want[m.Logical(pn)] = true
+			}
+		}
+		got, err := ProbeNeighbors(h, bank, l, cfg)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("charz: row %d: observed %d neighbours %v, predicted %d",
+				l, len(got), got, len(want))
+		}
+		for _, n := range got {
+			if !want[n] {
+				return fmt.Errorf("charz: row %d: neighbour %v not predicted by mapping %s",
+					l, n, m.Name())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"columndisturb/internal/dram"
+	"columndisturb/internal/faultmodel"
+)
+
+func setup(agg, victim dram.DataPattern) PatternSetup {
+	return PatternSetup{
+		AggPattern:    agg,
+		VictimPattern: victim,
+		TAggOnNs:      70200,
+		TRPNs:         14,
+	}
+}
+
+func TestAggressorClassesWorstCase(t *testing.T) {
+	p := faultmodel.Default()
+	cls := AggressorSubarrayClasses(&p, setup(dram.Pat00, dram.PatFF))
+	if len(cls) != 1 {
+		t.Fatalf("all-0 aggressor with all-1 victims is one class: %v", cls)
+	}
+	if cls[0].Frac != 1 {
+		t.Fatalf("every victim at risk: %v", cls)
+	}
+	want := p.RhoHammer(70200, 14, 0)
+	if cls[0].Rho != want {
+		t.Fatalf("rho %v, want %v", cls[0].Rho, want)
+	}
+}
+
+func TestAggressorClassesMixedPattern(t *testing.T) {
+	p := faultmodel.Default()
+	cls := AggressorSubarrayClasses(&p, setup(dram.PatAA, dram.PatFF))
+	if len(cls) != 2 {
+		t.Fatalf("0xAA aggressor splits into two classes: %v", cls)
+	}
+	if math.Abs(AtRiskFraction(cls)-1) > 1e-12 {
+		t.Fatalf("all-1 victims all at risk: %v", cls)
+	}
+	for _, c := range cls {
+		if math.Abs(c.Frac-0.5) > 1e-12 {
+			t.Fatalf("0xAA splits 50/50: %v", cls)
+		}
+	}
+}
+
+func TestNegatedVictimPattern(t *testing.T) {
+	// Paper default: victims carry the negated aggressor pattern, so the
+	// at-risk victims (storing 1) sit exactly on the GND-driven columns.
+	p := faultmodel.Default()
+	cls := AggressorSubarrayClasses(&p, setup(dram.Pat11, dram.Pat11.Negate()))
+	if len(cls) != 1 {
+		t.Fatalf("negated victims form one class: %v", cls)
+	}
+	if math.Abs(cls[0].Frac-0.75) > 1e-12 {
+		t.Fatalf("0x11 drives 6/8 columns low: %v", cls)
+	}
+	if cls[0].Rho != p.RhoHammer(70200, 14, 0) {
+		t.Fatal("negated victims sit on GND columns")
+	}
+}
+
+func TestNeighborClassesHalfShared(t *testing.T) {
+	p := faultmodel.Default()
+	up := UpperNeighborClasses(&p, setup(dram.Pat00, dram.PatFF))
+	down := LowerNeighborClasses(&p, setup(dram.Pat00, dram.PatFF))
+	for _, cls := range [][]ColumnClass{up, down} {
+		if math.Abs(AtRiskFraction(cls)-1) > 1e-12 {
+			t.Fatalf("all-1 victims all at risk in neighbours too: %v", cls)
+		}
+		var shared, idle float64
+		for _, c := range cls {
+			if c.Rho == p.RhoIdle() {
+				idle += c.Frac
+			} else {
+				shared += c.Frac
+			}
+		}
+		if math.Abs(shared-0.5) > 1e-12 || math.Abs(idle-0.5) > 1e-12 {
+			t.Fatalf("neighbours share exactly half their columns: shared=%v idle=%v", shared, idle)
+		}
+	}
+}
+
+func TestRetentionClasses(t *testing.T) {
+	p := faultmodel.Default()
+	cls := RetentionClasses(&p, dram.PatFF)
+	if len(cls) != 1 || cls[0].Frac != 1 || cls[0].Rho != p.RhoIdle() {
+		t.Fatalf("retention on all-1 victims: %v", cls)
+	}
+	cls = RetentionClasses(&p, dram.PatAA)
+	if len(cls) != 1 || cls[0].Frac != 0.5 {
+		t.Fatalf("0xAA victims: half charged: %v", cls)
+	}
+	if RetentionClasses(&p, dram.Pat00) != nil {
+		t.Fatal("all-0 victims: nothing at risk")
+	}
+}
+
+func TestDutyClassesMonotone(t *testing.T) {
+	p := faultmodel.Default()
+	prev := -1.0
+	for frac := 0.0; frac <= 1.0001; frac += 0.1 {
+		cls := DutyClasses(&p, frac, 0)
+		if len(cls) != 1 || cls[0].Frac != 1 {
+			t.Fatalf("duty class malformed: %v", cls)
+		}
+		if cls[0].Rho < prev {
+			t.Fatal("GND duty must increase rho monotonically (Obs 12)")
+		}
+		prev = cls[0].Rho
+	}
+}
+
+func TestTwoAggressorClasses(t *testing.T) {
+	p := faultmodel.Default()
+	s := setup(dram.Pat00, dram.PatFF)
+	s.TwoAggressor = true
+	s.Agg2Pattern = dram.PatFF
+	cls := AggressorSubarrayClasses(&p, s)
+	if len(cls) != 1 {
+		t.Fatalf("complementary two-aggressor is one class: %v", cls)
+	}
+	want := p.RhoTwoAggressor(70200, 14, 0, 1)
+	if cls[0].Rho != want {
+		t.Fatalf("two-aggressor rho %v, want %v", cls[0].Rho, want)
+	}
+	// Roughly half the single-aggressor exposure (Obs 21).
+	single := AggressorSubarrayClasses(&p, setup(dram.Pat00, dram.PatFF))[0].Rho
+	ratio := single / cls[0].Rho
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("single/two-aggressor rho ratio %v", ratio)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+
+	"columndisturb/internal/faultmodel"
+	"columndisturb/internal/sim/rng"
+)
+
+// SubarrayConfig describes one statistical subarray experiment.
+type SubarrayConfig struct {
+	Params     *faultmodel.Params
+	TempC      float64
+	DurationMs float64
+	Rows, Cols int
+	Classes    []ColumnClass
+}
+
+// SubarrayCounts is the sampled outcome of a subarray experiment.
+type SubarrayCounts struct {
+	PerRow   []int
+	Total    int
+	RowsWith int // blast radius: rows with ≥1 bitflip
+}
+
+// FractionOfCells returns the flipped fraction over the tested cells.
+func (s SubarrayCounts) FractionOfCells(cols int) float64 {
+	if len(s.PerRow) == 0 {
+		return 0
+	}
+	return float64(s.Total) / (float64(len(s.PerRow)) * float64(cols))
+}
+
+// SampleCounts draws per-row bitflip counts for the experiment: each row
+// gets shared z-scores for the row-correlated variance components, then
+// each column class contributes a binomial draw of its conditional flip
+// probability. The per-row structure is what blast radius, weak-row and
+// ECC-chunk statistics are built from.
+func SampleCounts(cfg SubarrayConfig, r *rng.Rand) SubarrayCounts {
+	out := SubarrayCounts{PerRow: make([]int, cfg.Rows)}
+	if cfg.DurationMs <= 0 {
+		return out
+	}
+	base := make([]RateModel, len(cfg.Classes))
+	for i, cl := range cfg.Classes {
+		base[i] = NewRateModel(cfg.Params, cfg.TempC, cl.Rho)
+	}
+	threshold := faultmodel.Ln2 / cfg.DurationMs
+	for row := 0; row < cfg.Rows; row++ {
+		zK, zB := r.Norm(), r.Norm()
+		flips := 0
+		for i, cl := range cfg.Classes {
+			cells := int(math.Round(cl.Frac * float64(cfg.Cols)))
+			if cells <= 0 {
+				continue
+			}
+			m := base[i].WithRowEffect(cfg.Params, zK, zB)
+			p := m.Survival(threshold)
+			flips += r.Binomial(cells, p)
+		}
+		out.PerRow[row] = flips
+		out.Total += flips
+		if flips > 0 {
+			out.RowsWith++
+		}
+	}
+	return out
+}
+
+// ExpectedCount returns the deterministic expected bitflip count of the
+// experiment (no row-effect sampling): cells × mean flip probability.
+func ExpectedCount(cfg SubarrayConfig) float64 {
+	if cfg.DurationMs <= 0 {
+		return 0
+	}
+	threshold := faultmodel.Ln2 / cfg.DurationMs
+	total := 0.0
+	for _, cl := range cfg.Classes {
+		m := NewRateModel(cfg.Params, cfg.TempC, cl.Rho)
+		total += cl.Frac * float64(cfg.Rows) * float64(cfg.Cols) * m.Survival(threshold)
+	}
+	return total
+}
+
+// SampleTTF draws the subarray's time to first bitflip in ms: the minimum
+// over classes of ln2/max-rate within the class population. Returns
+// found=false when the sampled time exceeds ceilingMs (the methodology's
+// 512 ms search ceiling).
+func SampleTTF(cfg SubarrayConfig, ceilingMs float64, r *rng.Rand) (ms float64, found bool) {
+	best := math.Inf(1)
+	for _, cl := range cfg.Classes {
+		cells := int(math.Round(cl.Frac * float64(cfg.Rows) * float64(cfg.Cols)))
+		if cells < 1 {
+			continue
+		}
+		m := NewRateModel(cfg.Params, cfg.TempC, cl.Rho)
+		if t := m.SampleTTFms(cells, r); t < best {
+			best = t
+		}
+	}
+	if ceilingMs > 0 && best > ceilingMs {
+		return best, false
+	}
+	return best, !math.IsInf(best, 1)
+}

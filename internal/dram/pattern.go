@@ -1,0 +1,93 @@
+package dram
+
+// DataPattern is a repeating byte pattern used to initialize rows, the same
+// convention as the paper's methodology (0x00, 0xAA, 0x11, 0x33, 0x77 and
+// their negations). Bit i of the pattern byte is the value of every column
+// c with c ≡ i (mod 8).
+type DataPattern byte
+
+// The memory-reliability test patterns used throughout the paper (§3.2).
+const (
+	Pat00 DataPattern = 0x00
+	PatFF DataPattern = 0xFF
+	PatAA DataPattern = 0xAA
+	Pat11 DataPattern = 0x11
+	Pat33 DataPattern = 0x33
+	Pat77 DataPattern = 0x77
+)
+
+// StandardPatterns returns the five aggressor patterns of §3.2.
+func StandardPatterns() []DataPattern {
+	return []DataPattern{Pat00, PatAA, Pat11, Pat33, Pat77}
+}
+
+// Negate returns the bitwise complement pattern (victim rows are
+// initialized with the negated aggressor pattern in the paper's tests).
+func (p DataPattern) Negate() DataPattern { return ^p }
+
+// Bit returns the pattern's value at column col.
+func (p DataPattern) Bit(col int) byte { return byte(p>>(uint(col)%8)) & 1 }
+
+// ZeroBitFraction returns the fraction of columns a row filled with this
+// pattern drives to logic 0 (i.e. to GND) — the key quantity behind the
+// data-pattern dependence of ColumnDisturb bitflip counts (Obs 23).
+func (p DataPattern) ZeroBitFraction() float64 {
+	zeros := 0
+	for i := 0; i < 8; i++ {
+		if p.Bit(i) == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) / 8
+}
+
+// patternWord expands the repeating byte pattern into a 64-bit word whose
+// bit layout matches Bit (bit i of each byte = column i mod 8).
+func patternWord(p DataPattern) uint64 {
+	w := uint64(0)
+	for i := 0; i < 8; i++ {
+		w |= uint64(p) << (8 * i)
+	}
+	return w
+}
+
+// FillWords fills a row bitset with the pattern.
+func FillWords(words []uint64, p DataPattern) {
+	w := patternWord(p)
+	for i := range words {
+		words[i] = w
+	}
+}
+
+// WordBit returns bit col of a row bitset.
+func WordBit(words []uint64, col int) byte {
+	return byte(words[col>>6]>>(uint(col)&63)) & 1
+}
+
+// SetWordBit sets bit col of a row bitset to v (0 or 1).
+func SetWordBit(words []uint64, col int, v byte) {
+	if v == 0 {
+		words[col>>6] &^= 1 << (uint(col) & 63)
+	} else {
+		words[col>>6] |= 1 << (uint(col) & 63)
+	}
+}
+
+// CountMismatches returns the number of bit positions where two row bitsets
+// differ (the per-row bitflip count of a readout vs the written pattern).
+func CountMismatches(a, b []uint64) int {
+	n := 0
+	for i := range a {
+		n += popcount64(a[i] ^ b[i])
+	}
+	return n
+}
+
+func popcount64(x uint64) int {
+	// Hacker's Delight bit-count; avoids importing math/bits at every call
+	// site that needs popcounts on raw words.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}

@@ -1,0 +1,109 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPatternBit(t *testing.T) {
+	if Pat00.Bit(3) != 0 || PatFF.Bit(3) != 1 {
+		t.Fatal("constant patterns wrong")
+	}
+	// 0xAA = 10101010: odd bit positions are 1.
+	for c := 0; c < 16; c++ {
+		want := byte(c % 2)
+		if PatAA.Bit(c) != want {
+			t.Fatalf("0xAA bit %d = %d, want %d", c, PatAA.Bit(c), want)
+		}
+	}
+	// 0x11 = 00010001: columns ≡ 0 and 4 (mod 8) are 1.
+	for c := 0; c < 8; c++ {
+		want := byte(0)
+		if c == 0 || c == 4 {
+			want = 1
+		}
+		if Pat11.Bit(c) != want {
+			t.Fatalf("0x11 bit %d = %d, want %d", c, Pat11.Bit(c), want)
+		}
+	}
+}
+
+func TestPatternNegate(t *testing.T) {
+	f := func(p byte, col uint16) bool {
+		dp := DataPattern(p)
+		return dp.Negate().Bit(int(col)) == 1-dp.Bit(int(col))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroBitFraction(t *testing.T) {
+	cases := []struct {
+		p    DataPattern
+		want float64
+	}{
+		{Pat00, 1}, {PatFF, 0}, {PatAA, 0.5}, {Pat11, 0.75}, {Pat33, 0.5}, {Pat77, 0.25},
+	}
+	for _, c := range cases {
+		if got := c.p.ZeroBitFraction(); got != c.want {
+			t.Errorf("ZeroBitFraction(%#02x) = %v, want %v", byte(c.p), got, c.want)
+		}
+	}
+}
+
+func TestFillWordsMatchesBit(t *testing.T) {
+	words := make([]uint64, 2)
+	for _, p := range append(StandardPatterns(), PatFF) {
+		FillWords(words, p)
+		for c := 0; c < 128; c++ {
+			if WordBit(words, c) != p.Bit(c) {
+				t.Fatalf("pattern %#02x col %d mismatch", byte(p), c)
+			}
+		}
+	}
+}
+
+func TestSetWordBit(t *testing.T) {
+	words := make([]uint64, 2)
+	SetWordBit(words, 70, 1)
+	if WordBit(words, 70) != 1 || WordBit(words, 69) != 0 {
+		t.Fatal("SetWordBit wrong")
+	}
+	SetWordBit(words, 70, 0)
+	if WordBit(words, 70) != 0 {
+		t.Fatal("clearing bit failed")
+	}
+}
+
+func TestCountMismatches(t *testing.T) {
+	a := make([]uint64, 2)
+	b := make([]uint64, 2)
+	FillWords(a, PatFF)
+	FillWords(b, PatFF)
+	if CountMismatches(a, b) != 0 {
+		t.Fatal("identical rows must have 0 mismatches")
+	}
+	SetWordBit(b, 5, 0)
+	SetWordBit(b, 100, 0)
+	if CountMismatches(a, b) != 2 {
+		t.Fatal("mismatch count wrong")
+	}
+	FillWords(b, Pat00)
+	if CountMismatches(a, b) != 128 {
+		t.Fatal("full mismatch count wrong")
+	}
+}
+
+func TestStandardPatternsMatchPaper(t *testing.T) {
+	pats := StandardPatterns()
+	if len(pats) != 5 {
+		t.Fatalf("the paper uses 5 test patterns, got %d", len(pats))
+	}
+	want := map[DataPattern]bool{Pat00: true, PatAA: true, Pat11: true, Pat33: true, Pat77: true}
+	for _, p := range pats {
+		if !want[p] {
+			t.Fatalf("unexpected pattern %#02x", byte(p))
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperAnchors32ms(t *testing.T) {
+	// §6.1: at the default 32 ms period a 32 Gb DDR5 chip loses 10.5%
+	// throughput to refresh and spends 25.1% of idle energy on it.
+	a, err := AnalyzeRefresh(410, 32, DDR5x32Gb())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.TREFIns-3906.25) > 0.01 {
+		t.Fatalf("tREFI %v ns, want 3906.25 (3.9 µs)", a.TREFIns)
+	}
+	if math.Abs(a.ThroughputLoss-0.105) > 0.002 {
+		t.Fatalf("throughput loss %.4f, paper: 10.5%%", a.ThroughputLoss)
+	}
+	if math.Abs(a.RefreshEnergyFraction-0.251) > 0.005 {
+		t.Fatalf("refresh energy %.4f, paper: 25.1%%", a.RefreshEnergyFraction)
+	}
+}
+
+func TestPaperAnchors8ms(t *testing.T) {
+	// §6.1: shortening to 8 ms costs 42.1% throughput and 67.5% energy.
+	a, err := AnalyzeRefresh(410, 8, DDR5x32Gb())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.ThroughputLoss-0.421) > 0.005 {
+		t.Fatalf("throughput loss %.4f, paper: 42.1%%", a.ThroughputLoss)
+	}
+	if math.Abs(a.RefreshEnergyFraction-0.675) > 0.01 {
+		t.Fatalf("refresh energy %.4f, paper: 67.5%%", a.RefreshEnergyFraction)
+	}
+}
+
+func TestAnalyzeRefreshValidation(t *testing.T) {
+	if _, err := AnalyzeRefresh(410, 0, DDR5x32Gb()); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := AnalyzeRefresh(0, 32, DDR5x32Gb()); err == nil {
+		t.Fatal("zero tRFC accepted")
+	}
+	// A period so short that refreshes consume everything must fail.
+	if _, err := AnalyzeRefresh(410, 0.003, DDR5x32Gb()); err == nil {
+		t.Fatal("impossible refresh schedule accepted")
+	}
+}
+
+func TestLossMonotoneInPeriod(t *testing.T) {
+	prev := 1.0
+	for _, p := range []float64{4, 8, 16, 32, 64} {
+		a, err := AnalyzeRefresh(410, p, DDR5x32Gb())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.ThroughputLoss >= prev {
+			t.Fatal("longer periods must lose less throughput")
+		}
+		prev = a.ThroughputLoss
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"columndisturb/internal/chipdb"
+	"columndisturb/internal/core"
+	"columndisturb/internal/dram"
+	"columndisturb/internal/faultmodel"
+	"columndisturb/internal/sim/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-f",
+		Paper: "DESIGN.md §2 (model choice)",
+		Title: "Ablation: superlinear vs linear bitline coupling law",
+		Run:   runAblationF,
+	})
+	register(Experiment{
+		ID:    "ablation-bitline",
+		Paper: "DESIGN.md §7 (architecture choice)",
+		Title: "Ablation: open-bitline vs folded-bitline architecture",
+		Run:   runAblationBitline,
+	})
+}
+
+// runAblationF shows why the coupling nonlinearity f(Δ) must be superlinear:
+// with a linear law the retention-vs-ColumnDisturb first-failure gap
+// collapses to 2x, contradicting the paper's measured 63.6 ms vs ≥512 ms
+// (8x) on the Micron F-die module.
+func runAblationF(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:      "ablation-f",
+		Title:   "Observable predictions under superlinear (α=4.3) vs linear coupling",
+		Headers: []string{"observable", "superlinear", "linear", "paper"},
+	}
+	m, _ := chipdb.ByID("M8")
+	g := m.Geometry()
+	pop := g.TotalCells()
+
+	build := func(alpha float64) *faultmodel.Params {
+		p := faultmodel.Default()
+		p.Alpha = alpha
+		p.Calibrate(faultmodel.CalibrationTarget{
+			TimeToFirstCDms:  63.6,
+			TimeToFirstRETms: 512, // target — only reachable if the law allows it
+			PopulationCells:  pop,
+		})
+		return &p
+	}
+	super := build(4.3)
+	linear := build(1e-9) // f(Δ) → Δ in the α→0 limit
+
+	ttf := func(p *faultmodel.Params, rho float64) float64 {
+		return core.NewRateModel(p, 85, rho).ExpectedTTFms(pop)
+	}
+	cdS := ttf(super, super.RhoHammer(70200, 14, 0))
+	cdL := ttf(linear, linear.RhoHammer(70200, 14, 0))
+	retS := ttf(super, super.RhoIdle())
+	retL := ttf(linear, linear.RhoIdle())
+	res.AddRow("CD first bitflip (ms)", fmtMs(cdS), fmtMs(cdL), "63.6")
+	res.AddRow("retention first failure (ms)", fmtMs(retS), fmtMs(retL), "≥512")
+	res.AddRow("RET/CD gap", fmtF(retS/cdS), fmtF(retL/cdL), "≈8x")
+	res.AddNote("a linear law caps the retention/CD gap at 1/f(0.5)=2x — the κ tail that flips at 63.6 ms "+
+		"pressed would fail retention by %.0f ms, contradicting the paper's ≥512 ms; "+
+		"the superlinear law (f(0.5)=%.3f) reproduces both anchors", retL, super.Coupling(0.5))
+	return res, nil
+}
+
+// runAblationBitline shows the open-bitline architecture is what spreads
+// ColumnDisturb across three subarrays: folding the bitlines (no sharing
+// with neighbours) confines the damage to the aggressor's subarray.
+func runAblationBitline(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:      "ablation-bitline",
+		Title:   "Expected bitflips per subarray at 2 s under open vs folded bitlines",
+		Headers: []string{"subarray", "open-bitline", "folded-bitline"},
+	}
+	m, _ := chipdb.ByID("S0")
+	p := m.BuildParams()
+	g := m.Geometry()
+	mk := func(classes []core.ColumnClass) float64 {
+		return core.ExpectedCount(core.SubarrayConfig{
+			Params: p, TempC: 85, DurationMs: 2000,
+			Rows: g.RowsPerSubarray, Cols: g.Cols, Classes: classes,
+		})
+	}
+	setup := worstCaseSetup()
+	aggOpen := mk(core.AggressorSubarrayClasses(p, setup))
+	nbrOpen := mk(core.UpperNeighborClasses(p, setup))
+	retOnly := mk(core.RetentionClasses(p, dram.PatFF))
+	// Folded bitlines: the aggressor still perturbs every column of its
+	// own subarray, but neighbours share nothing and see pure retention.
+	res.AddRow("aggressor", fmtF(aggOpen), fmtF(aggOpen))
+	res.AddRow("neighbour", fmtF(nbrOpen), fmtF(retOnly))
+	res.AddRow("non-adjacent", fmtF(retOnly), fmtF(retOnly))
+	res.AddNote("open-bitline sharing makes neighbours %.1fx worse than retention-only; "+
+		"folded bitlines would confine ColumnDisturb to one subarray (the paper's chips are open-bitline, Obs 4)",
+		stats.Ratio(nbrOpen, retOnly))
+	return res, nil
+}

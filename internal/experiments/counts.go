@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"columndisturb/internal/chipdb"
+	"columndisturb/internal/core"
+	"columndisturb/internal/sim/rng"
+)
+
+// sampleSubarrayCounts draws per-subarray count experiments for a module.
+func sampleSubarrayCounts(m chipdb.ModuleSpec, classes []core.ColumnClass,
+	tempC, durMs float64, n int, r *rng.Rand) []core.SubarrayCounts {
+	g := m.Geometry()
+	cfg := core.SubarrayConfig{
+		Params: m.BuildParams(), TempC: tempC, DurationMs: durMs,
+		Rows: g.RowsPerSubarray, Cols: g.Cols, Classes: classes,
+	}
+	out := make([]core.SubarrayCounts, n)
+	for i := range out {
+		out[i] = core.SampleCounts(cfg, r)
+	}
+	return out
+}
+
+// fractionStats reduces count samples to (mean, min, max) of the
+// fraction-of-cells-with-bitflips metric.
+func fractionStats(samples []core.SubarrayCounts, cols int) (mean, min, max float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	min = samples[0].FractionOfCells(cols)
+	max = min
+	sum := 0.0
+	for _, s := range samples {
+		f := s.FractionOfCells(cols)
+		sum += f
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	return sum / float64(len(samples)), min, max
+}
+
+// countStats reduces samples to (meanTotal, minTotal, maxTotal).
+func countStats(samples []core.SubarrayCounts) (mean, min, max float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	min = float64(samples[0].Total)
+	max = min
+	sum := 0.0
+	for _, s := range samples {
+		f := float64(s.Total)
+		sum += f
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	return sum / float64(len(samples)), min, max
+}
+
+// blastStats reduces samples to statistics of the rows-with-bitflips
+// metric.
+func blastStats(samples []core.SubarrayCounts) (vals []float64) {
+	for _, s := range samples {
+		vals = append(vals, float64(s.RowsWith))
+	}
+	return vals
+}
+
+// representatives returns the paper's per-vendor representative modules in
+// presentation order (SK Hynix H0, Micron M6, Samsung S0).
+func representatives() []chipdb.ModuleSpec {
+	return []chipdb.ModuleSpec{
+		chipdb.Representative(chipdb.SKHynix),
+		chipdb.Representative(chipdb.Micron),
+		chipdb.Representative(chipdb.Samsung),
+	}
+}
+
+// standardIntervalsMs are the long refresh intervals of §4 (1–16 s).
+func standardIntervalsMs() []float64 { return []float64{1000, 2000, 4000, 8000, 16000} }

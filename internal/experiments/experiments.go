@@ -1,0 +1,184 @@
+// Package experiments maps every table and figure of the paper's
+// evaluation to a runnable experiment: each runner reproduces the workload
+// behind one artifact (Table 1, Figs 2 and 6–23, the §6.1 mitigation
+// numbers, plus two model ablations) and renders the same rows/series the
+// paper reports, with the headline observation statistics attached as
+// notes. The same runners back `go test -bench` (scaled-down config) and
+// `cmd/cdlab` (full config).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"columndisturb/internal/sim/rng"
+)
+
+// Config scales an experiment run. Small configs keep every experiment in
+// benchmark territory on a laptop; the full config matches the paper's
+// sweep breadth (within the simulator's scaled geometry, see DESIGN.md §5).
+type Config struct {
+	// SubarraysPerModule is how many subarrays the statistical sweeps
+	// sample per module.
+	SubarraysPerModule int
+	// TTFSamples is the number of order-statistic samples per
+	// time-to-first-bitflip distribution point.
+	TTFSamples int
+	// Mixes is the number of four-core workload mixes for memsim-based
+	// experiments.
+	Mixes int
+	// MeasureInstr is the per-core measured instruction count in memsim.
+	MeasureInstr int64
+	// CellRows/CellCols scale the cell-explicit experiments (Fig 2, 21).
+	CellRows, CellCols int
+	// Trials for the cell-explicit retention filtering methodology.
+	RetentionTrials int
+	// Seed decorrelates full runs; every experiment is deterministic for a
+	// given config.
+	Seed uint64
+}
+
+// Small returns the benchmark-scale configuration.
+func Small() Config {
+	return Config{
+		SubarraysPerModule: 4,
+		TTFSamples:         40,
+		Mixes:              3,
+		MeasureInstr:       40_000,
+		CellRows:           128,
+		CellCols:           256,
+		RetentionTrials:    3,
+		Seed:               1,
+	}
+}
+
+// Full returns the paper-breadth configuration used by cmd/cdlab.
+func Full() Config {
+	return Config{
+		SubarraysPerModule: 16,
+		TTFSamples:         200,
+		Mixes:              20,
+		MeasureInstr:       100_000,
+		CellRows:           512,
+		CellCols:           512,
+		RetentionTrials:    10,
+		Seed:               1,
+	}
+}
+
+func (c Config) rand(stream uint64) *rng.Rand {
+	return rng.New(rng.Key(c.Seed, stream))
+}
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends an observation-level statistic.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the result as an aligned text table with notes.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Headers) > 0 {
+		writeRow(r.Headers)
+		for i, w := range widths {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat("-", w))
+		}
+		b.WriteByte('\n')
+	}
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment couples a paper artifact with its runner.
+type Experiment struct {
+	ID    string
+	Paper string // which table/figure this regenerates
+	Title string
+	Run   func(Config) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate ID " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// fmtMs renders a duration in ms with sensible precision.
+func fmtMs(ms float64) string { return fmt.Sprintf("%.1f", ms) }
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 0.001:
+		return fmt.Sprintf("%.2e", v)
+	case v < 1:
+		return fmt.Sprintf("%.4f", v)
+	case v < 100:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"columndisturb/internal/chipdb"
+	"columndisturb/internal/core"
+	"columndisturb/internal/dram"
+	"columndisturb/internal/sim/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig16",
+		Paper: "Fig 16, Obs 20",
+		Title: "Time to first bitflip for four tAggOn values",
+		Run:   runFig16,
+	})
+	register(Experiment{
+		ID:    "fig17",
+		Paper: "Fig 17, Obs 21",
+		Title: "Single- vs two-aggressor access pattern",
+		Run:   runFig17,
+	})
+	register(Experiment{
+		ID:    "fig18",
+		Paper: "Fig 18, Obs 22",
+		Title: "Aggressor/victim data pattern effect on time to first bitflip",
+		Run:   runFig18,
+	})
+	register(Experiment{
+		ID:    "fig19",
+		Paper: "Fig 19, Obs 23",
+		Title: "Total ColumnDisturb bitflips per subarray for three data patterns",
+		Run:   runFig19,
+	})
+	register(Experiment{
+		ID:    "fig20",
+		Paper: "Fig 20, Obs 24",
+		Title: "Aggressor row location in the subarray",
+		Run:   runFig20,
+	})
+}
+
+func runFig16(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:      "fig16",
+		Title:   "Time to first ColumnDisturb bitflip for tAggOn ∈ {36 ns, 7.8 µs, 70.2 µs, 1 ms}",
+		Headers: []string{"mfr", "tAggOn", "min", "median", "max", "mean"},
+	}
+	r := cfg.rand(16)
+	tAggOns := []struct {
+		label string
+		ns    float64
+	}{{"36ns", 36}, {"7.8µs", 7800}, {"70.2µs", 70200}, {"1ms", 1e6}}
+	means := map[chipdb.Manufacturer]map[string]float64{}
+	for _, mfr := range chipdb.Manufacturers() {
+		means[mfr] = map[string]float64{}
+		for _, on := range tAggOns {
+			setup := worstCaseSetup()
+			setup.TAggOnNs = on.ns
+			found, _ := mfrTTFs(mfr, setup, 85, cfg.SubarraysPerModule, r)
+			if len(found) == 0 {
+				res.AddRow(string(mfr), on.label, "-", "-", "-", "-")
+				continue
+			}
+			b := stats.BoxPlot(found)
+			means[mfr][on.label] = b.Mean
+			res.AddRow(string(mfr), on.label, fmtMs(b.Min), fmtMs(b.Median), fmtMs(b.Max), fmtMs(b.Mean))
+		}
+	}
+	res.AddNote("Obs 20: 36ns→7.8µs mean TTF reduction: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx (paper: 1.68x / 1.22x / 2.03x)",
+		stats.Ratio(means[chipdb.SKHynix]["36ns"], means[chipdb.SKHynix]["7.8µs"]),
+		stats.Ratio(means[chipdb.Micron]["36ns"], means[chipdb.Micron]["7.8µs"]),
+		stats.Ratio(means[chipdb.Samsung]["36ns"], means[chipdb.Samsung]["7.8µs"]))
+	res.AddNote("Obs 20: distributions for tAggOn ≫ tRAS nearly coincide (7.8µs vs 1ms mean ratio Samsung %.3f)",
+		stats.Ratio(means[chipdb.Samsung]["7.8µs"], means[chipdb.Samsung]["1ms"]))
+	return res, nil
+}
+
+func runFig17(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:      "fig17",
+		Title:   "Time to first bitflip: single-aggressor vs two-aggressor pattern",
+		Headers: []string{"mfr", "pattern", "min", "median", "max", "mean"},
+	}
+	r := cfg.rand(17)
+	single := worstCaseSetup()
+	double := worstCaseSetup()
+	double.TwoAggressor = true
+	double.Agg2Pattern = dram.PatFF
+	means := map[chipdb.Manufacturer]map[string]float64{}
+	for _, mfr := range chipdb.Manufacturers() {
+		means[mfr] = map[string]float64{}
+		for _, v := range []struct {
+			label string
+			s     core.PatternSetup
+		}{{"single", single}, {"two-aggressor", double}} {
+			found, _ := mfrTTFs(mfr, v.s, 85, cfg.SubarraysPerModule, r)
+			if len(found) == 0 {
+				res.AddRow(string(mfr), v.label, "-", "-", "-", "-")
+				continue
+			}
+			b := stats.BoxPlot(found)
+			means[mfr][v.label] = b.Mean
+			res.AddRow(string(mfr), v.label, fmtMs(b.Min), fmtMs(b.Median), fmtMs(b.Max), fmtMs(b.Mean))
+		}
+	}
+	res.AddNote("Obs 21: single-aggressor faster by SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx (paper: 1.83x / 1.92x / 2.16x)",
+		stats.Ratio(means[chipdb.SKHynix]["two-aggressor"], means[chipdb.SKHynix]["single"]),
+		stats.Ratio(means[chipdb.Micron]["two-aggressor"], means[chipdb.Micron]["single"]),
+		stats.Ratio(means[chipdb.Samsung]["two-aggressor"], means[chipdb.Samsung]["single"]))
+	return res, nil
+}
+
+func runFig18(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:      "fig18",
+		Title:   "Time to first bitflip for five aggressor/victim data pattern pairs (victims negated)",
+		Headers: []string{"mfr", "pattern", "min", "median", "max", "mean"},
+	}
+	maxVariation := 0.0
+	for _, mfr := range chipdb.Manufacturers() {
+		var lo, hi float64
+		for _, pat := range dram.StandardPatterns() {
+			setup := worstCaseSetup()
+			setup.AggPattern = pat
+			setup.VictimPattern = pat.Negate()
+			// Common random numbers across patterns: the measured variation
+			// then reflects the at-risk population size, not sampling noise.
+			r := cfg.rand(18)
+			found, _ := mfrTTFs(mfr, setup, 85, cfg.SubarraysPerModule, r)
+			if len(found) == 0 {
+				res.AddRow(string(mfr), fmt.Sprintf("0x%02X", byte(pat)), "-", "-", "-", "-")
+				continue
+			}
+			b := stats.BoxPlot(found)
+			res.AddRow(string(mfr), fmt.Sprintf("0x%02X", byte(pat)),
+				fmtMs(b.Min), fmtMs(b.Median), fmtMs(b.Max), fmtMs(b.Mean))
+			if lo == 0 || b.Mean < lo {
+				lo = b.Mean
+			}
+			if b.Mean > hi {
+				hi = b.Mean
+			}
+		}
+		if lo > 0 && hi/lo > maxVariation {
+			maxVariation = hi / lo
+		}
+	}
+	res.AddNote("Obs 22: largest mean-TTF variation across patterns %.2fx (paper: at most 1.31x)", maxVariation)
+	return res, nil
+}
+
+func runFig19(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:      "fig19",
+		Title:   "Total ColumnDisturb bitflips per subarray at 512 ms for three aggressor patterns (victims negated)",
+		Headers: []string{"mfr", "pattern", "mean", "min", "max"},
+	}
+	r := cfg.rand(19)
+	patterns := []dram.DataPattern{dram.Pat00, dram.Pat11, dram.PatAA}
+	samMeans := map[dram.DataPattern]float64{}
+	for _, m := range representatives() {
+		p := m.BuildParams()
+		for _, pat := range patterns {
+			setup := worstCaseSetup()
+			setup.AggPattern = pat
+			setup.VictimPattern = pat.Negate()
+			cls := core.AggressorSubarrayClasses(p, setup)
+			mean, min, max := countStats(sampleSubarrayCounts(m, cls, 85, 512, cfg.SubarraysPerModule, r))
+			res.AddRow(string(m.Mfr), fmt.Sprintf("0x%02X", byte(pat)), fmtF(mean), fmtF(min), fmtF(max))
+			if m.Mfr == chipdb.Samsung {
+				samMeans[pat] = mean
+			}
+		}
+	}
+	res.AddNote("Obs 23: Samsung 0x00/0xAA bitflip ratio %.2fx (paper: 2.04x); more logic-0 columns ⇒ more bitflips",
+		stats.Ratio(samMeans[dram.Pat00], samMeans[dram.PatAA]))
+	return res, nil
+}
+
+func runFig20(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:      "fig20",
+		Title:   "Time to first bitflip by aggressor row location (beginning / middle / end of subarray)",
+		Headers: []string{"mfr", "location", "min", "median", "max", "mean"},
+	}
+	// The fault law has no aggressor-location dependence — a row drives
+	// every bitline of its subarray regardless of where it sits — so the
+	// three locations are independent draws from the same distribution.
+	// The paper measures the same null result (≤1.08x variation).
+	r := cfg.rand(20)
+	maxVariation := 0.0
+	for _, mfr := range chipdb.Manufacturers() {
+		var lo, hi float64
+		for _, loc := range []string{"beginning", "middle", "end"} {
+			found, _ := mfrTTFs(mfr, worstCaseSetup(), 85, cfg.SubarraysPerModule, r)
+			if len(found) == 0 {
+				res.AddRow(string(mfr), loc, "-", "-", "-", "-")
+				continue
+			}
+			b := stats.BoxPlot(found)
+			res.AddRow(string(mfr), loc, fmtMs(b.Min), fmtMs(b.Median), fmtMs(b.Max), fmtMs(b.Mean))
+			if lo == 0 || b.Mean < lo {
+				lo = b.Mean
+			}
+			if b.Mean > hi {
+				hi = b.Mean
+			}
+		}
+		if lo > 0 && hi/lo > maxVariation {
+			maxVariation = hi / lo
+		}
+	}
+	res.AddNote("Obs 24: largest mean-TTF variation across locations %.3fx (paper: at most 1.08x on average)", maxVariation)
+	res.AddNote("model: bitline drive is location-independent; residual variation is sampling noise")
+	return res, nil
+}

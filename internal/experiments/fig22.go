@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"columndisturb/internal/chipdb"
+	"columndisturb/internal/core"
+	"columndisturb/internal/dram"
+	"columndisturb/internal/memsim"
+	"columndisturb/internal/sim/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig22",
+		Paper: "Fig 22",
+		Title: "Refresh operations vs proportion of weak rows",
+		Run:   runFig22,
+	})
+}
+
+// weakFractions measures the proportion of weak rows (rows with ≥1 bitflip
+// within the strong-row retention time) across all DDR4 modules at 65 °C,
+// for the retention-only and ColumnDisturb conditions.
+func weakFractions(cfg Config, strongMs float64) (retMean, cdMean, cdMax float64) {
+	r := cfg.rand(22)
+	var retVals, cdVals []float64
+	for _, m := range chipdb.DDR4Modules() {
+		p := m.BuildParams()
+		g := m.Geometry()
+		rows := float64(g.RowsPerSubarray)
+		for _, s := range sampleSubarrayCounts(m, core.RetentionClasses(p, dram.PatFF),
+			65, strongMs, cfg.SubarraysPerModule, r) {
+			retVals = append(retVals, float64(s.RowsWith)/rows)
+		}
+		for _, s := range sampleSubarrayCounts(m, core.AggressorSubarrayClasses(p, worstCaseSetup()),
+			65, strongMs, cfg.SubarraysPerModule, r) {
+			cdVals = append(cdVals, float64(s.RowsWith)/rows)
+		}
+	}
+	retS := stats.Summarize(retVals)
+	cdS := stats.Summarize(cdVals)
+	return retS.Mean, cdS.Mean, cdS.Max
+}
+
+func runFig22(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:      "fig22",
+		Title:   "Row refresh operations normalized to 64 ms periodic refresh",
+		Headers: []string{"strong RT(ms)", "weak=0", "weak=0.1", "weak=0.5", "weak=1", "RET empir.", "CD mean empir.", "CD max empir."},
+	}
+	strongTimes := []float64{128, 256, 512, 1024}
+	type marker struct{ ret, cdMean, cdMax, opsRet, opsCD, opsCDMax float64 }
+	markers := map[float64]marker{}
+	for _, st := range strongTimes {
+		retW, cdW, cdMaxW := weakFractions(cfg, st)
+		mk := marker{
+			ret: retW, cdMean: cdW, cdMax: cdMaxW,
+			opsRet:   memsim.NormalizedRefreshOps(retW, st),
+			opsCD:    memsim.NormalizedRefreshOps(cdW, st),
+			opsCDMax: memsim.NormalizedRefreshOps(cdMaxW, st),
+		}
+		markers[st] = mk
+		res.AddRow(fmt.Sprintf("%.0f", st),
+			fmtF(memsim.NormalizedRefreshOps(0, st)),
+			fmtF(memsim.NormalizedRefreshOps(0.1, st)),
+			fmtF(memsim.NormalizedRefreshOps(0.5, st)),
+			fmtF(memsim.NormalizedRefreshOps(1, st)),
+			fmt.Sprintf("w=%.4f→%s ops", retW, fmtF(mk.opsRet)),
+			fmt.Sprintf("w=%.4f→%s ops", cdW, fmtF(mk.opsCD)),
+			fmt.Sprintf("w=%.4f→%s ops", cdMaxW, fmtF(mk.opsCDMax)))
+	}
+	m128, m1024 := markers[128], markers[1024]
+	res.AddNote("retention-weak rows: 1024 ms strong RT needs %.1f%% fewer refreshes than 128 ms (paper: 43.1%%)",
+		(1-m1024.opsRet/m128.opsRet)*100)
+	res.AddNote("ColumnDisturb at 1024 ms strong RT: refresh operations grow %.2fx on average and %.2fx at worst vs retention-only (paper: 3.02x / 14.43x)",
+		stats.Ratio(m1024.opsCD, m1024.opsRet), stats.Ratio(m1024.opsCDMax, m1024.opsRet))
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"columndisturb/internal/chipdb"
+	"columndisturb/internal/core"
+	"columndisturb/internal/dram"
+	"columndisturb/internal/memsim"
+	"columndisturb/internal/sim/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig23",
+		Paper: "Fig 23, Takeaway 12",
+		Title: "RAIDR speedup vs weak-row proportion (Bloom filter vs bitmap tracker)",
+		Run:   runFig23,
+	})
+}
+
+// m8WeakFractions measures the example Micron module's (M8)
+// retention-weak and ColumnDisturb-weak row proportions at the RAIDR
+// strong-row retention time (1024 ms, 65 °C) — the annotated markers.
+func m8WeakFractions(cfg Config) (retFrac, cdFrac float64) {
+	m, _ := chipdb.ByID("M8")
+	p := m.BuildParams()
+	g := m.Geometry()
+	r := cfg.rand(23)
+	rows := float64(g.RowsPerSubarray)
+	var retVals, cdVals []float64
+	for _, s := range sampleSubarrayCounts(m, core.RetentionClasses(p, dram.PatFF),
+		65, 1024, cfg.SubarraysPerModule, r) {
+		retVals = append(retVals, float64(s.RowsWith)/rows)
+	}
+	for _, s := range sampleSubarrayCounts(m, core.AggressorSubarrayClasses(p, worstCaseSetup()),
+		65, 1024, cfg.SubarraysPerModule, r) {
+		cdVals = append(cdVals, float64(s.RowsWith)/rows)
+	}
+	return stats.Mean(retVals), stats.Mean(cdVals)
+}
+
+func runFig23(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:      "fig23",
+		Title:   "RAIDR weighted speedup normalized to No Refresh (and benefit over 64 ms periodic refresh)",
+		Headers: []string{"tracker", "weak fraction", "WS/WS(noref)", "benefit", "eff. weak frac"},
+	}
+	sys := memsim.DefaultSystem()
+	sys.MeasureInstr = cfg.MeasureInstr
+	sys.WarmupInstr = cfg.MeasureInstr / 5
+	mixes := memsim.Mixes(cfg.Mixes)
+	seed := memsim.RunSeed(cfg.Seed, 23)
+
+	// Solo baselines per mix (policy-independent).
+	solos := make([][]float64, len(mixes))
+	for i, mix := range mixes {
+		solos[i] = make([]float64, len(mix))
+		for j, w := range mix {
+			ipc, err := memsim.SoloIPC(sys, w, seed)
+			if err != nil {
+				return nil, err
+			}
+			solos[i][j] = ipc
+		}
+	}
+	avgWS := func(engine func() (memsim.RefreshEngine, error)) (float64, error) {
+		sum := 0.0
+		for i, mix := range mixes {
+			eng, err := engine()
+			if err != nil {
+				return 0, err
+			}
+			ws, _, err := memsim.WeightedSpeedup(sys, mix, eng, seed, solos[i])
+			if err != nil {
+				return 0, err
+			}
+			sum += ws
+		}
+		return sum / float64(len(mixes)), nil
+	}
+
+	wsNone, err := avgWS(func() (memsim.RefreshEngine, error) { return memsim.NoRefresh(), nil })
+	if err != nil {
+		return nil, err
+	}
+	wsP64, err := avgWS(func() (memsim.RefreshEngine, error) { return memsim.PeriodicRefresh(sys, 64) })
+	if err != nil {
+		return nil, err
+	}
+
+	fractions := []float64{1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 2e-3, 3e-3, 4e-3,
+		5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.3, 0.5}
+	type point struct{ norm, benefit float64 }
+	curves := map[memsim.Tracker]map[float64]point{
+		memsim.TrackerBloom:  {},
+		memsim.TrackerBitmap: {},
+	}
+	for _, tracker := range []memsim.Tracker{memsim.TrackerBloom, memsim.TrackerBitmap} {
+		name := map[memsim.Tracker]string{memsim.TrackerBloom: "bloom-8Kb-6h", memsim.TrackerBitmap: "bitmap"}[tracker]
+		for _, w := range fractions {
+			// The paper sweeps the bloom variant only to 0.4% (it has
+			// saturated by then).
+			if tracker == memsim.TrackerBloom && w > 4e-3 {
+				continue
+			}
+			rc := memsim.DefaultRAIDR(tracker)
+			rc.WeakFraction = w
+			var info memsim.RAIDRInfo
+			ws, err := avgWS(func() (memsim.RefreshEngine, error) {
+				eng, i, err := memsim.NewRAIDR(sys, rc)
+				info = i
+				return eng, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt := point{
+				norm:    ws / wsNone,
+				benefit: memsim.BenefitFraction(ws, wsP64, wsNone),
+			}
+			curves[tracker][w] = pt
+			res.AddRow(name, fmt.Sprintf("%.2g", w), fmtF(pt.norm), fmtF(pt.benefit),
+				fmt.Sprintf("%.4f", float64(info.EffectiveWeakRows)/float64(sys.TotalRows())))
+		}
+	}
+
+	retFrac, cdFrac := m8WeakFractions(cfg)
+	res.AddNote("example Micron module M8: retention-weak fraction %.5f, ColumnDisturb-weak fraction %.4f (1024 ms, 65 °C)", retFrac, cdFrac)
+
+	nearest := func(tr memsim.Tracker, w float64) point {
+		bestD := -1.0
+		var best point
+		for f, p := range curves[tr] {
+			d := f - w
+			if d < 0 {
+				d = -d
+			}
+			if bestD < 0 || d < bestD {
+				bestD, best = d, p
+			}
+		}
+		return best
+	}
+	bloomRet := nearest(memsim.TrackerBloom, retFrac)
+	bloomCD := nearest(memsim.TrackerBloom, cdFrac)
+	bmRet := nearest(memsim.TrackerBitmap, retFrac)
+	bmCD := nearest(memsim.TrackerBitmap, cdFrac)
+	res.AddNote("bloom RAIDR benefit: %.0f%% → %.0f%% of the no-refresh headroom as M8's weak rows grow to ColumnDisturb levels (paper: 31 pp speedup reduction; saturated filter ⇒ ≈99 pp benefit loss)",
+		bloomRet.benefit*100, bloomCD.benefit*100)
+	res.AddNote("bitmap RAIDR benefit: %.0f%% → %.0f%% over the same growth (paper: 53 pp speedup reduction)",
+		bmRet.benefit*100, bmCD.benefit*100)
+	res.AddNote("Takeaway 12: ColumnDisturb can completely negate low-area (Bloom) retention-aware refresh and greatly reduce high-area (bitmap) variants")
+	return res, nil
+}

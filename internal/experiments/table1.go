@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"columndisturb/internal/chipdb"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Paper: "Table 1",
+		Title: "Summary of DDR4 and HBM2 DRAM chips tested",
+		Run:   runTable1,
+	})
+}
+
+func runTable1(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:      "table1",
+		Title:   "Summary of DDR4 and HBM2 DRAM chips tested",
+		Headers: []string{"Chip Mfr.", "Module IDs", "#Chips", "Die Rev.", "Density", "Org."},
+	}
+	for _, g := range chipdb.DieGroups() {
+		ids := ""
+		chips := 0
+		for i, m := range g.Modules {
+			if i > 0 {
+				ids += ","
+			}
+			ids += m.ID
+			chips += m.Chips
+		}
+		res.AddRow(string(g.Mfr), ids, fmt.Sprintf("%d", chips), g.DieRev, g.Density, g.Modules[0].Org)
+	}
+	hbm := chipdb.HBM2Chips()
+	res.AddRow(string(chipdb.Samsung)+" HBM2", fmt.Sprintf("HBM0..HBM%d", len(hbm)-1),
+		fmt.Sprintf("%d", len(hbm)), "N/A", "N/A", "N/A")
+	res.AddNote("total DDR4 chips: %d across %d modules (paper: 216 across 28)",
+		chipdb.TotalDDR4Chips(), len(chipdb.DDR4Modules()))
+	return res, nil
+}

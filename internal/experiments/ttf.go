@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"columndisturb/internal/chipdb"
+	"columndisturb/internal/core"
+	"columndisturb/internal/dram"
+	"columndisturb/internal/sim/rng"
+)
+
+// worstCaseSetup is the paper's highest-vulnerability access configuration
+// (§5 preamble): all-0 aggressor, all-1 victims, tAggOn = 70.2 µs.
+func worstCaseSetup() core.PatternSetup {
+	return core.PatternSetup{
+		AggPattern:    dram.Pat00,
+		VictimPattern: dram.PatFF,
+		TAggOnNs:      70_200,
+		TRPNs:         14,
+	}
+}
+
+// ttfCeilingMs is the methodology's search ceiling: no refresh for 512 ms.
+const ttfCeilingMs = 512.0
+
+// sampleModuleTTFs draws per-subarray time-to-first-bitflip samples for a
+// module under the given setup and temperature. With ceilingMs > 0, samples
+// above the search ceiling are reported via notFound (the paper's 512 ms
+// methodology); ceilingMs = 0 samples the uncensored distribution, which
+// the comparative sweeps use to avoid censoring bias in mean ratios.
+func sampleModuleTTFs(m chipdb.ModuleSpec, setup core.PatternSetup, tempC, ceilingMs float64,
+	samples int, r *rng.Rand) (found []float64, notFound int) {
+	g := m.Geometry()
+	p := m.BuildParams()
+	sc := core.SubarrayConfig{
+		Params: p, TempC: tempC,
+		Rows: g.RowsPerSubarray, Cols: g.Cols,
+		Classes: core.AggressorSubarrayClasses(p, setup),
+	}
+	for i := 0; i < samples; i++ {
+		ms, ok := core.SampleTTF(sc, ceilingMs, r)
+		if !ok {
+			notFound++
+			continue
+		}
+		found = append(found, ms)
+	}
+	return found, notFound
+}
+
+// groupTTFs samples every module of a die group.
+func groupTTFs(g chipdb.DieGroupInfo, setup core.PatternSetup, tempC, ceilingMs float64,
+	perModule int, r *rng.Rand) (found []float64, notFound int) {
+	for _, m := range g.Modules {
+		f, nf := sampleModuleTTFs(m, setup, tempC, ceilingMs, perModule, r)
+		found = append(found, f...)
+		notFound += nf
+	}
+	return found, notFound
+}
+
+// mfrTTFs samples every module of one manufacturer (uncensored).
+func mfrTTFs(mfr chipdb.Manufacturer, setup core.PatternSetup, tempC float64,
+	perModule int, r *rng.Rand) (found []float64, notFound int) {
+	for _, m := range chipdb.ByManufacturer(mfr) {
+		f, nf := sampleModuleTTFs(m, setup, tempC, 0, perModule, r)
+		found = append(found, f...)
+		notFound += nf
+	}
+	return found, notFound
+}

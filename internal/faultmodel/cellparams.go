@@ -1,0 +1,115 @@
+package faultmodel
+
+import (
+	"math"
+
+	"columndisturb/internal/sim/rng"
+)
+
+// CellFault carries the immutable fault parameters of one DRAM cell at the
+// reference temperature. It is derived deterministically from the module
+// seed and the cell's physical coordinates.
+type CellFault struct {
+	// LambdaBase is the intrinsic retention leak rate [1/ms].
+	LambdaBase float64
+	// Kappa is the bitline coupling rate [1/ms] at ΔV = 1.
+	Kappa float64
+	// HammerThreshold is the RowHammer-equivalent activation count at
+	// which the cell flips when it is a ±1 neighbour of the aggressor.
+	HammerThreshold float64
+	// Attractor is the value the cell flips to under RowHammer/RowPress
+	// (both directions occur in real chips; §4.3).
+	Attractor byte
+	// AntiCell indicates inverted charge polarity (logic-0 is the charged
+	// state). Retention/ColumnDisturb flips for anti-cells are 0→1.
+	AntiCell bool
+}
+
+// keyed stream identifiers, kept distinct so that every per-cell quantity
+// draws from an independent deterministic stream.
+const (
+	streamKappaCell = iota + 1
+	streamKappaRow
+	streamKappaCol
+	streamBaseCell
+	streamBaseRow
+	streamHC
+	streamAttractor
+	streamAntiCell
+	streamVRT
+)
+
+func keyedUniform(parts ...uint64) float64 {
+	k := rng.Key(parts...)
+	return (float64(k>>11) + 0.5) / (1 << 53)
+}
+
+func keyedNorm(parts ...uint64) float64 {
+	return rng.InvPhi(keyedUniform(parts...))
+}
+
+// Cell derives the fault parameters of the cell at (bank, subarray, row,
+// col) for the module identified by seed. Row and column variance
+// components are shared across the cells of a physical row / bitline,
+// producing the spatial clustering (weak rows, weak columns) observed in
+// the paper's blast radius and ECC chunk analyses.
+func (p *Params) Cell(seed uint64, bank, sub, row, col int) CellFault {
+	b, s, r, c := uint64(bank), uint64(sub), uint64(row), uint64(col)
+
+	// κ: row + column + cell components.
+	wRow := math.Sqrt(p.KappaRowVarFrac)
+	wCol := math.Sqrt(p.KappaColVarFrac)
+	wCell := math.Sqrt(1 - p.KappaRowVarFrac - p.KappaColVarFrac)
+	zK := wRow*keyedNorm(seed, streamKappaRow, b, s, r) +
+		wCol*keyedNorm(seed, streamKappaCol, b, s, c) +
+		wCell*keyedNorm(seed, streamKappaCell, b, s, r, c)
+
+	// λ_base: row + cell components.
+	wbRow := math.Sqrt(p.BaseRowVarFrac)
+	wbCell := math.Sqrt(1 - p.BaseRowVarFrac)
+	zB := wbRow*keyedNorm(seed, streamBaseRow, b, s, r) +
+		wbCell*keyedNorm(seed, streamBaseCell, b, s, r, c)
+
+	zH := keyedNorm(seed, streamHC, b, s, r, c)
+
+	cf := CellFault{
+		LambdaBase:      math.Exp(p.MuBase + p.SigmaBase*zB),
+		Kappa:           math.Exp(p.MuKappa + p.SigmaKappa*zK),
+		HammerThreshold: math.Exp(p.MuHC + p.SigmaHC*zH),
+	}
+	if keyedUniform(seed, streamAttractor, b, s, r, c) < 0.5 {
+		cf.Attractor = 1
+	}
+	if p.AntiCellFraction > 0 &&
+		keyedUniform(seed, streamAntiCell, b, s, r, c) < p.AntiCellFraction {
+		cf.AntiCell = true
+	}
+	return cf
+}
+
+// VRTMultiplier returns the λ_base multiplier of the cell in the given
+// trial: 1 normally, VRTFactor when the cell's variable-retention-time
+// state is active for that trial. Distinct trials re-roll the state, which
+// is why the paper's retention methodology repeats each test 50 times and
+// keeps the minimum observed retention time.
+func (p *Params) VRTMultiplier(seed uint64, bank, sub, row, col, trial int) float64 {
+	if p.VRTProb <= 0 {
+		return 1
+	}
+	u := keyedUniform(seed, streamVRT, uint64(bank), uint64(sub),
+		uint64(row), uint64(col), uint64(trial))
+	if u < p.VRTProb {
+		return p.VRTFactor
+	}
+	return 1
+}
+
+// ChargedBit returns the logical value whose stored state is charged for
+// this cell (1 for true cells, 0 for anti-cells). Only the charged state
+// can decay.
+func (cf CellFault) ChargedBit() byte {
+	if cf.AntiCell {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,224 @@
+package faultmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"columndisturb/internal/sim/rng"
+)
+
+func TestCellDeterministic(t *testing.T) {
+	p := Default()
+	a := p.Cell(42, 1, 2, 3, 4)
+	b := p.Cell(42, 1, 2, 3, 4)
+	if a != b {
+		t.Fatal("Cell must be a pure function of its coordinates")
+	}
+}
+
+func TestCellVariesWithCoordinates(t *testing.T) {
+	p := Default()
+	base := p.Cell(42, 1, 2, 3, 4)
+	variants := []CellFault{
+		p.Cell(43, 1, 2, 3, 4),
+		p.Cell(42, 0, 2, 3, 4),
+		p.Cell(42, 1, 0, 3, 4),
+		p.Cell(42, 1, 2, 0, 4),
+		p.Cell(42, 1, 2, 3, 0),
+	}
+	for i, v := range variants {
+		if v.Kappa == base.Kappa && v.LambdaBase == base.LambdaBase {
+			t.Errorf("variant %d identical to base cell", i)
+		}
+	}
+}
+
+func TestCellParametersPositive(t *testing.T) {
+	p := Default()
+	f := func(seed uint64, bank, sub, row, col uint16) bool {
+		c := p.Cell(seed, int(bank%8), int(sub%64), int(row%4096), int(col%8192))
+		return c.LambdaBase > 0 && c.Kappa > 0 && c.HammerThreshold > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellLognormalMedians(t *testing.T) {
+	p := Default()
+	const n = 20000
+	var logK, logB []float64
+	for i := 0; i < n; i++ {
+		c := p.Cell(7, 0, i%8, i/8%1024, i%512)
+		logK = append(logK, math.Log(c.Kappa))
+		logB = append(logB, math.Log(c.LambdaBase))
+	}
+	meanK := mean(logK)
+	meanB := mean(logB)
+	if math.Abs(meanK-p.MuKappa) > 0.05 {
+		t.Fatalf("ln κ mean %v, want %v", meanK, p.MuKappa)
+	}
+	if math.Abs(meanB-p.MuBase) > 0.05 {
+		t.Fatalf("ln λ_base mean %v, want %v", meanB, p.MuBase)
+	}
+	sdK := stddev(logK, meanK)
+	if math.Abs(sdK-p.SigmaKappa) > 0.05 {
+		t.Fatalf("ln κ stddev %v, want %v", sdK, p.SigmaKappa)
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64, m float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+func TestRowCorrelationInKappa(t *testing.T) {
+	// Cells sharing a physical row must have correlated κ (weak rows), and
+	// the correlation should be near the configured row variance fraction.
+	p := Default()
+	const rows, cols = 400, 40
+	var corrNum, varSum float64
+	for r := 0; r < rows; r++ {
+		var zs []float64
+		for c := 0; c < cols; c++ {
+			cell := p.Cell(11, 0, 0, r, c)
+			zs = append(zs, (math.Log(cell.Kappa)-p.MuKappa)/p.SigmaKappa)
+		}
+		m := mean(zs)
+		// Between-row variance accumulates the shared component.
+		corrNum += m * m
+		for _, z := range zs {
+			varSum += z * z
+		}
+	}
+	betweenRowVar := corrNum / rows
+	totalVar := varSum / (rows * cols)
+	// E[rowMean²] = rowFrac + (1-rowFrac-colFrac... cell part)/cols ≈ rowFrac + small
+	if betweenRowVar < p.KappaRowVarFrac*0.6 || betweenRowVar > p.KappaRowVarFrac+0.15 {
+		t.Fatalf("between-row variance %v inconsistent with row fraction %v",
+			betweenRowVar, p.KappaRowVarFrac)
+	}
+	if math.Abs(totalVar-1) > 0.1 {
+		t.Fatalf("total z variance %v, want ≈ 1", totalVar)
+	}
+}
+
+func TestAttractorRoughlyBalanced(t *testing.T) {
+	p := Default()
+	ones := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if p.Cell(3, 0, 0, i/128, i%128).Attractor == 1 {
+			ones++
+		}
+	}
+	if ones < n*45/100 || ones > n*55/100 {
+		t.Fatalf("attractor imbalance: %d/%d", ones, n)
+	}
+}
+
+func TestAntiCellFraction(t *testing.T) {
+	p := Default()
+	if p.Cell(1, 0, 0, 0, 0).AntiCell {
+		t.Fatal("default params must have no anti-cells")
+	}
+	p.AntiCellFraction = 0.3
+	anti := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		c := p.Cell(5, 0, 0, i/128, i%128)
+		if c.AntiCell {
+			anti++
+			if c.ChargedBit() != 0 {
+				t.Fatal("anti-cell charged state must be logic 0")
+			}
+		} else if c.ChargedBit() != 1 {
+			t.Fatal("true-cell charged state must be logic 1")
+		}
+	}
+	frac := float64(anti) / n
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Fatalf("anti-cell fraction %v, want 0.3", frac)
+	}
+}
+
+func TestVRTMultiplier(t *testing.T) {
+	p := Default()
+	weak := 0
+	const trials = 20000
+	for trial := 0; trial < trials; trial++ {
+		m := p.VRTMultiplier(9, 0, 0, 5, 7, trial)
+		switch m {
+		case 1:
+		case p.VRTFactor:
+			weak++
+		default:
+			t.Fatalf("unexpected VRT multiplier %v", m)
+		}
+	}
+	frac := float64(weak) / trials
+	if math.Abs(frac-p.VRTProb) > 0.005 {
+		t.Fatalf("VRT weak fraction %v, want %v", frac, p.VRTProb)
+	}
+	// Same trial is stable.
+	if p.VRTMultiplier(9, 0, 0, 5, 7, 3) != p.VRTMultiplier(9, 0, 0, 5, 7, 3) {
+		t.Fatal("VRT state must be deterministic per trial")
+	}
+	p.VRTProb = 0
+	if p.VRTMultiplier(9, 0, 0, 5, 7, 0) != 1 {
+		t.Fatal("VRTProb=0 must disable VRT")
+	}
+}
+
+func TestCalibrateHitsTargets(t *testing.T) {
+	p := Default()
+	target := CalibrationTarget{
+		TimeToFirstCDms:  63.6,
+		TimeToFirstRETms: 512,
+		PopulationCells:  1 << 25,
+	}
+	p.Calibrate(target)
+	// The expected extreme-κ cell must flip at exactly the CD target under
+	// worst-case conditions (ρ = 1).
+	zN := rng.ExpectedMaxNormalZ(target.PopulationCells)
+	kappaMax := math.Exp(p.MuKappa + p.SigmaKappa*zN)
+	if got := Ln2 / kappaMax; math.Abs(got-63.6) > 0.01 {
+		t.Fatalf("calibrated CD first-flip %v ms, want 63.6", got)
+	}
+	// The retention-side first failure (competing κ@f(0.5) and base tails)
+	// must land near the retention target.
+	baseMax := math.Exp(p.MuBase + p.SigmaBase*zN)
+	retRate := baseMax + p.RhoIdle()*kappaMax
+	got := Ln2 / retRate
+	if got < 350 || got > 650 {
+		t.Fatalf("calibrated retention first failure %v ms, want ≈ 512", got)
+	}
+}
+
+func TestCalibrateCDWeakModule(t *testing.T) {
+	// A module whose CD is barely stronger than retention: the base floor
+	// must keep λ_base meaningful.
+	p := Default()
+	p.Calibrate(CalibrationTarget{
+		TimeToFirstCDms:  450,
+		TimeToFirstRETms: 500,
+		PopulationCells:  1 << 25,
+	})
+	zN := rng.ExpectedMaxNormalZ(1 << 25)
+	baseMax := math.Exp(p.MuBase + p.SigmaBase*zN)
+	if baseMax <= 0 || math.IsNaN(baseMax) {
+		t.Fatal("calibration must keep a positive base mechanism")
+	}
+}

@@ -1,0 +1,69 @@
+// Package memsim is a lightweight cycle-level DRAM memory-system simulator
+// in the spirit of the Ramulator + Self-Managing-DRAM setup the paper uses
+// for its §6.2 evaluation: trace-driven cores with blocking misses, an
+// open-page memory controller over banked DRAM with realistic service
+// timings, and pluggable refresh mechanisms (none, periodic, RAIDR with a
+// Bloom filter or a bitmap tracker, PRVR). Its purpose is the *relative*
+// weighted speedup of refresh policies as the weak-row population grows —
+// the quantity behind Fig 23 — not absolute performance prediction.
+package memsim
+
+// SystemConfig fixes the simulated memory system.
+type SystemConfig struct {
+	Banks       int
+	RowsPerBank int
+
+	// DRAM service timings (ns).
+	TCASns   float64
+	TRCDns   float64
+	TRPns    float64
+	TRCns    float64
+	TRFCns   float64
+	TBurstNs float64
+	// RowRefreshNs is the cost of one row-granular refresh operation
+	// (RAIDR bins, PRVR victims).
+	RowRefreshNs float64
+	// IdleCloseNs is the controller's adaptive page policy: a bank idle
+	// longer than this is speculatively precharged (for free, during the
+	// idle gap). Without it, stale open rows make every refresh-induced
+	// row closure *save* the precharge of a later conflict, an artifact
+	// that inverts refresh costs. 0 disables the policy.
+	IdleCloseNs float64
+
+	// Core model: peak IPC, clock, and memory-level parallelism (maximum
+	// outstanding misses per core — the out-of-order window's MLP).
+	IPCPeak float64
+	CPUGHz  float64
+	MLP     int
+
+	// Per-core instruction counts.
+	WarmupInstr  int64
+	MeasureInstr int64
+}
+
+// DefaultSystem returns a DDR4-2400-like single-rank system with four-wide
+// 4 GHz cores, sized so a full Fig 23 sweep runs in seconds.
+func DefaultSystem() SystemConfig {
+	return SystemConfig{
+		Banks:       16,
+		RowsPerBank: 131072, // 2M rows total: a 16 GiB DDR4 module's row count
+		TCASns:      13.5,
+		TRCDns:      13.5,
+		TRPns:       14,
+		TRCns:       46,
+		TRFCns:      350,
+		TBurstNs:    3.33,
+		// Per-row cost of bank-granular directed refresh operations (PRVR
+		// victims): one tRC.
+		RowRefreshNs: 46,
+		IdleCloseNs:  500,
+		IPCPeak:      4,
+		CPUGHz:       4,
+		MLP:          4,
+		WarmupInstr:  20_000,
+		MeasureInstr: 100_000,
+	}
+}
+
+// TotalRows returns the module's row count.
+func (c SystemConfig) TotalRows() int { return c.Banks * c.RowsPerBank }

@@ -1,0 +1,206 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RefreshEngine describes when refresh operations block a bank. Refresh
+// schedules are strictly periodic, so the simulator queries them
+// analytically instead of queueing refresh events.
+type RefreshEngine interface {
+	Name() string
+	// NextFree returns the earliest time ≥ t (ns) at which the bank is not
+	// blocked by a refresh operation.
+	NextFree(bank int, t float64) float64
+	// BlockedBetween reports whether any refresh operation overlapped the
+	// bank during (t0, t1] — used to invalidate the open row.
+	BlockedBetween(bank int, t0, t1 float64) bool
+	// Stats returns the engine's refresh operation rates for energy and
+	// Fig 22-style accounting.
+	Stats() RefreshStats
+}
+
+// RefreshStats summarizes an engine's refresh work.
+type RefreshStats struct {
+	// AllBankPerSec is the rate of REFab commands.
+	AllBankPerSec float64
+	// RowPerSecPerBank is the rate of row-granular refresh operations in
+	// each bank.
+	RowPerSecPerBank float64
+}
+
+// schedule is one periodic blocking window.
+type schedule struct {
+	periodNs float64
+	busyNs   float64
+	offsetNs float64
+	allBanks bool
+}
+
+func (s schedule) nextFree(t float64) float64 {
+	pos := math.Mod(t-s.offsetNs, s.periodNs)
+	if pos < 0 {
+		pos += s.periodNs
+	}
+	if pos < s.busyNs {
+		return t + (s.busyNs - pos)
+	}
+	return t
+}
+
+func (s schedule) blockedBetween(t0, t1 float64) bool {
+	if t1 <= t0 {
+		return false
+	}
+	// A window [k·P+off, k·P+off+busy) overlaps (t0, t1] iff some window
+	// start lies in (t0-busy, t1].
+	start := s.offsetNs + math.Ceil((t0-s.busyNs-s.offsetNs)/s.periodNs)*s.periodNs
+	// Guard against the boundary case where start sits exactly at t0-busy.
+	if start <= t0-s.busyNs {
+		start += s.periodNs
+	}
+	return start <= t1
+}
+
+// scheduleEngine composes periodic schedules, each either chip-wide or
+// per-bank staggered.
+type scheduleEngine struct {
+	name string
+	// chipWide apply to every bank identically; perBank[b] apply to bank b.
+	chipWide []schedule
+	perBank  [][]schedule
+	stats    RefreshStats
+}
+
+func (e *scheduleEngine) Name() string        { return e.name }
+func (e *scheduleEngine) Stats() RefreshStats { return e.stats }
+
+func (e *scheduleEngine) NextFree(bank int, t float64) float64 {
+	// Iterate to a fixed point: leaving one window can land inside
+	// another.
+	for iter := 0; iter < 8; iter++ {
+		next := t
+		for _, s := range e.chipWide {
+			next = math.Max(next, s.nextFree(next))
+		}
+		if e.perBank != nil {
+			for _, s := range e.perBank[bank] {
+				next = math.Max(next, s.nextFree(next))
+			}
+		}
+		if next == t {
+			return t
+		}
+		t = next
+	}
+	return t
+}
+
+func (e *scheduleEngine) BlockedBetween(bank int, t0, t1 float64) bool {
+	for _, s := range e.chipWide {
+		if s.blockedBetween(t0, t1) {
+			return true
+		}
+	}
+	if e.perBank != nil {
+		for _, s := range e.perBank[bank] {
+			if s.blockedBetween(t0, t1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NoRefresh returns the hypothetical no-refresh configuration the paper
+// uses as the speedup headroom baseline.
+func NoRefresh() RefreshEngine {
+	return &scheduleEngine{name: "no-refresh"}
+}
+
+// PeriodicRefresh returns the standard all-bank refresh: one REFab of
+// tRFC every period/8192 (the DDR4/DDR5 convention of 8192 refresh
+// commands per window).
+func PeriodicRefresh(cfg SystemConfig, periodMs float64) (RefreshEngine, error) {
+	const refreshesPerWindow = 8192
+	trefi := periodMs * 1e6 / refreshesPerWindow
+	if trefi <= cfg.TRFCns {
+		return nil, fmt.Errorf("memsim: refresh period %v ms leaves no service time", periodMs)
+	}
+	return &scheduleEngine{
+		name:     fmt.Sprintf("periodic-%.0fms", periodMs),
+		chipWide: []schedule{{periodNs: trefi, busyNs: cfg.TRFCns}},
+		stats:    RefreshStats{AllBankPerSec: 1e9 / trefi},
+	}, nil
+}
+
+// RowRateRefresh returns an engine issuing row-granular refresh operations
+// in every bank at the given per-bank rate (rows per second), staggered
+// across banks so the chip-wide schedule is smooth.
+func RowRateRefresh(cfg SystemConfig, name string, rowsPerSecPerBank float64) (RefreshEngine, error) {
+	if rowsPerSecPerBank <= 0 {
+		return &scheduleEngine{name: name}, nil
+	}
+	periodNs := 1e9 / rowsPerSecPerBank
+	if periodNs <= cfg.RowRefreshNs {
+		return nil, fmt.Errorf("memsim: row refresh rate %v/s saturates the bank", rowsPerSecPerBank)
+	}
+	perBank := make([][]schedule, cfg.Banks)
+	for b := range perBank {
+		perBank[b] = []schedule{{
+			periodNs: periodNs,
+			busyNs:   cfg.RowRefreshNs,
+			offsetNs: periodNs * float64(b) / float64(cfg.Banks),
+		}}
+	}
+	return &scheduleEngine{
+		name:    name,
+		perBank: perBank,
+		stats:   RefreshStats{RowPerSecPerBank: rowsPerSecPerBank},
+	}, nil
+}
+
+// Compose overlays several engines (e.g. PRVR = periodic + victim rows).
+func Compose(engines ...RefreshEngine) RefreshEngine {
+	var names []string
+	out := &scheduleEngine{}
+	for _, e := range engines {
+		se, ok := e.(*scheduleEngine)
+		if !ok {
+			panic("memsim: Compose supports schedule-based engines only")
+		}
+		names = append(names, se.name)
+		out.chipWide = append(out.chipWide, se.chipWide...)
+		if se.perBank != nil {
+			if out.perBank == nil {
+				out.perBank = make([][]schedule, len(se.perBank))
+			}
+			for b := range se.perBank {
+				out.perBank[b] = append(out.perBank[b], se.perBank[b]...)
+			}
+		}
+		out.stats.AllBankPerSec += se.stats.AllBankPerSec
+		out.stats.RowPerSecPerBank += se.stats.RowPerSecPerBank
+	}
+	out.name = strings.Join(names, "+")
+	return out
+}
+
+// PRVR builds the proactive victim-row refresh mitigation on top of the
+// default periodic refresh: victimRows rows per bank refreshed once per
+// ttfMs window (the time ColumnDisturb needs to induce its first bitflip),
+// assuming every bank hosts a hammered aggressor (§6.1's worst case).
+func PRVR(cfg SystemConfig, basePeriodMs float64, victimRows int, ttfMs float64) (RefreshEngine, error) {
+	base, err := PeriodicRefresh(cfg, basePeriodMs)
+	if err != nil {
+		return nil, err
+	}
+	victims, err := RowRateRefresh(cfg, fmt.Sprintf("prvr-%drows-%.0fms", victimRows, ttfMs),
+		float64(victimRows)/(ttfMs/1000))
+	if err != nil {
+		return nil, err
+	}
+	return Compose(base, victims), nil
+}

@@ -1,0 +1,135 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScheduleNextFree(t *testing.T) {
+	s := schedule{periodNs: 1000, busyNs: 100, offsetNs: 0}
+	cases := []struct{ t, want float64 }{
+		{0, 100},     // window start: blocked until 100
+		{50, 100},    // inside window
+		{100, 100},   // window just ended
+		{500, 500},   // idle
+		{1020, 1100}, // next window
+	}
+	for _, c := range cases {
+		if got := s.nextFree(c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("nextFree(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestScheduleNextFreeWithOffset(t *testing.T) {
+	s := schedule{periodNs: 1000, busyNs: 100, offsetNs: 250}
+	if got := s.nextFree(260); math.Abs(got-350) > 1e-9 {
+		t.Fatalf("nextFree(260) = %v, want 350", got)
+	}
+	if got := s.nextFree(100); got != 100 {
+		t.Fatalf("nextFree(100) = %v, want 100", got)
+	}
+}
+
+func TestScheduleBlockedBetween(t *testing.T) {
+	s := schedule{periodNs: 1000, busyNs: 100}
+	if !s.blockedBetween(950, 1050) {
+		t.Fatal("window at 1000 overlaps (950, 1050]")
+	}
+	if s.blockedBetween(150, 950) {
+		t.Fatal("no window in (150, 950]")
+	}
+	if !s.blockedBetween(1050, 2100) {
+		t.Fatal("window at 2000 overlaps")
+	}
+	if s.blockedBetween(500, 500) {
+		t.Fatal("empty interval cannot be blocked")
+	}
+}
+
+func TestPeriodicRefreshEngine(t *testing.T) {
+	cfg := DefaultSystem()
+	eng, err := PeriodicRefresh(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tREFI = 64 ms / 8192 = 7812.5 ns; tRFC = 350 ns.
+	if got := eng.NextFree(0, 10); math.Abs(got-350) > 1e-9 {
+		t.Fatalf("NextFree inside REFab = %v, want 350", got)
+	}
+	if got := eng.NextFree(3, 1000); got != 1000 {
+		t.Fatalf("NextFree idle = %v", got)
+	}
+	if !eng.BlockedBetween(5, 7800, 7900) {
+		t.Fatal("second REFab window missed")
+	}
+	if eng.Stats().AllBankPerSec == 0 {
+		t.Fatal("stats missing")
+	}
+	if _, err := PeriodicRefresh(cfg, 0.001); err == nil {
+		t.Fatal("saturating refresh period accepted")
+	}
+}
+
+func TestRowRateRefreshStagger(t *testing.T) {
+	cfg := DefaultSystem()
+	eng, err := RowRateRefresh(cfg, "rows", 1e6) // one row per µs per bank
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bank 0's window starts at 0, bank 8's halfway through the period.
+	if got := eng.NextFree(0, 0); math.Abs(got-cfg.RowRefreshNs) > 1e-9 {
+		t.Fatalf("bank 0 NextFree(0) = %v", got)
+	}
+	if got := eng.NextFree(8, 0); got != 0 {
+		t.Fatalf("bank 8 should be free at 0, got %v", got)
+	}
+	if _, err := RowRateRefresh(cfg, "sat", 1e9); err == nil {
+		t.Fatal("saturating row rate accepted")
+	}
+	// Zero rate = no-op engine.
+	z, err := RowRateRefresh(cfg, "zero", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NextFree(0, 5) != 5 {
+		t.Fatal("zero-rate engine must never block")
+	}
+}
+
+func TestComposeOverlaysSchedules(t *testing.T) {
+	cfg := DefaultSystem()
+	p, _ := PeriodicRefresh(cfg, 64)
+	r, _ := RowRateRefresh(cfg, "rows", 1e5)
+	c := Compose(p, r)
+	if c.Stats().AllBankPerSec == 0 || c.Stats().RowPerSecPerBank == 0 {
+		t.Fatal("composed stats incomplete")
+	}
+	// Blocked wherever either component blocks.
+	if got := c.NextFree(0, 10); got < 350 {
+		t.Fatalf("composed engine must respect REFab: %v", got)
+	}
+}
+
+func TestPRVREngine(t *testing.T) {
+	cfg := DefaultSystem()
+	eng, err := PRVR(cfg, 32, 3072, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.AllBankPerSec == 0 {
+		t.Fatal("PRVR must keep periodic refresh")
+	}
+	want := 3072.0 / 0.008
+	if math.Abs(st.RowPerSecPerBank-want) > 1 {
+		t.Fatalf("PRVR victim rate %v, want %v", st.RowPerSecPerBank, want)
+	}
+}
+
+func TestNoRefreshNeverBlocks(t *testing.T) {
+	e := NoRefresh()
+	if e.NextFree(0, 123) != 123 || e.BlockedBetween(0, 0, 1e12) {
+		t.Fatal("no-refresh engine must never block")
+	}
+}

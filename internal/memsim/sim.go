@@ -1,0 +1,283 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+
+	"columndisturb/internal/sim/rng"
+)
+
+// CoreResult reports one core's measured performance.
+type CoreResult struct {
+	Workload     CoreWorkload
+	Instructions int64
+	TimeNs       float64
+	IPC          float64
+	Requests     int64
+	RowHits      int64
+}
+
+// RunResult reports one simulation run.
+type RunResult struct {
+	Cores     []CoreResult
+	ElapsedNs float64
+	Acts      int64
+	Reads     int64
+	Writes    int64
+}
+
+// TotalIPC sums the cores' measured IPC.
+func (r RunResult) TotalIPC() float64 {
+	s := 0.0
+	for _, c := range r.Cores {
+		s += c.IPC
+	}
+	return s
+}
+
+// coreState is the simulator's per-core bookkeeping. The core is a simple
+// out-of-order model: it executes the instruction gap between misses at
+// peak IPC and sustains up to MLP outstanding misses; a new miss can issue
+// once its compute is done and the miss MLP positions back has completed.
+type coreState struct {
+	stream         *stream
+	gap            float64 // instructions per miss
+	computeNs      float64 // compute time between misses
+	computeReadyNs float64
+	completions    []float64 // ring buffer of the last MLP completion times
+	compIdx        int
+	issued         int64
+	lastCompletion float64
+	retired        int64
+	target         int64
+	measuring      bool
+	measStartNs    float64
+	measInstr      int64
+	requests       int64
+	rowHits        int64
+	done           bool
+}
+
+// nextIssue returns the earliest time the core can issue its next miss.
+func (c *coreState) nextIssue() float64 {
+	t := c.computeReadyNs
+	if c.issued >= int64(len(c.completions)) {
+		if w := c.completions[c.compIdx]; w > t {
+			t = w
+		}
+	}
+	return t
+}
+
+// Run simulates the workload mix on the memory system under the given
+// refresh engine. Deterministic for a given (mix, engine, seed).
+func Run(cfg SystemConfig, mix []CoreWorkload, refresh RefreshEngine, seed uint64) (RunResult, error) {
+	if len(mix) == 0 {
+		return RunResult{}, fmt.Errorf("memsim: empty workload mix")
+	}
+	mlp := cfg.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	cores := make([]*coreState, len(mix))
+	for i, w := range mix {
+		if w.MPKI <= 0 {
+			return RunResult{}, fmt.Errorf("memsim: core %d has non-positive MPKI", i)
+		}
+		gap := w.GapInstructions()
+		cores[i] = &coreState{
+			stream:      newStream(w, cfg, seed, i, len(mix)),
+			gap:         gap,
+			computeNs:   gap / (cfg.IPCPeak * cfg.CPUGHz),
+			completions: make([]float64, mlp),
+			target:      cfg.WarmupInstr + cfg.MeasureInstr,
+		}
+	}
+	bankFreeAt := make([]float64, cfg.Banks)
+	openRow := make([]int, cfg.Banks)
+	lastUse := make([]float64, cfg.Banks)
+	for b := range openRow {
+		openRow[b] = -1
+	}
+	busFreeAt := 0.0
+	var res RunResult
+	endNs := 0.0
+
+	for {
+		// Pick the next core ready to issue.
+		ci := -1
+		best := 0.0
+		for i, c := range cores {
+			if c.done {
+				continue
+			}
+			if t := c.nextIssue(); ci == -1 || t < best {
+				ci, best = i, t
+			}
+		}
+		if ci == -1 {
+			break
+		}
+		c := cores[ci]
+		req := c.stream.next()
+		b := req.bank
+
+		start := math.Max(best, bankFreeAt[b])
+		start = refresh.NextFree(b, start)
+
+		// Adaptive page policy: banks idle past the timeout were
+		// speculatively precharged during the gap.
+		if cfg.IdleCloseNs > 0 && openRow[b] != -1 && start-lastUse[b] > cfg.IdleCloseNs {
+			openRow[b] = -1
+		}
+		// Row-buffer state: refresh activity in the gap closes the row.
+		hit := openRow[b] == req.row && !refresh.BlockedBetween(b, lastUse[b], start)
+		var latency float64
+		switch {
+		case hit:
+			latency = cfg.TCASns
+		case openRow[b] == -1 || refresh.BlockedBetween(b, lastUse[b], start):
+			latency = cfg.TRCDns + cfg.TCASns
+			res.Acts++
+		default:
+			latency = cfg.TRPns + cfg.TRCDns + cfg.TCASns
+			res.Acts++
+		}
+		dataReady := start + latency
+		busSlot := math.Max(dataReady, busFreeAt)
+		completion := busSlot + cfg.TBurstNs
+		busFreeAt = completion
+		bankFreeAt[b] = dataReady
+		openRow[b] = req.row
+		lastUse[b] = completion
+		if req.write {
+			res.Writes++
+		} else {
+			res.Reads++
+		}
+
+		// Track the outstanding-miss window and retire the instruction gap
+		// this miss anchors.
+		c.completions[c.compIdx] = completion
+		c.compIdx = (c.compIdx + 1) % len(c.completions)
+		c.issued++
+		if completion > c.lastCompletion {
+			c.lastCompletion = completion
+		}
+		c.computeReadyNs += c.computeNs
+		c.retired += int64(c.gap)
+		c.requests++
+		if hit {
+			c.rowHits++
+		}
+		if !c.measuring && c.retired >= cfg.WarmupInstr {
+			c.measuring = true
+			c.measStartNs = completion
+			c.measInstr = 0
+			c.requests = 0
+			c.rowHits = 0
+		}
+		if c.measuring {
+			c.measInstr += int64(c.gap)
+		}
+		if c.retired >= c.target {
+			c.done = true
+			t := c.lastCompletion - c.measStartNs
+			if t <= 0 {
+				t = 1
+			}
+			res.Cores = append(res.Cores, CoreResult{
+				Workload:     mix[ci],
+				Instructions: c.measInstr,
+				TimeNs:       t,
+				IPC:          float64(c.measInstr) / (t * cfg.CPUGHz),
+				Requests:     c.requests,
+				RowHits:      c.rowHits,
+			})
+		}
+		if completion > endNs {
+			endNs = completion
+		}
+	}
+	res.ElapsedNs = endNs
+	// Cores complete in arbitrary order; restore mix order.
+	ordered := make([]CoreResult, len(mix))
+	for _, cr := range res.Cores {
+		for i, w := range mix {
+			if w.Name == cr.Workload.Name {
+				ordered[i] = cr
+			}
+		}
+	}
+	res.Cores = ordered
+	return res, nil
+}
+
+// SoloIPC measures a core's IPC running alone with refresh disabled — the
+// denominator of weighted speedup.
+func SoloIPC(cfg SystemConfig, w CoreWorkload, seed uint64) (float64, error) {
+	res, err := Run(cfg, []CoreWorkload{w}, NoRefresh(), seed)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cores[0].IPC, nil
+}
+
+// WeightedSpeedup computes Σ IPC_shared/IPC_alone for the mix under the
+// refresh engine. soloIPC may be nil, in which case the solo baselines are
+// measured on the fly (callers doing sweeps should cache them).
+func WeightedSpeedup(cfg SystemConfig, mix []CoreWorkload, refresh RefreshEngine, seed uint64, soloIPC []float64) (float64, RunResult, error) {
+	if soloIPC == nil {
+		soloIPC = make([]float64, len(mix))
+		for i, w := range mix {
+			ipc, err := SoloIPC(cfg, w, seed)
+			if err != nil {
+				return 0, RunResult{}, err
+			}
+			soloIPC[i] = ipc
+		}
+	}
+	res, err := Run(cfg, mix, refresh, seed)
+	if err != nil {
+		return 0, RunResult{}, err
+	}
+	ws := 0.0
+	for i, c := range res.Cores {
+		if soloIPC[i] > 0 {
+			ws += c.IPC / soloIPC[i]
+		}
+	}
+	return ws, res, nil
+}
+
+// EnergyModel converts run statistics into DRAM energy (pJ-scale numbers
+// from typical DDR4 datasheets; only *relative* energy across refresh
+// policies matters here).
+type EnergyModel struct {
+	ActPJ        float64 // per activate/precharge pair
+	RWPJ         float64 // per read/write burst
+	RowRefPJ     float64 // per row-granular refresh
+	REFabPJ      float64 // per all-bank refresh command
+	BackgroundMW float64 // static background power
+}
+
+// DefaultEnergy returns DDR4-class energy constants.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{ActPJ: 170, RWPJ: 110, RowRefPJ: 170, REFabPJ: 12000, BackgroundMW: 100}
+}
+
+// Energy returns the run's DRAM energy in nanojoules under the engine's
+// refresh schedule.
+func (m EnergyModel) Energy(res RunResult, refresh RefreshEngine, cfg SystemConfig) float64 {
+	st := refresh.Stats()
+	secs := res.ElapsedNs * 1e-9
+	refOps := st.AllBankPerSec * secs
+	rowOps := st.RowPerSecPerBank * float64(cfg.Banks) * secs
+	pj := float64(res.Acts)*m.ActPJ +
+		float64(res.Reads+res.Writes)*m.RWPJ +
+		rowOps*m.RowRefPJ + refOps*m.REFabPJ
+	return pj*1e-3 + m.BackgroundMW*1e-3*res.ElapsedNs // nJ
+}
+
+// Deterministic seed helper for experiment reproducibility.
+func RunSeed(parts ...uint64) uint64 { return rng.Key(parts...) }

@@ -1,0 +1,391 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+)
+
+func smallSys() SystemConfig {
+	cfg := DefaultSystem()
+	cfg.WarmupInstr = 5000
+	cfg.MeasureInstr = 40000
+	return cfg
+}
+
+func TestRunBasics(t *testing.T) {
+	cfg := smallSys()
+	mix := Mixes(1)[0]
+	res, err := Run(cfg, mix, NoRefresh(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 4 {
+		t.Fatalf("want 4 core results, got %d", len(res.Cores))
+	}
+	for i, c := range res.Cores {
+		if c.IPC <= 0 || c.IPC > cfg.IPCPeak {
+			t.Fatalf("core %d IPC %v out of (0, %v]", i, c.IPC, cfg.IPCPeak)
+		}
+		if c.Workload.Name != mix[i].Name {
+			t.Fatalf("core results out of order")
+		}
+		if c.Instructions < cfg.MeasureInstr {
+			t.Fatalf("core %d measured %d instructions", i, c.Instructions)
+		}
+	}
+	if res.Acts == 0 || res.Reads == 0 || res.Writes == 0 {
+		t.Fatalf("missing activity counters: %+v", res)
+	}
+	if res.ElapsedNs <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := smallSys()
+	mix := Mixes(1)[0]
+	a, err := Run(cfg, mix, NoRefresh(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, mix, NoRefresh(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cores {
+		if a.Cores[i].IPC != b.Cores[i].IPC {
+			t.Fatal("identical runs must agree exactly")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := smallSys()
+	if _, err := Run(cfg, nil, NoRefresh(), 1); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	bad := Mixes(1)[0]
+	bad[0].MPKI = 0
+	if _, err := Run(cfg, bad, NoRefresh(), 1); err == nil {
+		t.Fatal("zero MPKI accepted")
+	}
+}
+
+func TestRefreshDegradesIPC(t *testing.T) {
+	cfg := smallSys()
+	mix := Mixes(2)[1]
+	ipc := func(e RefreshEngine) float64 {
+		res, err := Run(cfg, mix, e, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalIPC()
+	}
+	none := ipc(NoRefresh())
+	p64, _ := PeriodicRefresh(cfg, 64)
+	p8, _ := PeriodicRefresh(cfg, 8)
+	at64 := ipc(p64)
+	at8 := ipc(p8)
+	if !(none > at64 && at64 > at8) {
+		t.Fatalf("refresh must cost performance: none=%v 64ms=%v 8ms=%v", none, at64, at8)
+	}
+	// An 8 ms period with tRFC=350 blocks ~36% of time; the hit must be
+	// substantial.
+	if at8 > none*0.95 {
+		t.Fatalf("8 ms refresh too cheap: %v vs %v", at8, none)
+	}
+}
+
+func TestWeightedSpeedupBounds(t *testing.T) {
+	cfg := smallSys()
+	mix := Mixes(3)[2]
+	ws, res, err := WeightedSpeedup(cfg, mix, NoRefresh(), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws <= 0 || ws > float64(len(mix))+1e-9 {
+		t.Fatalf("weighted speedup %v out of (0, %d]", ws, len(mix))
+	}
+	if len(res.Cores) != 4 {
+		t.Fatal("missing core results")
+	}
+	// Shared execution cannot beat solo for every core simultaneously by
+	// much; with contention WS should be below the core count.
+	if ws > 3.999 {
+		t.Fatalf("no contention visible: WS=%v", ws)
+	}
+}
+
+func TestSoloBaselineCaching(t *testing.T) {
+	cfg := smallSys()
+	mix := Mixes(4)[3]
+	solo := make([]float64, len(mix))
+	for i, w := range mix {
+		ipc, err := SoloIPC(cfg, w, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[i] = ipc
+	}
+	a, _, err := WeightedSpeedup(cfg, mix, NoRefresh(), 5, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := WeightedSpeedup(cfg, mix, NoRefresh(), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("cached vs fresh solo baselines disagree: %v %v", a, b)
+	}
+}
+
+func TestRAIDRBeatsPeriodicAtLowWeakFraction(t *testing.T) {
+	// The whole point of retention-aware refresh: with few weak rows,
+	// refreshing most rows at 1024 ms beats 64 ms periodic refresh.
+	cfg := smallSys()
+	mix := Mixes(5)[4]
+	solo := soloFor(t, cfg, mix)
+
+	p64, err := PeriodicRefresh(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsPeriodic, _, err := WeightedSpeedup(cfg, mix, p64, 9, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRAIDR(TrackerBitmap)
+	rc.WeakFraction = 1e-4
+	raidr, _, err := NewRAIDR(cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsRaidr, _, err := WeightedSpeedup(cfg, mix, raidr, 9, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wsRaidr <= wsPeriodic {
+		t.Fatalf("RAIDR (%v) must beat 64 ms periodic (%v) at 0.01%% weak rows",
+			wsRaidr, wsPeriodic)
+	}
+}
+
+func soloFor(t *testing.T, cfg SystemConfig, mix []CoreWorkload) []float64 {
+	t.Helper()
+	solo := make([]float64, len(mix))
+	for i, w := range mix {
+		ipc, err := SoloIPC(cfg, w, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[i] = ipc
+	}
+	return solo
+}
+
+func TestRAIDRWeakFractionErodesSpeedup(t *testing.T) {
+	// Fig 23's core dynamic: more weak rows ⇒ more fast refreshes ⇒ lower
+	// speedup, monotonically.
+	cfg := smallSys()
+	mix := Mixes(6)[5]
+	solo := soloFor(t, cfg, mix)
+	fractions := []float64{1e-4, 0.01, 0.2, 0.5}
+	var speedups []float64
+	for _, w := range fractions {
+		rc := DefaultRAIDR(TrackerBitmap)
+		rc.WeakFraction = w
+		eng, _, err := NewRAIDR(cfg, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, _, err := WeightedSpeedup(cfg, mix, eng, 11, solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedups = append(speedups, ws)
+	}
+	// Adjacent points may wiggle ~1% from refresh/access phase alignment;
+	// the trend across the sweep must be clearly downward.
+	for i := 1; i < len(speedups); i++ {
+		if speedups[i] > speedups[i-1]*1.02 {
+			t.Fatalf("speedup grew past noise at w=%v: %v after %v",
+				fractions[i], speedups[i], speedups[i-1])
+		}
+	}
+	if speedups[len(speedups)-1] >= speedups[0]*0.995 {
+		t.Fatalf("50%% weak rows should clearly erode the speedup: %v", speedups)
+	}
+}
+
+func TestBloomTrackerCollapsesEarly(t *testing.T) {
+	// Fig 23 left: the 8 Kb Bloom filter saturates around 0.2% weak rows,
+	// promoting a large share of strong rows to the fast rate.
+	cfg := DefaultSystem()
+	rc := DefaultRAIDR(TrackerBloom)
+	rc.WeakFraction = 0.002
+	_, info, err := NewRAIDR(cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effFrac := float64(info.EffectiveWeakRows) / float64(cfg.TotalRows())
+	if effFrac < 0.05 {
+		t.Fatalf("bloom tracker should saturate at 0.2%% weak: effective %.3f", effFrac)
+	}
+	if info.FalsePositiveRate <= 0 {
+		t.Fatal("expected false positives")
+	}
+	// The bitmap tracker is exact.
+	rcB := DefaultRAIDR(TrackerBitmap)
+	rcB.WeakFraction = 0.002
+	_, infoB, err := NewRAIDR(cfg, rcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoB.EffectiveWeakRows != infoB.WeakRows || infoB.FalsePositiveRate != 0 {
+		t.Fatal("bitmap tracker must be exact")
+	}
+}
+
+func TestNewRAIDRValidation(t *testing.T) {
+	cfg := DefaultSystem()
+	rc := DefaultRAIDR(TrackerBitmap)
+	rc.WeakFraction = -0.1
+	if _, _, err := NewRAIDR(cfg, rc); err == nil {
+		t.Fatal("negative weak fraction accepted")
+	}
+	rc = DefaultRAIDR(TrackerBitmap)
+	rc.StrongPeriodMs = 1
+	if _, _, err := NewRAIDR(cfg, rc); err == nil {
+		t.Fatal("strong period below weak period accepted")
+	}
+}
+
+func TestNormalizedRefreshOps(t *testing.T) {
+	// Fig 22: w=1 means everything refreshes at 64 ms (normalized 1);
+	// w=0 with a 1024 ms strong retention time needs 1/16 the operations.
+	if got := NormalizedRefreshOps(1, 1024); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("all-weak ops %v, want 1", got)
+	}
+	if got := NormalizedRefreshOps(0, 1024); math.Abs(got-0.0625) > 1e-12 {
+		t.Fatalf("no-weak ops %v, want 1/16", got)
+	}
+	// Longer strong retention times always help (first Fig 22 takeaway).
+	if NormalizedRefreshOps(0.1, 1024) >= NormalizedRefreshOps(0.1, 128) {
+		t.Fatal("1024 ms strong rows must need fewer refreshes than 128 ms")
+	}
+	// Monotone in weak fraction.
+	prev := -1.0
+	for w := 0.0; w <= 1.0001; w += 0.1 {
+		v := NormalizedRefreshOps(w, 512)
+		if v < prev {
+			t.Fatal("refresh ops must grow with weak fraction")
+		}
+		prev = v
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	cfg := smallSys()
+	mix := Mixes(7)[6]
+	em := DefaultEnergy()
+	run := func(e RefreshEngine) float64 {
+		res, err := Run(cfg, mix, e, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return em.Energy(res, e, cfg)
+	}
+	none := run(NoRefresh())
+	p8, _ := PeriodicRefresh(cfg, 8)
+	at8 := run(p8)
+	if at8 <= none {
+		t.Fatalf("aggressive refresh must cost energy: %v vs %v", at8, none)
+	}
+}
+
+func TestMixesShape(t *testing.T) {
+	mixes := Mixes(20)
+	if len(mixes) != 20 {
+		t.Fatalf("want 20 mixes, got %d", len(mixes))
+	}
+	seen := map[string]bool{}
+	for _, mix := range mixes {
+		if len(mix) != 4 {
+			t.Fatal("each mix has four cores")
+		}
+		for _, w := range mix {
+			if w.MPKI < 10 {
+				t.Fatalf("workload %s MPKI %v below the paper's ≥10 cut", w.Name, w.MPKI)
+			}
+			if seen[w.Name] {
+				t.Fatalf("duplicate workload name %s", w.Name)
+			}
+			seen[w.Name] = true
+		}
+	}
+	// Deterministic.
+	again := Mixes(20)
+	if again[3][2] != mixes[3][2] {
+		t.Fatal("mixes must be deterministic")
+	}
+}
+
+func TestBenefitFraction(t *testing.T) {
+	// Full headroom captured.
+	if got := BenefitFraction(4.0, 3.0, 4.0); got != 1 {
+		t.Fatalf("full benefit = %v", got)
+	}
+	// No better than periodic refresh.
+	if got := BenefitFraction(3.0, 3.0, 4.0); got != 0 {
+		t.Fatalf("zero benefit = %v", got)
+	}
+	if got := BenefitFraction(3.5, 3.0, 4.0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("half benefit = %v", got)
+	}
+	// Degenerate headroom.
+	if got := BenefitFraction(3.0, 4.0, 4.0); got != 0 {
+		t.Fatalf("degenerate headroom = %v", got)
+	}
+}
+
+func TestBloomBenefitCollapsesNearSaturation(t *testing.T) {
+	// Fig 23 left: by 0.2% weak rows the bloom tracker's benefit over
+	// periodic refresh is almost completely eliminated (≈99 pp).
+	cfg := smallSys()
+	mix := Mixes(8)[7]
+	solo := soloFor(t, cfg, mix)
+	p64, err := PeriodicRefresh(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsP, _, err := WeightedSpeedup(cfg, mix, p64, 21, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsN, _, err := WeightedSpeedup(cfg, mix, NoRefresh(), 21, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benefit := func(w float64) float64 {
+		rc := DefaultRAIDR(TrackerBloom)
+		rc.WeakFraction = w
+		eng, _, err := NewRAIDR(cfg, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, _, err := WeightedSpeedup(cfg, mix, eng, 21, solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return BenefitFraction(ws, wsP, wsN)
+	}
+	low := benefit(1e-5)
+	high := benefit(0.002)
+	if low < 0.5 {
+		t.Fatalf("bloom RAIDR at 1e-5 weak should capture most headroom: %v", low)
+	}
+	if high > low-0.3 {
+		t.Fatalf("bloom benefit should collapse by 0.2%% weak: %v -> %v", low, high)
+	}
+}

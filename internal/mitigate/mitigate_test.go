@@ -1,0 +1,76 @@
+package mitigate
+
+import (
+	"math"
+	"testing"
+
+	"columndisturb/internal/energy"
+)
+
+func TestAnalyzePRVRPaperPoint(t *testing.T) {
+	res, err := AnalyzePRVR(DefaultPRVRConfig(), energy.DDR5x32Gb())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Victim duty: 3072 rows × 70 ns / 8 ms = 2.69%.
+	if math.Abs(res.VictimDuty-0.02688) > 0.0005 {
+		t.Fatalf("victim duty %.5f", res.VictimDuty)
+	}
+	// PRVR must beat the short-period solution decisively: the paper
+	// reports 70.5% throughput-loss and 73.8% energy reduction; the
+	// analytic model lands in the same regime (≈±10 pp depending on the
+	// scheduling assumptions the paper leaves unspecified).
+	if res.ThroughputLossReduction < 0.60 || res.ThroughputLossReduction > 0.80 {
+		t.Fatalf("throughput loss reduction %.3f outside the paper's regime (0.705)",
+			res.ThroughputLossReduction)
+	}
+	if res.RefreshEnergyReduction < 0.60 || res.RefreshEnergyReduction > 0.85 {
+		t.Fatalf("energy reduction %.3f outside the paper's regime (0.738)",
+			res.RefreshEnergyReduction)
+	}
+	// Sanity: PRVR sits between baseline and short-period costs.
+	if !(res.PRVRThroughputLoss > res.Baseline.ThroughputLoss &&
+		res.PRVRThroughputLoss < res.ShortPeriod.ThroughputLoss) {
+		t.Fatalf("PRVR loss %.4f not between baseline %.4f and short %.4f",
+			res.PRVRThroughputLoss, res.Baseline.ThroughputLoss, res.ShortPeriod.ThroughputLoss)
+	}
+}
+
+func TestAnalyzePRVRValidation(t *testing.T) {
+	cfg := DefaultPRVRConfig()
+	cfg.VictimRows = 0
+	if _, err := AnalyzePRVR(cfg, energy.DDR5x32Gb()); err == nil {
+		t.Fatal("zero victims accepted")
+	}
+	cfg = DefaultPRVRConfig()
+	cfg.TimeToFirstBitflipMs = 0.1 // victims cannot fit in the budget
+	if _, err := AnalyzePRVR(cfg, energy.DDR5x32Gb()); err == nil {
+		t.Fatal("impossible victim schedule accepted")
+	}
+}
+
+func TestPRVRScalesWithSubarraySize(t *testing.T) {
+	// Larger subarrays (denser chips) mean more victim rows and higher
+	// PRVR cost — the trend §6.1 warns about.
+	prev := -1.0
+	for _, victims := range []int{1536, 3072, 6144, 12288} {
+		cfg := DefaultPRVRConfig()
+		cfg.VictimRows = victims
+		res, err := AnalyzePRVR(cfg, energy.DDR5x32Gb())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PRVRThroughputLoss <= prev {
+			t.Fatal("PRVR cost must grow with victim count")
+		}
+		prev = res.PRVRThroughputLoss
+	}
+}
+
+func TestNaiveVictimRefreshLatency(t *testing.T) {
+	// §6.1: reactively refreshing 3072 rows at 70 ns each ≈ 215 µs.
+	got := NaiveVictimRefreshLatencyNs(3072, 70)
+	if math.Abs(got-215040) > 1 {
+		t.Fatalf("naive latency %v ns, paper: ≈215 µs", got)
+	}
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if !almostEq(s.Mean, 3, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if !almostEq(s.StdDev, math.Sqrt(2), 1e-9) {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero: %+v", s)
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almostEq(Mean([]float64{2, 4}), 3, 1e-12) {
+		t.Fatal("Mean wrong")
+	}
+	if !almostEq(GeoMean([]float64{1, 100}), 10, 1e-9) {
+		t.Fatal("GeoMean wrong")
+	}
+	// Non-positive values are skipped.
+	if !almostEq(GeoMean([]float64{0, 10, -3, 10}), 10, 1e-9) {
+		t.Fatal("GeoMean should skip non-positive values")
+	}
+	if GeoMean([]float64{0, -1}) != 0 {
+		t.Fatal("GeoMean of all non-positive should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {10, 14},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	b := BoxPlot(xs)
+	if b.N != 5 || b.Min != 1 || b.Max != 9 || b.Median != 5 {
+		t.Fatalf("bad box: %+v", b)
+	}
+	if !almostEq(b.Mean, 5, 1e-12) {
+		t.Fatalf("box mean: %v", b.Mean)
+	}
+	if b.Q1 > b.Median || b.Median > b.Q3 {
+		t.Fatalf("quartiles out of order: %+v", b)
+	}
+}
+
+func TestViolinSketchQuantilesSorted(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	v := ViolinSketch(xs, 11)
+	if v.N != len(xs) || len(v.Quantiles) != 11 {
+		t.Fatalf("bad violin: %+v", v)
+	}
+	if !sort.Float64sAreSorted(v.Quantiles) {
+		t.Fatalf("violin quantiles not sorted: %v", v.Quantiles)
+	}
+	if v.Quantiles[0] != 1 || v.Quantiles[10] != 9 {
+		t.Fatalf("violin extremes wrong: %v", v.Quantiles)
+	}
+}
+
+func TestViolinSketchDegenerate(t *testing.T) {
+	v := ViolinSketch(nil, 0)
+	if len(v.Quantiles) != 2 {
+		t.Fatalf("expected clamped 2-point sketch, got %d", len(v.Quantiles))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.5, 0.9, 1.5, -2}
+	h := NewHistogram(xs, 0, 1, 4)
+	if h.Total() != len(xs) {
+		t.Fatalf("histogram lost values: %d", h.Total())
+	}
+	// -2 clamps into bin 0; 1.5 clamps into bin 3.
+	if h.Counts[0] != 3 { // 0.1, 0.2, -2
+		t.Fatalf("bin 0 = %d, want 3 (%v)", h.Counts[0], h.Counts)
+	}
+	if h.Counts[3] != 2 { // 0.9, 1.5
+		t.Fatalf("bin 3 = %d, want 2 (%v)", h.Counts[3], h.Counts)
+	}
+}
+
+func TestHistogramDegenerateRange(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3}, 5, 5, 3)
+	if h.Total() != 3 || h.Counts[0] != 3 {
+		t.Fatalf("degenerate range should dump all into bin 0: %+v", h)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 2) != 5 {
+		t.Fatal("Ratio wrong")
+	}
+	if Ratio(10, 0) != 0 {
+		t.Fatal("Ratio by zero should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, ok := MinMax([]float64{3, -1, 7})
+	if !ok || min != -1 || max != 7 {
+		t.Fatalf("MinMax wrong: %v %v %v", min, max, ok)
+	}
+	if _, _, ok := MinMax(nil); ok {
+		t.Fatal("MinMax(nil) should not be ok")
+	}
+}
+
+func TestBoxPlotMatchesPercentiles(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b := BoxPlot(xs)
+		return almostEq(b.Median, Percentile(xs, 50), 1e-9) &&
+			almostEq(b.Q1, Percentile(xs, 25), 1e-9) &&
+			almostEq(b.Q3, Percentile(xs, 75), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
