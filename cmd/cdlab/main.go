@@ -1,46 +1,58 @@
 // Command cdlab runs the ColumnDisturb reproduction experiments: it can
 // list the catalog of simulated DRAM modules, enumerate the paper's tables
 // and figures, and regenerate any (or all) of them at benchmark or full
-// sweep scale.
+// sweep scale. Experiments run through the parallel experiment engine;
+// output is bit-identical for every -j value.
 //
 // Usage:
 //
 //	cdlab catalog                 # Table 1's chip population
 //	cdlab list                    # every reproducible artifact
-//	cdlab run <id> [-full]        # regenerate one table/figure
-//	cdlab run all [-full] [-o d]  # regenerate everything (optionally into a directory)
+//	cdlab run <id> [-full] [-j N] [-progress]        # regenerate one table/figure
+//	cdlab run all [-full] [-j N] [-progress] [-o d]  # regenerate everything
+//
+// Exit status: 0 on success, 1 when any experiment fails (a `run all`
+// sweep keeps going and reports every failure), 2 on usage errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"columndisturb"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "catalog":
 		catalog()
+		return 0
 	case "list":
 		list()
+		return 0
 	case "run":
-		run(os.Args[2:])
+		return runExperiments(args[1:])
 	default:
 		usage()
-		os.Exit(2)
+		return 2
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cdlab catalog | list | run <id|all> [-full] [-o dir]")
+	fmt.Fprintln(os.Stderr, "usage: cdlab catalog | list | run <id|all> [-full] [-j N] [-progress] [-o dir]")
 }
 
 func catalog() {
@@ -65,17 +77,26 @@ func list() {
 	}
 }
 
-func run(args []string) {
+func runExperiments(args []string) int {
 	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	id := args[0]
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	full := fs.Bool("full", false, "run the paper-breadth sweep instead of the benchmark-scale one")
 	outDir := fs.String("o", "", "write each result to <dir>/<id>.txt instead of stdout")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "worker bound for the experiment engine (1 = serial)")
+	progress := fs.Bool("progress", false, "report per-shard progress on stderr")
 	if err := fs.Parse(args[1:]); err != nil {
-		os.Exit(2)
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h: the flag set already printed its defaults
+		}
+		return 2
+	}
+	if *workers < 1 {
+		fmt.Fprintln(os.Stderr, "cdlab: -j must be at least 1")
+		return 2
 	}
 
 	var ids []string
@@ -88,29 +109,43 @@ func run(args []string) {
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "cdlab:", err)
+			return 1
 		}
 	}
+	var onProgress columndisturb.ProgressFunc
+	if *progress {
+		onProgress = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "cdlab: [%d/%d] %s\n", done, total, label)
+		}
+	}
+	failed := 0
 	for _, eid := range ids {
 		t0 := time.Now()
-		rep, err := columndisturb.RunExperiment(eid, *full)
+		rep, err := columndisturb.RunExperimentWith(eid, *full, *workers, onProgress)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", eid, err))
+			// Keep sweeping: one broken artifact must not hide the rest,
+			// but the process still exits non-zero.
+			fmt.Fprintf(os.Stderr, "cdlab: %s: %v\n", eid, err)
+			failed++
+			continue
 		}
 		body := fmt.Sprintf("%s(%s in %s)\n\n", rep.Text, eid, time.Since(t0).Round(time.Millisecond))
 		if *outDir != "" {
 			path := filepath.Join(*outDir, eid+".txt")
 			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "cdlab:", err)
+				failed++
+				continue
 			}
 			fmt.Printf("wrote %s (%s)\n", path, time.Since(t0).Round(time.Millisecond))
 		} else {
 			fmt.Print(body)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cdlab:", err)
-	os.Exit(1)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "cdlab: %d of %d experiments failed\n", failed, len(ids))
+		return 1
+	}
+	return 0
 }

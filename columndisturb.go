@@ -214,9 +214,26 @@ type Report struct {
 	Text    string // aligned text rendering
 }
 
-// RunExperiment regenerates one paper artifact. full=false uses the
-// benchmark-scale configuration; full=true the paper-breadth sweep.
+// ProgressFunc receives experiment progress: done of total shards are
+// complete, and label names the shard that just finished. Calls are
+// serialized but may arrive in any shard order.
+type ProgressFunc func(done, total int, label string)
+
+// RunExperiment regenerates one paper artifact through the parallel
+// experiment engine at the default worker bound (GOMAXPROCS). full=false
+// uses the benchmark-scale configuration; full=true the paper-breadth
+// sweep. Output is bit-identical for every worker count.
 func RunExperiment(id string, full bool) (*Report, error) {
+	return RunExperimentWith(id, full, 0, nil)
+}
+
+// RunExperimentWith is RunExperiment with an explicit worker bound
+// (workers <= 0 selects GOMAXPROCS, 1 forces the serial reference path)
+// and an optional progress callback. Sharded experiments produce
+// byte-identical reports for every worker count: shard randomness is
+// derived from per-shard keys and partial results merge in canonical
+// order.
+func RunExperimentWith(id string, full bool, workers int, progress ProgressFunc) (*Report, error) {
 	e, ok := experiments.ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("columndisturb: unknown experiment %q (see ListExperiments)", id)
@@ -225,7 +242,7 @@ func RunExperiment(id string, full bool) (*Report, error) {
 	if full {
 		cfg = experiments.Full()
 	}
-	res, err := e.Run(cfg)
+	res, err := e.RunWith(cfg, workers, progress)
 	if err != nil {
 		return nil, err
 	}

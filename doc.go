@@ -25,7 +25,12 @@
 //     and run methodology steps such as subarray boundary reverse
 //     engineering and the time-to-first-bitflip search.
 //   - Experiments: regenerate any table or figure of the paper
-//     (RunExperiment, ListExperiments).
+//     (RunExperiment, ListExperiments). Experiments execute on the
+//     parallel experiment engine (internal/engine): heavy sweeps decompose
+//     into independent shards with per-shard keyed RNG streams, run on a
+//     bounded worker pool (RunExperimentWith's workers, cdlab's -j), and
+//     merge in canonical order — so output is bit-identical for every
+//     worker count, including the serial reference path.
 //   - Analyses: the §6 mitigation arithmetic and RAIDR sweeps
 //     (AnalyzeMitigations, RAIDRSweep).
 //

@@ -1,0 +1,3 @@
+module columndisturb
+
+go 1.21

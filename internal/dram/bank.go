@@ -28,6 +28,10 @@ func (e *epoch) durNs() float64 { return e.toNs - e.fromNs }
 // Bank models one DRAM bank: row storage, open-row state, per-row restore
 // times, accumulated neighbour aggression (RowHammer/RowPress), and the
 // bitline exposure history used to evaluate ColumnDisturb at read time.
+//
+// Like its owning Device, a Bank is NOT goroutine-safe: commands mutate
+// the open-row state and epoch history in place. Confine each Device (and
+// therefore its Banks) to a single goroutine; see the Device doc comment.
 type Bank struct {
 	geom   Geometry
 	index  int

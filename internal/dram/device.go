@@ -10,6 +10,14 @@ import (
 // an ambient temperature, and the fault parameters of its chips. All
 // addresses at this layer are *physical* bank-level row addresses; the
 // Module wrapper adds the in-DRAM logical-to-physical mapping.
+//
+// A Device is NOT goroutine-safe: its clock, open-row state and exposure
+// history mutate on every command, and its banks share the device clock,
+// so neither a Device nor its individual Banks may be driven from multiple
+// goroutines concurrently. Parallel experiments must confine each Device
+// to one shard (one goroutine); construction is deterministic per
+// (geometry, params, seed), so per-shard instances are cheap to make and
+// bit-identical wherever they run. See internal/engine.
 type Device struct {
 	geom   Geometry
 	params *faultmodel.Params

@@ -1,0 +1,147 @@
+// Package engine executes independent experiment shards on a bounded
+// worker pool.
+//
+// The engine is the repo's scale-out scaffolding: an experiment that can
+// decompose its sweep into independent units of work (shards) hands the
+// engine a slice of closures and gets back their results in input order,
+// regardless of how many workers ran them or in what order they finished.
+// Determinism is a contract between the engine and its callers:
+//
+//   - The engine guarantees ordered collection: result i always comes from
+//     shard i, and a serial run (Workers=1) executes shards in input order.
+//   - The caller guarantees shard independence: each shard derives any
+//     randomness it needs from its own key (see rng.Key) rather than from
+//     state shared with other shards, and mutates no shared data.
+//
+// Under those two rules a parallel run is bit-identical to a serial one,
+// which the experiments package exploits to make `cdlab run -j N` produce
+// byte-for-byte the output of `-j 1`.
+//
+// Panics inside a shard are isolated: they are captured with their stack
+// and reported as that shard's error instead of tearing down the process,
+// so one poisoned unit of a 1000-shard sweep fails loudly without losing
+// the worker pool.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Shard is one independent unit of work. Run must be safe to call from any
+// goroutine and must not share mutable state with other shards.
+type Shard struct {
+	// Label identifies the shard in progress reports and error messages.
+	Label string
+	// Run produces the shard's partial result.
+	Run func() (any, error)
+}
+
+// Options tunes a Run call.
+type Options struct {
+	// Workers bounds the number of concurrently executing shards.
+	// Values <= 0 select runtime.GOMAXPROCS(0).
+	Workers int
+	// OnProgress, when non-nil, is called after each shard completes with
+	// the number of completed shards, the total, and the finished shard's
+	// label. Calls are serialized (never concurrent) but may arrive in any
+	// shard order.
+	OnProgress func(done, total int, label string)
+}
+
+// ShardError reports the failure of one shard, preserving its identity.
+type ShardError struct {
+	Index int
+	Label string
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d (%s): %v", e.Index, e.Label, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Run executes every shard and returns their results in input order:
+// out[i] is the value produced by shards[i]. All shards are attempted even
+// if some fail; the returned error joins every per-shard failure (wrapped
+// in *ShardError) and is nil only when all shards succeeded.
+func Run(shards []Shard, opts Options) ([]any, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	out := make([]any, len(shards))
+	errs := make([]error, len(shards))
+	if len(shards) == 0 {
+		return out, nil
+	}
+
+	// The counter increment and the callback share one critical section so
+	// OnProgress observes a strictly monotonic done sequence.
+	done := 0
+	var progressMu sync.Mutex
+	report := func(label string) {
+		progressMu.Lock()
+		done++
+		if opts.OnProgress != nil {
+			opts.OnProgress(done, len(shards), label)
+		}
+		progressMu.Unlock()
+	}
+
+	runOne := func(i int) {
+		out[i], errs[i] = callShard(shards[i])
+		report(shards[i].Label)
+	}
+
+	if workers == 1 {
+		// Serial reference path: input order, no goroutines.
+		for i := range shards {
+			runOne(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range shards {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, &ShardError{Index: i, Label: shards[i].Label, Err: err})
+		}
+	}
+	return out, errors.Join(joined...)
+}
+
+// callShard runs one shard with panic isolation: a panicking shard yields
+// an error carrying the panic value and stack instead of crashing the pool.
+func callShard(s Shard) (result any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = fmt.Errorf("panic: %v\n%s", p, buf)
+		}
+	}()
+	return s.Run()
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// shardedIDs returns every registered experiment that carries a Plan.
+func shardedIDs(t *testing.T) []string {
+	t.Helper()
+	var ids []string
+	for _, e := range All() {
+		if e.Plan != nil {
+			ids = append(ids, e.ID)
+		}
+	}
+	if len(ids) < 15 {
+		t.Fatalf("only %d sharded experiments registered; the heavy sweeps must all have Plans: %v", len(ids), ids)
+	}
+	return ids
+}
+
+// TestSerialParallelBitIdentical is the engine's end-to-end determinism
+// regression: for representative sharded experiments (the light fig6 and
+// table1, the repo's widest grid fig15, and the memsim-backed prvr-sim),
+// the serial reference path (workers=1) and a 4-worker parallel run must
+// render byte-identical output.
+func TestSerialParallelBitIdentical(t *testing.T) {
+	cfg := Small()
+	for _, id := range []string{"fig6", "fig15", "table1", "prvr-sim"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			if e.Plan == nil {
+				t.Fatalf("experiment %s has no shard plan", id)
+			}
+			serial, err := e.RunWith(cfg, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := e.RunWith(cfg, 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := serial.String(), parallel.String(); s != p {
+				t.Fatalf("serial and -j 4 output differ for %s:\n--- serial ---\n%s\n--- parallel ---\n%s", id, s, p)
+			}
+		})
+	}
+}
+
+// TestLegacyRunMatchesEngine checks the registration-synthesized Run of a
+// sharded experiment is exactly the serial engine path, so callers using
+// the legacy Experiment.Run field keep deterministic output.
+func TestLegacyRunMatchesEngine(t *testing.T) {
+	cfg := Small()
+	e, _ := ByID("fig7")
+	viaRun, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaEngine, err := e.RunWith(cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaRun.String() != viaEngine.String() {
+		t.Fatal("Experiment.Run diverges from RunWith(workers=1)")
+	}
+}
+
+// TestShardPlansWellFormed sanity-checks every Plan: at least one shard,
+// non-empty unique-enough labels, and a merge that renders a full Result
+// when fed the shards' own outputs.
+func TestShardPlansWellFormed(t *testing.T) {
+	cfg := Small()
+	for _, id := range shardedIDs(t) {
+		e, _ := ByID(id)
+		plan, err := e.Plan(cfg)
+		if err != nil {
+			t.Fatalf("%s: plan: %v", id, err)
+		}
+		if len(plan.Shards) == 0 {
+			t.Fatalf("%s: empty shard list", id)
+		}
+		if plan.Merge == nil {
+			t.Fatalf("%s: nil merge", id)
+		}
+		seen := map[string]bool{}
+		for i, s := range plan.Shards {
+			if s.Label == "" {
+				t.Fatalf("%s: shard %d has no label", id, i)
+			}
+			if !strings.HasPrefix(s.Label, id) {
+				t.Errorf("%s: shard label %q does not name its experiment", id, s.Label)
+			}
+			if seen[s.Label] {
+				t.Errorf("%s: duplicate shard label %q", id, s.Label)
+			}
+			seen[s.Label] = true
+			if s.Run == nil {
+				t.Fatalf("%s: shard %d has no runner", id, i)
+			}
+		}
+	}
+}
+
+// TestProgressThroughRunWith verifies shard progress surfaces through the
+// experiment layer with the right totals.
+func TestProgressThroughRunWith(t *testing.T) {
+	cfg := Small()
+	e, _ := ByID("table1")
+	plan, err := e.Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	var lastDone, lastTotal int
+	if _, err := e.RunWith(cfg, 2, func(done, total int, label string) {
+		calls++
+		lastDone, lastTotal = done, total
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(plan.Shards) || lastDone != lastTotal || lastTotal != len(plan.Shards) {
+		t.Fatalf("progress calls=%d lastDone=%d lastTotal=%d, want %d shards",
+			calls, lastDone, lastTotal, len(plan.Shards))
+	}
+}

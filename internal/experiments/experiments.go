@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"columndisturb/internal/engine"
 	"columndisturb/internal/sim/rng"
 )
 
@@ -69,6 +70,16 @@ func Full() Config {
 
 func (c Config) rand(stream uint64) *rng.Rand {
 	return rng.New(rng.Key(c.Seed, stream))
+}
+
+// shardRand derives the RNG stream for one shard of an experiment: a pure
+// function of (Seed, experiment stream, shard coordinates). Shards keyed
+// this way are decorrelated from each other yet bit-reproducible no matter
+// which worker runs them or in what order — the property the parallel
+// engine's determinism guarantee rests on.
+func (c Config) shardRand(stream uint64, shard ...uint64) *rng.Rand {
+	parts := append([]uint64{c.Seed, stream}, shard...)
+	return rng.New(rng.Key(parts...))
 }
 
 // Result is one experiment's rendered output.
@@ -131,12 +142,52 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// Experiment couples a paper artifact with its runner.
+// Shard is one independent unit of an experiment's work (an alias of
+// engine.Shard, so plans feed engine.Run directly). Its Run closure must
+// derive all randomness from per-shard keys (Config.shardRand) and touch
+// no state shared with sibling shards, so the engine can execute it on
+// any worker without changing the experiment's output.
+type Shard = engine.Shard
+
+// Plan is the sharded decomposition of one experiment: independent shards
+// plus a merge step that reassembles their partial results — delivered in
+// canonical shard order — into the final Result. Merge runs once, on the
+// caller's goroutine.
+type Plan struct {
+	Shards []Shard
+	Merge  func(parts []any) (*Result, error)
+}
+
+// Experiment couples a paper artifact with its runner. Experiments come in
+// two flavors: legacy serial runners (Run only) and sharded experiments
+// (Plan set), for which Run is synthesized at registration to execute the
+// plan serially. The heavy sweeps are sharded; future experiments should
+// implement Plan directly (see ROADMAP.md).
 type Experiment struct {
 	ID    string
 	Paper string // which table/figure this regenerates
 	Title string
 	Run   func(Config) (*Result, error)
+	Plan  func(Config) (*Plan, error)
+}
+
+// RunWith executes the experiment with the given worker bound (<=0 selects
+// GOMAXPROCS, 1 is the serial reference path). progress may be nil. For
+// sharded experiments, parallel output is bit-identical to serial output:
+// shards are keyed-RNG independent and merged in canonical order.
+func (e Experiment) RunWith(cfg Config, workers int, progress func(done, total int, label string)) (*Result, error) {
+	if e.Plan == nil {
+		return e.Run(cfg)
+	}
+	plan, err := e.Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := engine.Run(plan.Shards, engine.Options{Workers: workers, OnProgress: progress})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	return plan.Merge(parts)
 }
 
 var registry = map[string]Experiment{}
@@ -144,6 +195,12 @@ var registry = map[string]Experiment{}
 func register(e Experiment) {
 	if _, dup := registry[e.ID]; dup {
 		panic("experiments: duplicate ID " + e.ID)
+	}
+	if e.Run == nil {
+		if e.Plan == nil {
+			panic("experiments: " + e.ID + " registered with neither Run nor Plan")
+		}
+		e.Run = func(cfg Config) (*Result, error) { return e.RunWith(cfg, 1, nil) }
 	}
 	registry[e.ID] = e
 }

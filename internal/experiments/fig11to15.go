@@ -14,259 +14,376 @@ func init() {
 		ID:    "fig11",
 		Paper: "Fig 11, Obs 13-14",
 		Title: "Blast radius vs refresh interval at 65 °C",
-		Run:   runFig11,
+		Plan:  planFig11,
 	})
 	register(Experiment{
 		ID:    "fig12",
 		Paper: "Fig 12, Obs 15",
 		Title: "ColumnDisturb on HBM2 chips",
-		Run:   runFig12,
+		Plan:  planFig12,
 	})
 	register(Experiment{
 		ID:    "fig13",
 		Paper: "Fig 13, Obs 16",
 		Title: "Time to first ColumnDisturb bitflip vs temperature",
-		Run:   runFig13,
+		Plan:  planFig13,
 	})
 	register(Experiment{
 		ID:    "fig14",
 		Paper: "Fig 14, Obs 17",
 		Title: "Fraction of cells with bitflips vs temperature (512 ms)",
-		Run:   runFig14,
+		Plan:  planFig14,
 	})
 	register(Experiment{
 		ID:    "fig15",
 		Paper: "Fig 15, Obs 18-19",
 		Title: "Blast radius grid: temperature × refresh interval",
-		Run:   runFig15,
+		Plan:  planFig15,
 	})
 }
 
 // shortIntervalsMs are the refresh-window-scale intervals of Figs 11/15.
 func shortIntervalsMs() []float64 { return []float64{64, 128, 256, 512, 1024} }
 
-func runFig11(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "fig11",
-		Title:   "Rows with at least one bitflip per subarray at 65 °C (CD vs retention)",
-		Headers: []string{"mfr", "interval(ms)", "CD mean", "CD max", "RET mean", "RET max"},
+// blastPart is one (manufacturer [, temperature], interval) grid cell of
+// the Fig 11/15 blast-radius sweeps.
+type blastPart struct {
+	mfr        chipdb.Manufacturer
+	tempC      float64
+	intervalMs float64
+	cd, ret    stats.Summary
+}
+
+// sampleBlastCell samples every module of one manufacturer at one
+// (temperature, interval) grid point and summarizes the blast radius.
+func sampleBlastCell(cfg Config, mfr chipdb.Manufacturer, tempC, iv float64,
+	stream uint64, shard ...uint64) blastPart {
+	r := cfg.shardRand(stream, shard...)
+	var cdVals, retVals []float64
+	for _, m := range chipdb.ByManufacturer(mfr) {
+		p := m.BuildParams()
+		cdVals = append(cdVals, blastStats(sampleSubarrayCounts(m,
+			core.AggressorSubarrayClasses(p, worstCaseSetup()), tempC, iv,
+			cfg.SubarraysPerModule, r))...)
+		retVals = append(retVals, blastStats(sampleSubarrayCounts(m,
+			core.RetentionClasses(p, dram.PatFF), tempC, iv,
+			cfg.SubarraysPerModule, r))...)
 	}
-	r := cfg.rand(11)
-	type agg struct{ cdMean, cdMax, retMean, retMax float64 }
-	at512 := map[chipdb.Manufacturer]agg{}
-	at1024 := map[chipdb.Manufacturer]agg{}
-	maxRatio := 0.0
-	for _, mfr := range chipdb.Manufacturers() {
-		for _, iv := range shortIntervalsMs() {
-			var cdVals, retVals []float64
-			for _, m := range chipdb.ByManufacturer(mfr) {
-				p := m.BuildParams()
-				cd := sampleSubarrayCounts(m, core.AggressorSubarrayClasses(p, worstCaseSetup()),
-					65, iv, cfg.SubarraysPerModule, r)
-				ret := sampleSubarrayCounts(m, core.RetentionClasses(p, dram.PatFF),
-					65, iv, cfg.SubarraysPerModule, r)
-				cdVals = append(cdVals, blastStats(cd)...)
-				retVals = append(retVals, blastStats(ret)...)
+	return blastPart{mfr: mfr, tempC: tempC, intervalMs: iv,
+		cd: stats.Summarize(cdVals), ret: stats.Summarize(retVals)}
+}
+
+// planFig11 shards Fig 11 by (manufacturer × interval) at 65 °C.
+func planFig11(cfg Config) (*Plan, error) {
+	var shards []Shard
+	for mi, mfr := range chipdb.Manufacturers() {
+		for ii, iv := range shortIntervalsMs() {
+			mi, ii, mfr, iv := mi, ii, mfr, iv
+			shards = append(shards, Shard{
+				Label: fmt.Sprintf("fig11 %s %.0fms", mfr, iv),
+				Run: func() (any, error) {
+					return sampleBlastCell(cfg, mfr, 65, iv, 11, uint64(mi), uint64(ii)), nil
+				},
+			})
+		}
+	}
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "fig11",
+			Title:   "Rows with at least one bitflip per subarray at 65 °C (CD vs retention)",
+			Headers: []string{"mfr", "interval(ms)", "CD mean", "CD max", "RET mean", "RET max"},
+		}
+		type agg struct{ cdMean, cdMax, retMean, retMax float64 }
+		at512 := map[chipdb.Manufacturer]agg{}
+		at1024 := map[chipdb.Manufacturer]agg{}
+		maxRatio := 0.0
+		for _, raw := range parts {
+			part := raw.(blastPart)
+			res.AddRow(string(part.mfr), fmt.Sprintf("%.0f", part.intervalMs),
+				fmtF(part.cd.Mean), fmtF(part.cd.Max), fmtF(part.ret.Mean), fmtF(part.ret.Max))
+			a := agg{part.cd.Mean, part.cd.Max, part.ret.Mean, part.ret.Max}
+			if part.intervalMs == 512 {
+				at512[part.mfr] = a
 			}
-			cdS := stats.Summarize(cdVals)
-			retS := stats.Summarize(retVals)
-			res.AddRow(string(mfr), fmt.Sprintf("%.0f", iv),
-				fmtF(cdS.Mean), fmtF(cdS.Max), fmtF(retS.Mean), fmtF(retS.Max))
-			a := agg{cdS.Mean, cdS.Max, retS.Mean, retS.Max}
-			if iv == 512 {
-				at512[mfr] = a
-			}
-			if iv == 1024 {
-				at1024[mfr] = a
+			if part.intervalMs == 1024 {
+				at1024[part.mfr] = a
 			}
 			// Ratios over near-zero retention means are unbounded noise;
 			// only count grid points with measurable retention.
-			if retS.Mean >= 0.5 && cdS.Mean/retS.Mean > maxRatio {
-				maxRatio = cdS.Mean / retS.Mean
+			if part.ret.Mean >= 0.5 && part.cd.Mean/part.ret.Mean > maxRatio {
+				maxRatio = part.cd.Mean / part.ret.Mean
 			}
 		}
+		res.AddNote("Obs 13 @512ms: CD rows mean H=%.1f M=%.1f S=%.1f (paper: 2 / 6 / 232); RET max H=%.1f M=%.1f S=%.1f (paper: ≤2)",
+			at512[chipdb.SKHynix].cdMean, at512[chipdb.Micron].cdMean, at512[chipdb.Samsung].cdMean,
+			at512[chipdb.SKHynix].retMax, at512[chipdb.Micron].retMax, at512[chipdb.Samsung].retMax)
+		res.AddNote("Obs 13 @1024ms: CD rows max H=%.0f M=%.0f S=%.0f (paper: 52 / 353 / 1022); RET max H=%.0f M=%.0f S=%.0f (paper: 20 / 34 / 29)",
+			at1024[chipdb.SKHynix].cdMax, at1024[chipdb.Micron].cdMax, at1024[chipdb.Samsung].cdMax,
+			at1024[chipdb.SKHynix].retMax, at1024[chipdb.Micron].retMax, at1024[chipdb.Samsung].retMax)
+		if maxRatio > 0 {
+			res.AddNote("Obs 14: blast radius grows with the refresh interval; largest CD/RET mean ratio observed %.0fx", maxRatio)
+		} else {
+			res.AddNote("Obs 14: blast radius grows with the refresh interval; retention-weak rows are negligible at 65 °C in the scaled model")
+		}
+		return res, nil
 	}
-	res.AddNote("Obs 13 @512ms: CD rows mean H=%.1f M=%.1f S=%.1f (paper: 2 / 6 / 232); RET max H=%.1f M=%.1f S=%.1f (paper: ≤2)",
-		at512[chipdb.SKHynix].cdMean, at512[chipdb.Micron].cdMean, at512[chipdb.Samsung].cdMean,
-		at512[chipdb.SKHynix].retMax, at512[chipdb.Micron].retMax, at512[chipdb.Samsung].retMax)
-	res.AddNote("Obs 13 @1024ms: CD rows max H=%.0f M=%.0f S=%.0f (paper: 52 / 353 / 1022); RET max H=%.0f M=%.0f S=%.0f (paper: 20 / 34 / 29)",
-		at1024[chipdb.SKHynix].cdMax, at1024[chipdb.Micron].cdMax, at1024[chipdb.Samsung].cdMax,
-		at1024[chipdb.SKHynix].retMax, at1024[chipdb.Micron].retMax, at1024[chipdb.Samsung].retMax)
-	if maxRatio > 0 {
-		res.AddNote("Obs 14: blast radius grows with the refresh interval; largest CD/RET mean ratio observed %.0fx", maxRatio)
-	} else {
-		res.AddNote("Obs 14: blast radius grows with the refresh interval; retention-weak rows are negligible at 65 °C in the scaled model")
-	}
-	return res, nil
+	return &Plan{Shards: shards, Merge: merge}, nil
 }
 
-func runFig12(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "fig12",
-		Title:   "ColumnDisturb vs retention bitflips per subarray on HBM2 chips",
-		Headers: []string{"chip", "interval", "CD mean", "CD min", "CD max", "RET mean"},
-	}
-	r := cfg.rand(12)
+// fig12Part is one (HBM2 chip, interval) cell: the rendered row plus the
+// deterministic expected counts the Obs 15 ratios are built from.
+type fig12Part struct {
+	row           []string
+	intervalMs    float64
+	cdExp, retExp float64
+}
+
+// planFig12 shards Fig 12 by (HBM2 chip × interval).
+func planFig12(cfg Config) (*Plan, error) {
 	ivs := []float64{1000, 2000, 4000}
-	cdSum := map[float64]float64{}
-	retSum := map[float64]float64{}
-	for _, m := range chipdb.HBM2Chips() {
+	var shards []Shard
+	for ci, m := range chipdb.HBM2Chips() {
+		m := m
 		p := m.BuildParams()
 		g := m.Geometry()
-		for _, iv := range ivs {
-			cdCls := core.AggressorSubarrayClasses(p, worstCaseSetup())
-			retCls := core.RetentionClasses(p, dram.PatFF)
-			cd := sampleSubarrayCounts(m, cdCls, 85, iv, cfg.SubarraysPerModule, r)
-			cdMean, cdMin, cdMax := countStats(cd)
-			retMean, _, _ := countStats(sampleSubarrayCounts(m, retCls, 85, iv, cfg.SubarraysPerModule, r))
-			res.AddRow(m.ID, fmt.Sprintf("%.0fs", iv/1000),
-				fmtF(cdMean), fmtF(cdMin), fmtF(cdMax), fmtF(retMean))
-			// The Obs 15 ratios use expected counts: sampled integer counts
-			// at short intervals are too granular for stable ratios.
-			base := core.SubarrayConfig{Params: p, TempC: 85, DurationMs: iv,
-				Rows: g.RowsPerSubarray, Cols: g.Cols}
-			cdCfg, retCfg := base, base
-			cdCfg.Classes, retCfg.Classes = cdCls, retCls
-			cdSum[iv] += core.ExpectedCount(cdCfg)
-			retSum[iv] += core.ExpectedCount(retCfg)
+		cdCls := core.AggressorSubarrayClasses(p, worstCaseSetup())
+		retCls := core.RetentionClasses(p, dram.PatFF)
+		for ii, iv := range ivs {
+			ci, ii, iv := ci, ii, iv
+			shards = append(shards, Shard{
+				Label: fmt.Sprintf("fig12 %s %.0fs", m.ID, iv/1000),
+				Run: func() (any, error) {
+					r := cfg.shardRand(12, uint64(ci), uint64(ii))
+					cd := sampleSubarrayCounts(m, cdCls, 85, iv, cfg.SubarraysPerModule, r)
+					cdMean, cdMin, cdMax := countStats(cd)
+					retMean, _, _ := countStats(sampleSubarrayCounts(m, retCls, 85, iv, cfg.SubarraysPerModule, r))
+					// The Obs 15 ratios use expected counts: sampled integer
+					// counts at short intervals are too granular for stable
+					// ratios.
+					base := core.SubarrayConfig{Params: p, TempC: 85, DurationMs: iv,
+						Rows: g.RowsPerSubarray, Cols: g.Cols}
+					cdCfg, retCfg := base, base
+					cdCfg.Classes, retCfg.Classes = cdCls, retCls
+					return fig12Part{
+						row: []string{m.ID, fmt.Sprintf("%.0fs", iv/1000),
+							fmtF(cdMean), fmtF(cdMin), fmtF(cdMax), fmtF(retMean)},
+						intervalMs: iv,
+						cdExp:      core.ExpectedCount(cdCfg),
+						retExp:     core.ExpectedCount(retCfg),
+					}, nil
+				},
+			})
 		}
 	}
-	res.AddNote("Obs 15: CD/RET ratio 1s=%.2fx 2s=%.2fx 4s=%.2fx (paper: 1.61x / 2.08x / 2.43x)",
-		stats.Ratio(cdSum[1000], retSum[1000]),
-		stats.Ratio(cdSum[2000], retSum[2000]),
-		stats.Ratio(cdSum[4000], retSum[4000]))
-	return res, nil
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "fig12",
+			Title:   "ColumnDisturb vs retention bitflips per subarray on HBM2 chips",
+			Headers: []string{"chip", "interval", "CD mean", "CD min", "CD max", "RET mean"},
+		}
+		cdSum := map[float64]float64{}
+		retSum := map[float64]float64{}
+		for _, raw := range parts {
+			part := raw.(fig12Part)
+			res.AddRow(part.row...)
+			cdSum[part.intervalMs] += part.cdExp
+			retSum[part.intervalMs] += part.retExp
+		}
+		res.AddNote("Obs 15: CD/RET ratio 1s=%.2fx 2s=%.2fx 4s=%.2fx (paper: 1.61x / 2.08x / 2.43x)",
+			stats.Ratio(cdSum[1000], retSum[1000]),
+			stats.Ratio(cdSum[2000], retSum[2000]),
+			stats.Ratio(cdSum[4000], retSum[4000]))
+		return res, nil
+	}
+	return &Plan{Shards: shards, Merge: merge}, nil
 }
 
-func runFig13(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "fig13",
-		Title:   "Time to first ColumnDisturb bitflip vs temperature (ms)",
-		Headers: []string{"mfr", "temp(°C)", "min", "median", "max", "mean", ">512ms"},
-	}
-	r := cfg.rand(13)
+// fig13Part is one (manufacturer, temperature) TTF distribution.
+type fig13Part struct {
+	mfr   chipdb.Manufacturer
+	tempC float64
+	found []float64
+}
+
+// planFig13 shards Fig 13 by (manufacturer × temperature): each shard
+// draws the uncensored TTF distribution over the manufacturer's modules.
+func planFig13(cfg Config) (*Plan, error) {
 	temps := []float64{45, 65, 85, 95}
 	setup := worstCaseSetup()
-	means := map[chipdb.Manufacturer]map[float64]float64{}
-	for _, mfr := range chipdb.Manufacturers() {
-		means[mfr] = map[float64]float64{}
-		for _, tC := range temps {
-			found, _ := mfrTTFs(mfr, setup, tC, cfg.SubarraysPerModule, r)
-			if len(found) == 0 {
-				res.AddRow(string(mfr), fmt.Sprintf("%.0f", tC), "-", "-", "-", "-", "-")
+	var shards []Shard
+	for mi, mfr := range chipdb.Manufacturers() {
+		for ti, tC := range temps {
+			mi, ti, mfr, tC := mi, ti, mfr, tC
+			shards = append(shards, Shard{
+				Label: fmt.Sprintf("fig13 %s %.0f°C", mfr, tC),
+				Run: func() (any, error) {
+					r := cfg.shardRand(13, uint64(mi), uint64(ti))
+					found, _ := mfrTTFs(mfr, setup, tC, cfg.SubarraysPerModule, r)
+					return fig13Part{mfr: mfr, tempC: tC, found: found}, nil
+				},
+			})
+		}
+	}
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "fig13",
+			Title:   "Time to first ColumnDisturb bitflip vs temperature (ms)",
+			Headers: []string{"mfr", "temp(°C)", "min", "median", "max", "mean", ">512ms"},
+		}
+		means := map[chipdb.Manufacturer]map[float64]float64{}
+		for _, raw := range parts {
+			part := raw.(fig13Part)
+			if means[part.mfr] == nil {
+				means[part.mfr] = map[float64]float64{}
+			}
+			if len(part.found) == 0 {
+				res.AddRow(string(part.mfr), fmt.Sprintf("%.0f", part.tempC), "-", "-", "-", "-", "-")
 				continue
 			}
-			b := stats.BoxPlot(found)
-			means[mfr][tC] = b.Mean
+			b := stats.BoxPlot(part.found)
+			means[part.mfr][part.tempC] = b.Mean
 			over := 0
-			for _, v := range found {
+			for _, v := range part.found {
 				if v > ttfCeilingMs {
 					over++
 				}
 			}
-			res.AddRow(string(mfr), fmt.Sprintf("%.0f", tC),
+			res.AddRow(string(part.mfr), fmt.Sprintf("%.0f", part.tempC),
 				fmtMs(b.Min), fmtMs(b.Median), fmtMs(b.Max), fmtMs(b.Mean),
 				fmt.Sprintf("%d", over))
 		}
+		res.AddNote("Obs 16: 45→95 °C mean TTF reduction: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx (paper: 9.05x / 5.15x / 1.96x)",
+			stats.Ratio(means[chipdb.SKHynix][45], means[chipdb.SKHynix][95]),
+			stats.Ratio(means[chipdb.Micron][45], means[chipdb.Micron][95]),
+			stats.Ratio(means[chipdb.Samsung][45], means[chipdb.Samsung][95]))
+		res.AddNote("method: uncensored distributions (the paper's 512 ms search ceiling would truncate the 45 °C tail; the >512ms column counts affected samples)")
+		return res, nil
 	}
-	res.AddNote("Obs 16: 45→95 °C mean TTF reduction: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx (paper: 9.05x / 5.15x / 1.96x)",
-		stats.Ratio(means[chipdb.SKHynix][45], means[chipdb.SKHynix][95]),
-		stats.Ratio(means[chipdb.Micron][45], means[chipdb.Micron][95]),
-		stats.Ratio(means[chipdb.Samsung][45], means[chipdb.Samsung][95]))
-	res.AddNote("method: uncensored distributions (the paper's 512 ms search ceiling would truncate the 45 °C tail; the >512ms column counts affected samples)")
-	return res, nil
+	return &Plan{Shards: shards, Merge: merge}, nil
 }
 
-func runFig14(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "fig14",
-		Title:   "Fraction of cells with bitflips per subarray at 512 ms vs temperature",
-		Headers: []string{"mfr", "temp(°C)", "CD", "RET"},
-	}
-	// Fraction-of-cells ratios at 512 ms reach below one bitflip per
-	// sampled subarray; expected fractions keep them well-defined.
-	temps := []float64{45, 65, 85, 95}
-	cd := map[chipdb.Manufacturer]map[float64]float64{}
-	ret := map[chipdb.Manufacturer]map[float64]float64{}
-	for _, mfr := range chipdb.Manufacturers() {
-		cd[mfr] = map[float64]float64{}
-		ret[mfr] = map[float64]float64{}
-		for _, tC := range temps {
-			var cdFr, retFr, n float64
-			for _, m := range chipdb.ByManufacturer(mfr) {
-				p := m.BuildParams()
-				g := m.Geometry()
-				cells := float64(g.RowsPerSubarray) * float64(g.Cols)
-				base := core.SubarrayConfig{Params: p, TempC: tC, DurationMs: 512,
-					Rows: g.RowsPerSubarray, Cols: g.Cols}
-				cdCfg, retCfg := base, base
-				cdCfg.Classes = core.AggressorSubarrayClasses(p, worstCaseSetup())
-				retCfg.Classes = core.RetentionClasses(p, dram.PatFF)
-				cdFr += core.ExpectedCount(cdCfg) / cells
-				retFr += core.ExpectedCount(retCfg) / cells
-				n++
-			}
-			cd[mfr][tC] = cdFr / n
-			ret[mfr][tC] = retFr / n
-			res.AddRow(string(mfr), fmt.Sprintf("%.0f", tC), fmtF(cd[mfr][tC]), fmtF(ret[mfr][tC]))
-		}
-	}
-	res.AddNote("Obs 17: SK Hynix 85→95 °C increase: CD %.1fx vs RET %.1fx (paper: 72.96x vs 3.68x)",
-		stats.Ratio(cd[chipdb.SKHynix][95], cd[chipdb.SKHynix][85]),
-		stats.Ratio(ret[chipdb.SKHynix][95], ret[chipdb.SKHynix][85]))
-	if ret[chipdb.Samsung][65] >= 1e-8 {
-		res.AddNote("Obs 17: Samsung CD/RET at 65 °C: %.1fx (paper: 152.66x)",
-			stats.Ratio(cd[chipdb.Samsung][65], ret[chipdb.Samsung][65]))
-	} else {
-		res.AddNote("Obs 17: Samsung CD dominates at 65 °C; retention is unmeasurably small in the scaled model (paper ratio: 152.66x)")
-	}
-	return res, nil
+// fig14Part is one (manufacturer, temperature) expected-fraction pair.
+type fig14Part struct {
+	mfr     chipdb.Manufacturer
+	tempC   float64
+	cd, ret float64
 }
 
-func runFig15(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "fig15",
-		Title:   "Blast radius (rows with ≥1 bitflip per subarray) across temperature and refresh interval",
-		Headers: []string{"mfr", "temp(°C)", "interval(ms)", "CD mean", "CD max", "RET mean", "RET max"},
-	}
-	r := cfg.rand(15)
+// planFig14 shards Fig 14 by (manufacturer × temperature). The experiment
+// is deterministic (expected fractions, no sampling), so shards carry no
+// RNG at all.
+func planFig14(cfg Config) (*Plan, error) {
 	temps := []float64{45, 65, 85, 95}
-	maxRatio := 0.0
-	var micron45Max, samsung45Max float64
+	var shards []Shard
 	for _, mfr := range chipdb.Manufacturers() {
 		for _, tC := range temps {
-			for _, iv := range shortIntervalsMs() {
-				var cdVals, retVals []float64
-				for _, m := range chipdb.ByManufacturer(mfr) {
-					p := m.BuildParams()
-					cdVals = append(cdVals, blastStats(sampleSubarrayCounts(m,
-						core.AggressorSubarrayClasses(p, worstCaseSetup()), tC, iv,
-						cfg.SubarraysPerModule, r))...)
-					retVals = append(retVals, blastStats(sampleSubarrayCounts(m,
-						core.RetentionClasses(p, dram.PatFF), tC, iv,
-						cfg.SubarraysPerModule, r))...)
-				}
-				cdS := stats.Summarize(cdVals)
-				retS := stats.Summarize(retVals)
-				res.AddRow(string(mfr), fmt.Sprintf("%.0f", tC), fmt.Sprintf("%.0f", iv),
-					fmtF(cdS.Mean), fmtF(cdS.Max), fmtF(retS.Mean), fmtF(retS.Max))
-				if retS.Mean >= 0.5 && cdS.Mean/retS.Mean > maxRatio {
-					maxRatio = cdS.Mean / retS.Mean
-				}
-				if tC == 45 && iv == 1024 {
-					switch mfr {
-					case chipdb.Micron:
-						micron45Max = cdS.Max
-					case chipdb.Samsung:
-						samsung45Max = cdS.Max
+			mfr, tC := mfr, tC
+			shards = append(shards, Shard{
+				Label: fmt.Sprintf("fig14 %s %.0f°C", mfr, tC),
+				Run: func() (any, error) {
+					// Fraction-of-cells ratios at 512 ms reach below one
+					// bitflip per sampled subarray; expected fractions keep
+					// them well-defined.
+					var cdFr, retFr, n float64
+					for _, m := range chipdb.ByManufacturer(mfr) {
+						p := m.BuildParams()
+						g := m.Geometry()
+						cells := float64(g.RowsPerSubarray) * float64(g.Cols)
+						base := core.SubarrayConfig{Params: p, TempC: tC, DurationMs: 512,
+							Rows: g.RowsPerSubarray, Cols: g.Cols}
+						cdCfg, retCfg := base, base
+						cdCfg.Classes = core.AggressorSubarrayClasses(p, worstCaseSetup())
+						retCfg.Classes = core.RetentionClasses(p, dram.PatFF)
+						cdFr += core.ExpectedCount(cdCfg) / cells
+						retFr += core.ExpectedCount(retCfg) / cells
+						n++
 					}
-				}
+					return fig14Part{mfr: mfr, tempC: tC, cd: cdFr / n, ret: retFr / n}, nil
+				},
+			})
+		}
+	}
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "fig14",
+			Title:   "Fraction of cells with bitflips per subarray at 512 ms vs temperature",
+			Headers: []string{"mfr", "temp(°C)", "CD", "RET"},
+		}
+		cd := map[chipdb.Manufacturer]map[float64]float64{}
+		ret := map[chipdb.Manufacturer]map[float64]float64{}
+		for _, raw := range parts {
+			part := raw.(fig14Part)
+			if cd[part.mfr] == nil {
+				cd[part.mfr] = map[float64]float64{}
+				ret[part.mfr] = map[float64]float64{}
+			}
+			cd[part.mfr][part.tempC] = part.cd
+			ret[part.mfr][part.tempC] = part.ret
+			res.AddRow(string(part.mfr), fmt.Sprintf("%.0f", part.tempC), fmtF(part.cd), fmtF(part.ret))
+		}
+		res.AddNote("Obs 17: SK Hynix 85→95 °C increase: CD %.1fx vs RET %.1fx (paper: 72.96x vs 3.68x)",
+			stats.Ratio(cd[chipdb.SKHynix][95], cd[chipdb.SKHynix][85]),
+			stats.Ratio(ret[chipdb.SKHynix][95], ret[chipdb.SKHynix][85]))
+		if ret[chipdb.Samsung][65] >= 1e-8 {
+			res.AddNote("Obs 17: Samsung CD/RET at 65 °C: %.1fx (paper: 152.66x)",
+				stats.Ratio(cd[chipdb.Samsung][65], ret[chipdb.Samsung][65]))
+		} else {
+			res.AddNote("Obs 17: Samsung CD dominates at 65 °C; retention is unmeasurably small in the scaled model (paper ratio: 152.66x)")
+		}
+		return res, nil
+	}
+	return &Plan{Shards: shards, Merge: merge}, nil
+}
+
+// planFig15 shards Fig 15 by (manufacturer × temperature × interval) —
+// the repo's widest grid (60 cells), and the heavy sweep the engine
+// benchmark measures.
+func planFig15(cfg Config) (*Plan, error) {
+	temps := []float64{45, 65, 85, 95}
+	var shards []Shard
+	for mi, mfr := range chipdb.Manufacturers() {
+		for ti, tC := range temps {
+			for ii, iv := range shortIntervalsMs() {
+				mi, ti, ii, mfr, tC, iv := mi, ti, ii, mfr, tC, iv
+				shards = append(shards, Shard{
+					Label: fmt.Sprintf("fig15 %s %.0f°C %.0fms", mfr, tC, iv),
+					Run: func() (any, error) {
+						return sampleBlastCell(cfg, mfr, tC, iv, 15,
+							uint64(mi), uint64(ti), uint64(ii)), nil
+					},
+				})
 			}
 		}
 	}
-	res.AddNote("Obs 18: at 45 °C/1024 ms CD reaches up to %.0f (Micron) and %.0f (Samsung) rows (paper: 39 / 150, RET ≤1)",
-		micron45Max, samsung45Max)
-	res.AddNote("Obs 18: largest CD/RET blast-radius mean ratio %.0fx (paper: up to 198x)", maxRatio)
-	res.AddNote("Obs 19: blast radius grows with temperature; at 95 °C both mechanisms approach full subarrays")
-	return res, nil
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "fig15",
+			Title:   "Blast radius (rows with ≥1 bitflip per subarray) across temperature and refresh interval",
+			Headers: []string{"mfr", "temp(°C)", "interval(ms)", "CD mean", "CD max", "RET mean", "RET max"},
+		}
+		maxRatio := 0.0
+		var micron45Max, samsung45Max float64
+		for _, raw := range parts {
+			part := raw.(blastPart)
+			res.AddRow(string(part.mfr), fmt.Sprintf("%.0f", part.tempC), fmt.Sprintf("%.0f", part.intervalMs),
+				fmtF(part.cd.Mean), fmtF(part.cd.Max), fmtF(part.ret.Mean), fmtF(part.ret.Max))
+			if part.ret.Mean >= 0.5 && part.cd.Mean/part.ret.Mean > maxRatio {
+				maxRatio = part.cd.Mean / part.ret.Mean
+			}
+			if part.tempC == 45 && part.intervalMs == 1024 {
+				switch part.mfr {
+				case chipdb.Micron:
+					micron45Max = part.cd.Max
+				case chipdb.Samsung:
+					samsung45Max = part.cd.Max
+				}
+			}
+		}
+		res.AddNote("Obs 18: at 45 °C/1024 ms CD reaches up to %.0f (Micron) and %.0f (Samsung) rows (paper: 39 / 150, RET ≤1)",
+			micron45Max, samsung45Max)
+		res.AddNote("Obs 18: largest CD/RET blast-radius mean ratio %.0fx (paper: up to 198x)", maxRatio)
+		res.AddNote("Obs 19: blast radius grows with temperature; at 95 °C both mechanisms approach full subarrays")
+		return res, nil
+	}
+	return &Plan{Shards: shards, Merge: merge}, nil
 }

@@ -13,63 +13,89 @@ func init() {
 		ID:    "fig6",
 		Paper: "Fig 6, Obs 1-3",
 		Title: "Time to first ColumnDisturb bitflip by chip density & die revision",
-		Run:   runFig6,
+		Plan:  planFig6,
 	})
 }
 
-func runFig6(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "fig6",
-		Title:   "Distribution of time to first ColumnDisturb bitflip in a subarray (ms, 85 °C, worst-case pattern)",
-		Headers: []string{"die group", "min", "p25", "median", "p75", "max", "subarrays", ">512ms"},
-	}
-	r := cfg.rand(6)
+// fig6Part is one die group's sampled TTF distribution.
+type fig6Part struct {
+	key      string
+	found    []float64
+	notFound int
+}
+
+// planFig6 shards Fig 6 by die group: each shard samples the group's
+// time-to-first-bitflip distribution at 85 °C under the worst-case
+// pattern. The Obs 2/3 scaling notes are deterministic (module-level
+// expected TTFs) and computed in the merge step.
+func planFig6(cfg Config) (*Plan, error) {
 	setup := worstCaseSetup()
-	minPer := map[string]float64{}
-	anyNotVulnerable := false
-	for _, g := range chipdb.DieGroups() {
-		found, notFound := groupTTFs(g, setup, 85, ttfCeilingMs, cfg.SubarraysPerModule, r)
-		if len(found) == 0 {
-			anyNotVulnerable = true
-			res.AddRow(g.Key, "-", "-", "-", "-", "-", "0", fmt.Sprintf("%d", notFound))
-			continue
+	groups := chipdb.DieGroups()
+	shards := make([]Shard, len(groups))
+	for gi, g := range groups {
+		gi, g := gi, g
+		shards[gi] = Shard{
+			Label: "fig6 " + g.Key,
+			Run: func() (any, error) {
+				r := cfg.shardRand(6, uint64(gi))
+				found, notFound := groupTTFs(g, setup, 85, ttfCeilingMs, cfg.SubarraysPerModule, r)
+				return fig6Part{key: g.Key, found: found, notFound: notFound}, nil
+			},
 		}
-		b := stats.BoxPlot(found)
-		res.AddRow(g.Key, fmtMs(b.Min), fmtMs(b.Q1), fmtMs(b.Median), fmtMs(b.Q3), fmtMs(b.Max),
-			fmt.Sprintf("%d", b.N), fmt.Sprintf("%d", notFound))
-		minPer[g.Key] = b.Min
 	}
-	if !anyNotVulnerable {
-		res.AddNote("Obs 1: every tested die group shows ColumnDisturb bitflips within 512 ms")
-	}
-	// The Obs 2 scaling factors use the deterministic module-level expected
-	// TTF (minimum over the group) rather than the sampled subarray minima:
-	// the sampled minima converge to these values with the full-size sweep.
-	for _, g := range chipdb.DieGroups() {
-		groupMin := 0.0
-		for _, m := range g.Modules {
-			p := m.BuildParams()
-			mdl := core.NewRateModel(p, 85, p.RhoHammer(70200, 14, 0))
-			ttf := mdl.ExpectedTTFms(m.Geometry().TotalCells())
-			if groupMin == 0 || ttf < groupMin {
-				groupMin = ttf
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "fig6",
+			Title:   "Distribution of time to first ColumnDisturb bitflip in a subarray (ms, 85 °C, worst-case pattern)",
+			Headers: []string{"die group", "min", "p25", "median", "p75", "max", "subarrays", ">512ms"},
+		}
+		anyNotVulnerable := false
+		for _, raw := range parts {
+			part := raw.(fig6Part)
+			if len(part.found) == 0 {
+				anyNotVulnerable = true
+				res.AddRow(part.key, "-", "-", "-", "-", "-", "0", fmt.Sprintf("%d", part.notFound))
+				continue
 			}
+			b := stats.BoxPlot(part.found)
+			res.AddRow(part.key, fmtMs(b.Min), fmtMs(b.Q1), fmtMs(b.Median), fmtMs(b.Q3), fmtMs(b.Max),
+				fmt.Sprintf("%d", b.N), fmt.Sprintf("%d", part.notFound))
 		}
-		minPer[g.Key] = groupMin
+		if !anyNotVulnerable {
+			res.AddNote("Obs 1: every tested die group shows ColumnDisturb bitflips within 512 ms")
+		}
+		// The Obs 2 scaling factors use the deterministic module-level
+		// expected TTF (minimum over the group) rather than the sampled
+		// subarray minima: the sampled minima converge to these values with
+		// the full-size sweep.
+		minPer := map[string]float64{}
+		for _, g := range chipdb.DieGroups() {
+			groupMin := 0.0
+			for _, m := range g.Modules {
+				p := m.BuildParams()
+				mdl := core.NewRateModel(p, 85, p.RhoHammer(70200, 14, 0))
+				ttf := mdl.ExpectedTTFms(m.Geometry().TotalCells())
+				if groupMin == 0 || ttf < groupMin {
+					groupMin = ttf
+				}
+			}
+			minPer[g.Key] = groupMin
+		}
+		ratio := func(older, newer string) float64 {
+			return stats.Ratio(minPer[older], minPer[newer])
+		}
+		res.AddNote("Obs 2: SK Hynix 8Gb A→D min-TTF ratio %.2fx (paper: 5.06x), 16Gb A→C %.2fx (paper: 1.29x)",
+			ratio("SK Hynix 8Gb A-die", "SK Hynix 8Gb D-die"),
+			ratio("SK Hynix 16Gb A-die", "SK Hynix 16Gb C-die"))
+		res.AddNote("Obs 2: Micron 16Gb B→F min-TTF ratio %.2fx (paper: 2.98x); Samsung 16Gb A→C %.2fx (paper: 2.50x)",
+			ratio("Micron 16Gb B-die", "Micron 16Gb F-die"),
+			ratio("Samsung 16Gb A-die", "Samsung 16Gb C-die"))
+		if m := minPer["Micron 16Gb F-die"]; m > 0 && m < 64 {
+			res.AddNote("Obs 3: Micron 16Gb F-die shows bitflips within the 64 ms refresh window (min %.1f ms; paper: 63.6 ms)", m)
+		} else {
+			res.AddNote("Obs 3: Micron 16Gb F-die min TTF %.1f ms (paper: 63.6 ms, inside the refresh window)", minPer["Micron 16Gb F-die"])
+		}
+		return res, nil
 	}
-	ratio := func(older, newer string) float64 {
-		return stats.Ratio(minPer[older], minPer[newer])
-	}
-	res.AddNote("Obs 2: SK Hynix 8Gb A→D min-TTF ratio %.2fx (paper: 5.06x), 16Gb A→C %.2fx (paper: 1.29x)",
-		ratio("SK Hynix 8Gb A-die", "SK Hynix 8Gb D-die"),
-		ratio("SK Hynix 16Gb A-die", "SK Hynix 16Gb C-die"))
-	res.AddNote("Obs 2: Micron 16Gb B→F min-TTF ratio %.2fx (paper: 2.98x); Samsung 16Gb A→C %.2fx (paper: 2.50x)",
-		ratio("Micron 16Gb B-die", "Micron 16Gb F-die"),
-		ratio("Samsung 16Gb A-die", "Samsung 16Gb C-die"))
-	if m := minPer["Micron 16Gb F-die"]; m > 0 && m < 64 {
-		res.AddNote("Obs 3: Micron 16Gb F-die shows bitflips within the 64 ms refresh window (min %.1f ms; paper: 63.6 ms)", m)
-	} else {
-		res.AddNote("Obs 3: Micron 16Gb F-die min TTF %.1f ms (paper: 63.6 ms, inside the refresh window)", minPer["Micron 16Gb F-die"])
-	}
-	return res, nil
+	return &Plan{Shards: shards, Merge: merge}, nil
 }

@@ -14,109 +14,151 @@ func init() {
 		ID:    "fig7",
 		Paper: "Fig 7, Obs 7-8",
 		Title: "Bitflip direction: ColumnDisturb vs retention (S0)",
-		Run:   runFig7,
+		Plan:  planFig7,
 	})
 	register(Experiment{
 		ID:    "fig8",
 		Paper: "Fig 8, Obs 9-10",
 		Title: "Aggressor data pattern (all-0 vs all-1) vs retention",
-		Run:   runFig8,
+		Plan:  planFig8,
 	})
 	register(Experiment{
 		ID:    "fig9",
 		Paper: "Fig 9, Obs 11",
 		Title: "Aggressor row on time (36 ns vs 70.2 µs) vs retention",
-		Run:   runFig9,
+		Plan:  planFig9,
 	})
 	register(Experiment{
 		ID:    "fig10",
 		Paper: "Fig 10, Obs 12",
 		Title: "Average voltage level on perturbed columns",
-		Run:   runFig10,
+		Plan:  planFig10,
 	})
 }
 
-func runFig7(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "fig7",
-		Title:   "1→0 and 0→1 bitflips per subarray: ColumnDisturb vs retention (module S0)",
-		Headers: []string{"interval", "series", "1→0 mean", "1→0 min", "1→0 max", "0→1"},
-	}
-	s0, _ := chipdb.ByID("S0")
-	p := s0.BuildParams()
-	r := cfg.rand(7)
-	cdClasses := core.AggressorSubarrayClasses(p, worstCaseSetup())
-	retClasses := core.RetentionClasses(p, dram.PatFF)
-	var cdMeans, retMeans []float64
-	for _, iv := range standardIntervalsMs() {
-		cd := sampleSubarrayCounts(s0, cdClasses, 85, iv, cfg.SubarraysPerModule, r)
-		ret := sampleSubarrayCounts(s0, retClasses, 85, iv, cfg.SubarraysPerModule, r)
-		cdMean, cdMin, cdMax := countStats(cd)
-		retMean, retMin, retMax := countStats(ret)
-		cdMeans = append(cdMeans, cdMean)
-		retMeans = append(retMeans, retMean)
-		label := fmt.Sprintf("%.0fs", iv/1000)
-		// ColumnDisturb and retention flips are 1→0 only in the tested
-		// true-cell modules (Obs 7); the 0→1 column stays zero.
-		res.AddRow(label, "ColumnDisturb", fmtF(cdMean), fmtF(cdMin), fmtF(cdMax), "0")
-		res.AddRow("", "Retention", fmtF(retMean), fmtF(retMin), fmtF(retMax), "0")
-	}
-	res.AddNote("Obs 7: only 1→0 bitflips for both ColumnDisturb and retention (RowHammer/RowPress flip both ways)")
-	ivs := standardIntervalsMs()
-	line := "Obs 8: CD/RET count ratio:"
-	for i := range ivs {
-		line += fmt.Sprintf(" %.0fs=%.2fx", ivs[i]/1000, stats.Ratio(cdMeans[i], retMeans[i]))
-	}
-	res.AddNote("%s (paper: 1s=11.77x 2s=7.02x 4s=4.86x 8s=3.97x 16s=4.58x)", line)
-	return res, nil
+// fig7Part is one refresh interval's sampled statistics.
+type fig7Part struct {
+	label                   string
+	cdMean, cdMin, cdMax    float64
+	retMean, retMin, retMax float64
 }
 
-func runFig8(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "fig8",
-		Title:   "Fraction of cells with bitflips per subarray: AggDP all-0 vs all-1 vs retention (tAggOn = tRAS)",
-		Headers: []string{"module", "interval", "AggDP=all-0", "AggDP=all-1", "RET"},
+// planFig7 shards Fig 7 by refresh interval: each shard samples both the
+// ColumnDisturb and retention populations of module S0 at one interval.
+func planFig7(cfg Config) (*Plan, error) {
+	s0, _ := chipdb.ByID("S0")
+	p := s0.BuildParams()
+	cdClasses := core.AggressorSubarrayClasses(p, worstCaseSetup())
+	retClasses := core.RetentionClasses(p, dram.PatFF)
+	ivs := standardIntervalsMs()
+	shards := make([]Shard, len(ivs))
+	for i, iv := range ivs {
+		i, iv := i, iv
+		shards[i] = Shard{
+			Label: fmt.Sprintf("fig7 %.0fs", iv/1000),
+			Run: func() (any, error) {
+				r := cfg.shardRand(7, uint64(i))
+				cd := sampleSubarrayCounts(s0, cdClasses, 85, iv, cfg.SubarraysPerModule, r)
+				ret := sampleSubarrayCounts(s0, retClasses, 85, iv, cfg.SubarraysPerModule, r)
+				part := fig7Part{label: fmt.Sprintf("%.0fs", iv/1000)}
+				part.cdMean, part.cdMin, part.cdMax = countStats(cd)
+				part.retMean, part.retMin, part.retMax = countStats(ret)
+				return part, nil
+			},
+		}
 	}
-	r := cfg.rand(8)
-	type point struct{ all0, all1, ret float64 }
-	last := map[string]point{}
-	for _, m := range representatives() {
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "fig7",
+			Title:   "1→0 and 0→1 bitflips per subarray: ColumnDisturb vs retention (module S0)",
+			Headers: []string{"interval", "series", "1→0 mean", "1→0 min", "1→0 max", "0→1"},
+		}
+		line := "Obs 8: CD/RET count ratio:"
+		for i, raw := range parts {
+			part := raw.(fig7Part)
+			// ColumnDisturb and retention flips are 1→0 only in the tested
+			// true-cell modules (Obs 7); the 0→1 column stays zero.
+			res.AddRow(part.label, "ColumnDisturb", fmtF(part.cdMean), fmtF(part.cdMin), fmtF(part.cdMax), "0")
+			res.AddRow("", "Retention", fmtF(part.retMean), fmtF(part.retMin), fmtF(part.retMax), "0")
+			line += fmt.Sprintf(" %.0fs=%.2fx", ivs[i]/1000, stats.Ratio(part.cdMean, part.retMean))
+		}
+		res.AddNote("Obs 7: only 1→0 bitflips for both ColumnDisturb and retention (RowHammer/RowPress flip both ways)")
+		res.AddNote("%s (paper: 1s=11.77x 2s=7.02x 4s=4.86x 8s=3.97x 16s=4.58x)", line)
+		return res, nil
+	}
+	return &Plan{Shards: shards, Merge: merge}, nil
+}
+
+// figModIvPart is one (module, interval) cell of the Fig 8/9 sweeps: the
+// rendered row plus the two-or-three fractions the observation notes need.
+type figModIvPart struct {
+	row        []string
+	moduleID   string
+	intervalMs float64
+	a, b, ret  float64
+}
+
+// planFig8 shards Fig 8 by (representative module × interval); each shard
+// samples the all-0-aggressor, all-1-aggressor and retention populations.
+func planFig8(cfg Config) (*Plan, error) {
+	var shards []Shard
+	for mi, m := range representatives() {
+		m := m
 		p := m.BuildParams()
 		g := m.Geometry()
 		tras := m.Timing().TRASns
 		trp := m.Timing().TRPns
-		setup0 := core.PatternSetup{AggPattern: dram.Pat00, VictimPattern: dram.PatFF, TAggOnNs: tras, TRPNs: trp}
-		setup1 := core.PatternSetup{AggPattern: dram.PatFF, VictimPattern: dram.PatFF, TAggOnNs: tras, TRPNs: trp}
-		cls0 := core.AggressorSubarrayClasses(p, setup0)
-		cls1 := core.AggressorSubarrayClasses(p, setup1)
+		cls0 := core.AggressorSubarrayClasses(p, core.PatternSetup{
+			AggPattern: dram.Pat00, VictimPattern: dram.PatFF, TAggOnNs: tras, TRPNs: trp})
+		cls1 := core.AggressorSubarrayClasses(p, core.PatternSetup{
+			AggPattern: dram.PatFF, VictimPattern: dram.PatFF, TAggOnNs: tras, TRPNs: trp})
 		clsR := core.RetentionClasses(p, dram.PatFF)
-		for _, iv := range standardIntervalsMs() {
-			f0, _, _ := fractionStats(sampleSubarrayCounts(m, cls0, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
-			f1, _, _ := fractionStats(sampleSubarrayCounts(m, cls1, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
-			fr, _, _ := fractionStats(sampleSubarrayCounts(m, clsR, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
-			res.AddRow(fmt.Sprintf("%s (%s)", m.ID, m.Mfr), fmt.Sprintf("%.0fs", iv/1000),
-				fmtF(f0), fmtF(f1), fmtF(fr))
-			last[m.ID] = point{f0, f1, fr}
+		for ii, iv := range standardIntervalsMs() {
+			mi, ii, iv := mi, ii, iv
+			shards = append(shards, Shard{
+				Label: fmt.Sprintf("fig8 %s %.0fs", m.ID, iv/1000),
+				Run: func() (any, error) {
+					r := cfg.shardRand(8, uint64(mi), uint64(ii))
+					f0, _, _ := fractionStats(sampleSubarrayCounts(m, cls0, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
+					f1, _, _ := fractionStats(sampleSubarrayCounts(m, cls1, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
+					fr, _, _ := fractionStats(sampleSubarrayCounts(m, clsR, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
+					return figModIvPart{
+						row: []string{fmt.Sprintf("%s (%s)", m.ID, m.Mfr),
+							fmt.Sprintf("%.0fs", iv/1000), fmtF(f0), fmtF(f1), fmtF(fr)},
+						moduleID: m.ID, intervalMs: iv, a: f0, b: f1, ret: fr,
+					}, nil
+				},
+			})
 		}
 	}
-	h, mi, s := last["H0"], last["M6"], last["S0"]
-	res.AddNote("Obs 9: all-0/all-1 bitflips at 16 s: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx (paper: 1.15x / 11.52x / 2.86x)",
-		stats.Ratio(h.all0, h.all1), stats.Ratio(mi.all0, mi.all1), stats.Ratio(s.all0, s.all1))
-	res.AddNote("Obs 10: Micron all-1 vs retention at 16 s: %.2fx fewer (paper: 2.73x fewer)",
-		stats.Ratio(mi.ret, mi.all1))
-	return res, nil
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "fig8",
+			Title:   "Fraction of cells with bitflips per subarray: AggDP all-0 vs all-1 vs retention (tAggOn = tRAS)",
+			Headers: []string{"module", "interval", "AggDP=all-0", "AggDP=all-1", "RET"},
+		}
+		last := map[string]figModIvPart{}
+		for _, raw := range parts {
+			part := raw.(figModIvPart)
+			res.AddRow(part.row...)
+			last[part.moduleID] = part
+		}
+		h, mi, s := last["H0"], last["M6"], last["S0"]
+		res.AddNote("Obs 9: all-0/all-1 bitflips at 16 s: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx (paper: 1.15x / 11.52x / 2.86x)",
+			stats.Ratio(h.a, h.b), stats.Ratio(mi.a, mi.b), stats.Ratio(s.a, s.b))
+		res.AddNote("Obs 10: Micron all-1 vs retention at 16 s: %.2fx fewer (paper: 2.73x fewer)",
+			stats.Ratio(mi.ret, mi.b))
+		return res, nil
+	}
+	return &Plan{Shards: shards, Merge: merge}, nil
 }
 
-func runFig9(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "fig9",
-		Title:   "Fraction of cells with bitflips per subarray: tAggOn 36 ns vs 70.2 µs vs retention",
-		Headers: []string{"module", "interval", "tAggOn=36ns", "tAggOn=70.2µs", "RET"},
-	}
-	r := cfg.rand(9)
-	type point struct{ hammer, press float64 }
-	last := map[string]point{}
-	for _, m := range representatives() {
+// planFig9 shards Fig 9 by (representative module × interval); each shard
+// samples hammering (36 ns), pressing (70.2 µs) and retention populations.
+func planFig9(cfg Config) (*Plan, error) {
+	var shards []Shard
+	for mi, m := range representatives() {
+		m := m
 		p := m.BuildParams()
 		g := m.Geometry()
 		trp := m.Timing().TRPns
@@ -128,39 +170,64 @@ func runFig9(cfg Config) (*Result, error) {
 		clsH := mkSetup(36)
 		clsP := mkSetup(70_200)
 		clsR := core.RetentionClasses(p, dram.PatFF)
-		for _, iv := range standardIntervalsMs() {
-			fh, _, _ := fractionStats(sampleSubarrayCounts(m, clsH, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
-			fp, _, _ := fractionStats(sampleSubarrayCounts(m, clsP, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
-			fr, _, _ := fractionStats(sampleSubarrayCounts(m, clsR, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
-			res.AddRow(fmt.Sprintf("%s (%s)", m.ID, m.Mfr), fmt.Sprintf("%.0fs", iv/1000),
-				fmtF(fh), fmtF(fp), fmtF(fr))
-			last[m.ID] = point{fh, fp}
+		for ii, iv := range standardIntervalsMs() {
+			mi, ii, iv := mi, ii, iv
+			shards = append(shards, Shard{
+				Label: fmt.Sprintf("fig9 %s %.0fs", m.ID, iv/1000),
+				Run: func() (any, error) {
+					r := cfg.shardRand(9, uint64(mi), uint64(ii))
+					fh, _, _ := fractionStats(sampleSubarrayCounts(m, clsH, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
+					fp, _, _ := fractionStats(sampleSubarrayCounts(m, clsP, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
+					fr, _, _ := fractionStats(sampleSubarrayCounts(m, clsR, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
+					return figModIvPart{
+						row: []string{fmt.Sprintf("%s (%s)", m.ID, m.Mfr),
+							fmt.Sprintf("%.0fs", iv/1000), fmtF(fh), fmtF(fp), fmtF(fr)},
+						moduleID: m.ID, intervalMs: iv, a: fh, b: fp, ret: fr,
+					}, nil
+				},
+			})
 		}
 	}
-	res.AddNote("Obs 11: 36 ns → 70.2 µs bitflip increase at 16 s: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx (paper: 1.20x / 2.12x / 2.45x)",
-		stats.Ratio(last["H0"].press, last["H0"].hammer),
-		stats.Ratio(last["M6"].press, last["M6"].hammer),
-		stats.Ratio(last["S0"].press, last["S0"].hammer))
-	return res, nil
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "fig9",
+			Title:   "Fraction of cells with bitflips per subarray: tAggOn 36 ns vs 70.2 µs vs retention",
+			Headers: []string{"module", "interval", "tAggOn=36ns", "tAggOn=70.2µs", "RET"},
+		}
+		last := map[string]figModIvPart{}
+		for _, raw := range parts {
+			part := raw.(figModIvPart)
+			res.AddRow(part.row...)
+			last[part.moduleID] = part
+		}
+		res.AddNote("Obs 11: 36 ns → 70.2 µs bitflip increase at 16 s: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx (paper: 1.20x / 2.12x / 2.45x)",
+			stats.Ratio(last["H0"].b, last["H0"].a),
+			stats.Ratio(last["M6"].b, last["M6"].a),
+			stats.Ratio(last["S0"].b, last["S0"].a))
+		return res, nil
+	}
+	return &Plan{Shards: shards, Merge: merge}, nil
 }
 
-func runFig10(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "fig10",
-		Title:   "Fraction of cells with ColumnDisturb bitflips vs AVG(V_COL) (all-1 victims)",
-		Headers: []string{"module", "AVG(V_COL)/VDD", "1s", "2s", "4s", "8s", "16s"},
-	}
-	r := cfg.rand(10)
+// fig10Part is one (module, voltage) row across all intervals.
+type fig10Part struct {
+	row      []string
+	moduleID string
+	voltage  float64
+	at16     float64
+}
+
+// planFig10 shards Fig 10 by (representative module × column voltage);
+// each shard sweeps the five refresh intervals for its voltage point.
+func planFig10(cfg Config) (*Plan, error) {
 	voltages := []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0}
-	type key struct {
-		id string
-		v  float64
-	}
-	at16 := map[key]float64{}
-	for _, m := range representatives() {
+	var shards []Shard
+	for mi, m := range representatives() {
+		m := m
 		p := m.BuildParams()
 		g := m.Geometry()
-		for _, v := range voltages {
+		for vi, v := range voltages {
+			mi, vi, v := mi, vi, v
 			// Two-level waveforms {vLow, VDD/2}: below VDD/2 the column
 			// dwells at GND, above at VDD (§4.6's achievable family).
 			var cls []core.ColumnClass
@@ -169,20 +236,45 @@ func runFig10(cfg Config) (*Result, error) {
 			} else {
 				cls = core.DutyClasses(p, 2*v-1, 1)
 			}
-			row := []string{fmt.Sprintf("%s (%s)", m.ID, m.Mfr), fmtF(v)}
-			for _, iv := range standardIntervalsMs() {
-				f, _, _ := fractionStats(sampleSubarrayCounts(m, cls, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
-				row = append(row, fmtF(f))
-				if iv == 16000 {
-					at16[key{m.ID, v}] = f
-				}
-			}
-			res.AddRow(row...)
+			shards = append(shards, Shard{
+				Label: fmt.Sprintf("fig10 %s v=%.3f", m.ID, v),
+				Run: func() (any, error) {
+					r := cfg.shardRand(10, uint64(mi), uint64(vi))
+					part := fig10Part{moduleID: m.ID, voltage: v,
+						row: []string{fmt.Sprintf("%s (%s)", m.ID, m.Mfr), fmtF(v)}}
+					for _, iv := range standardIntervalsMs() {
+						f, _, _ := fractionStats(sampleSubarrayCounts(m, cls, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
+						part.row = append(part.row, fmtF(f))
+						if iv == 16000 {
+							part.at16 = f
+						}
+					}
+					return part, nil
+				},
+			})
 		}
 	}
-	res.AddNote("Obs 12: GND vs VDD column at 16 s: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx more cells (paper: 1.65x / 26.31x / 7.50x)",
-		stats.Ratio(at16[key{"H0", 0}], at16[key{"H0", 1}]),
-		stats.Ratio(at16[key{"M6", 0}], at16[key{"M6", 1}]),
-		stats.Ratio(at16[key{"S0", 0}], at16[key{"S0", 1}]))
-	return res, nil
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "fig10",
+			Title:   "Fraction of cells with ColumnDisturb bitflips vs AVG(V_COL) (all-1 victims)",
+			Headers: []string{"module", "AVG(V_COL)/VDD", "1s", "2s", "4s", "8s", "16s"},
+		}
+		type key struct {
+			id string
+			v  float64
+		}
+		at16 := map[key]float64{}
+		for _, raw := range parts {
+			part := raw.(fig10Part)
+			res.AddRow(part.row...)
+			at16[key{part.moduleID, part.voltage}] = part.at16
+		}
+		res.AddNote("Obs 12: GND vs VDD column at 16 s: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx more cells (paper: 1.65x / 26.31x / 7.50x)",
+			stats.Ratio(at16[key{"H0", 0}], at16[key{"H0", 1}]),
+			stats.Ratio(at16[key{"M6", 0}], at16[key{"M6", 1}]),
+			stats.Ratio(at16[key{"S0", 0}], at16[key{"S0", 1}]))
+		return res, nil
+	}
+	return &Plan{Shards: shards, Merge: merge}, nil
 }

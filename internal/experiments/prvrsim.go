@@ -11,22 +11,26 @@ func init() {
 		ID:    "prvr-sim",
 		Paper: "§6.1 (fn 17: system integration of PRVR, future work)",
 		Title: "PRVR vs naive refresh-rate increase in the cycle-level memory-system simulator",
-		Run:   runPRVRSim,
+		Plan:  planPRVRSim,
 	})
 }
 
-// runPRVRSim goes beyond the paper's analytic PRVR estimate (our sec61
-// runner) and evaluates the mitigation in the cycle-level simulator: every
-// bank hosts a continuously hammered aggressor, so PRVR must refresh 3072
+// prvrMixPart is one workload mix's weighted speedups under the three
+// refresh mechanisms, plus each engine's (deterministic) refresh-rate
+// statistics.
+type prvrMixPart struct {
+	base, naive, prvr                float64
+	baseStats, naiveStats, prvrStats memsim.RefreshStats
+}
+
+// planPRVRSim shards the cycle-level PRVR evaluation by workload mix: each
+// shard measures its mix's solo IPCs and the weighted speedup under the
+// unprotected baseline, the naive 8 ms fix, and PRVR. The simulation goes
+// beyond the paper's analytic PRVR estimate (our sec61 runner): every bank
+// hosts a continuously hammered aggressor, so PRVR must refresh 3072
 // victim rows per bank within each 8 ms time-to-first-bitflip budget, on
-// top of the regular 32 ms periodic refresh. The comparison point is the
-// naive mitigation (8 ms periodic refresh) and the unprotected baseline.
-func runPRVRSim(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "prvr-sim",
-		Title:   "Weighted speedup under ColumnDisturb mitigations (normalized to the unprotected 32 ms baseline)",
-		Headers: []string{"mechanism", "WS/WS(32ms)", "refresh ops/s (REFab + rows/bank)"},
-	}
+// top of the regular 32 ms periodic refresh.
+func planPRVRSim(cfg Config) (*Plan, error) {
 	sys := memsim.DefaultSystem()
 	sys.TRFCns = 410 // §6.1's 32 Gb DDR5 point
 	sys.MeasureInstr = cfg.MeasureInstr
@@ -34,64 +38,88 @@ func runPRVRSim(cfg Config) (*Result, error) {
 	mixes := memsim.Mixes(cfg.Mixes)
 	seed := memsim.RunSeed(cfg.Seed, 61)
 
-	solos := make([][]float64, len(mixes))
+	shards := make([]Shard, len(mixes))
 	for i, mix := range mixes {
-		solos[i] = make([]float64, len(mix))
-		for j, w := range mix {
-			ipc, err := memsim.SoloIPC(sys, w, seed)
-			if err != nil {
-				return nil, err
-			}
-			solos[i][j] = ipc
+		i, mix := i, mix
+		shards[i] = Shard{
+			Label: fmt.Sprintf("prvr-sim mix %d", i),
+			Run: func() (any, error) {
+				solos := make([]float64, len(mix))
+				for j, w := range mix {
+					ipc, err := memsim.SoloIPC(sys, w, seed)
+					if err != nil {
+						return nil, err
+					}
+					solos[j] = ipc
+				}
+				ws := func(build func() (memsim.RefreshEngine, error)) (float64, memsim.RefreshStats, error) {
+					eng, err := build()
+					if err != nil {
+						return 0, memsim.RefreshStats{}, err
+					}
+					st := eng.Stats()
+					v, _, err := memsim.WeightedSpeedup(sys, mix, eng, seed, solos)
+					return v, st, err
+				}
+				var part prvrMixPart
+				var err error
+				if part.base, part.baseStats, err = ws(func() (memsim.RefreshEngine, error) {
+					return memsim.PeriodicRefresh(sys, 32)
+				}); err != nil {
+					return nil, err
+				}
+				if part.naive, part.naiveStats, err = ws(func() (memsim.RefreshEngine, error) {
+					return memsim.PeriodicRefresh(sys, 8)
+				}); err != nil {
+					return nil, err
+				}
+				if part.prvr, part.prvrStats, err = ws(func() (memsim.RefreshEngine, error) {
+					return memsim.PRVR(sys, 32, 3072, 8)
+				}); err != nil {
+					return nil, err
+				}
+				return part, nil
+			},
 		}
 	}
-	avg := func(build func() (memsim.RefreshEngine, error)) (float64, memsim.RefreshStats, error) {
-		sum := 0.0
-		var st memsim.RefreshStats
-		for i, mix := range mixes {
-			eng, err := build()
-			if err != nil {
-				return 0, st, err
-			}
-			st = eng.Stats()
-			ws, _, err := memsim.WeightedSpeedup(sys, mix, eng, seed, solos[i])
-			if err != nil {
-				return 0, st, err
-			}
-			sum += ws
+	merge := func(parts []any) (*Result, error) {
+		if len(parts) == 0 {
+			return nil, fmt.Errorf("prvr-sim: no workload mixes to merge (Config.Mixes = %d)", cfg.Mixes)
 		}
-		return sum / float64(len(mixes)), st, nil
-	}
+		res := &Result{
+			ID:      "prvr-sim",
+			Title:   "Weighted speedup under ColumnDisturb mitigations (normalized to the unprotected 32 ms baseline)",
+			Headers: []string{"mechanism", "WS/WS(32ms)", "refresh ops/s (REFab + rows/bank)"},
+		}
+		var base, naive, prvr float64
+		for _, raw := range parts {
+			part := raw.(prvrMixPart)
+			base += part.base
+			naive += part.naive
+			prvr += part.prvr
+		}
+		n := float64(len(parts))
+		base, naive, prvr = base/n, naive/n, prvr/n
+		first := parts[0].(prvrMixPart)
 
-	base, baseStats, err := avg(func() (memsim.RefreshEngine, error) { return memsim.PeriodicRefresh(sys, 32) })
-	if err != nil {
-		return nil, err
-	}
-	naive, naiveStats, err := avg(func() (memsim.RefreshEngine, error) { return memsim.PeriodicRefresh(sys, 8) })
-	if err != nil {
-		return nil, err
-	}
-	prvr, prvrStats, err := avg(func() (memsim.RefreshEngine, error) { return memsim.PRVR(sys, 32, 3072, 8) })
-	if err != nil {
-		return nil, err
-	}
+		row := func(name string, ws float64, st memsim.RefreshStats) {
+			res.AddRow(name, fmtF(ws/base),
+				fmt.Sprintf("%.0f + %.0f", st.AllBankPerSec, st.RowPerSecPerBank))
+		}
+		row("periodic 32 ms (unprotected)", base, first.baseStats)
+		row("periodic 8 ms (naive fix)", naive, first.naiveStats)
+		row("PRVR (3072 victims / 8 ms / bank)", prvr, first.prvrStats)
 
-	row := func(name string, ws float64, st memsim.RefreshStats) {
-		res.AddRow(name, fmtF(ws/base),
-			fmt.Sprintf("%.0f + %.0f", st.AllBankPerSec, st.RowPerSecPerBank))
+		naiveLoss := 1 - naive/base
+		prvrLoss := 1 - prvr/base
+		res.AddNote("naive fix costs %.1f%% of baseline performance; PRVR costs %.1f%%", naiveLoss*100, prvrLoss*100)
+		if naiveLoss > 0 {
+			res.AddNote("PRVR eliminates %.0f%% of the naive fix's simulated slowdown (analytic §6.1 estimate: 70.5%%; see sec61)",
+				(naiveLoss-prvrLoss)/naiveLoss*100)
+		}
+		res.AddNote("extension beyond the paper: fn 17 leaves PRVR system integration to future work; " +
+			"here victim refreshes run as bank-granular DRFM-style operations staggered across banks")
+		return res, nil
 	}
-	row("periodic 32 ms (unprotected)", base, baseStats)
-	row("periodic 8 ms (naive fix)", naive, naiveStats)
-	row("PRVR (3072 victims / 8 ms / bank)", prvr, prvrStats)
-
-	naiveLoss := 1 - naive/base
-	prvrLoss := 1 - prvr/base
-	res.AddNote("naive fix costs %.1f%% of baseline performance; PRVR costs %.1f%%", naiveLoss*100, prvrLoss*100)
-	if naiveLoss > 0 {
-		res.AddNote("PRVR eliminates %.0f%% of the naive fix's simulated slowdown (analytic §6.1 estimate: 70.5%%; see sec61)",
-			(naiveLoss-prvrLoss)/naiveLoss*100)
-	}
-	res.AddNote("extension beyond the paper: fn 17 leaves PRVR system integration to future work; " +
-		"here victim refreshes run as bank-granular DRFM-style operations staggered across banks")
-	return res, nil
+	return &Plan{Shards: shards, Merge: merge}, nil
 }

@@ -11,32 +11,57 @@ func init() {
 		ID:    "table1",
 		Paper: "Table 1",
 		Title: "Summary of DDR4 and HBM2 DRAM chips tested",
-		Run:   runTable1,
+		Plan:  planTable1,
 	})
 }
 
-func runTable1(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "table1",
-		Title:   "Summary of DDR4 and HBM2 DRAM chips tested",
-		Headers: []string{"Chip Mfr.", "Module IDs", "#Chips", "Die Rev.", "Density", "Org."},
+// planTable1 shards the chip catalog by die group (plus one HBM2 shard).
+// The table is cheap — the sharding here is the reference implementation
+// for fully deterministic experiments: no RNG, one row (or row group) per
+// shard, merge in canonical order.
+func planTable1(cfg Config) (*Plan, error) {
+	groups := chipdb.DieGroups()
+	shards := make([]Shard, 0, len(groups)+1)
+	for _, g := range groups {
+		g := g
+		shards = append(shards, Shard{
+			Label: "table1 " + g.Key,
+			Run: func() (any, error) {
+				ids := ""
+				chips := 0
+				for i, m := range g.Modules {
+					if i > 0 {
+						ids += ","
+					}
+					ids += m.ID
+					chips += m.Chips
+				}
+				return []string{string(g.Mfr), ids, fmt.Sprintf("%d", chips),
+					g.DieRev, g.Density, g.Modules[0].Org}, nil
+			},
+		})
 	}
-	for _, g := range chipdb.DieGroups() {
-		ids := ""
-		chips := 0
-		for i, m := range g.Modules {
-			if i > 0 {
-				ids += ","
-			}
-			ids += m.ID
-			chips += m.Chips
+	shards = append(shards, Shard{
+		Label: "table1 HBM2",
+		Run: func() (any, error) {
+			hbm := chipdb.HBM2Chips()
+			return []string{string(chipdb.Samsung) + " HBM2",
+				fmt.Sprintf("HBM0..HBM%d", len(hbm)-1),
+				fmt.Sprintf("%d", len(hbm)), "N/A", "N/A", "N/A"}, nil
+		},
+	})
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "table1",
+			Title:   "Summary of DDR4 and HBM2 DRAM chips tested",
+			Headers: []string{"Chip Mfr.", "Module IDs", "#Chips", "Die Rev.", "Density", "Org."},
 		}
-		res.AddRow(string(g.Mfr), ids, fmt.Sprintf("%d", chips), g.DieRev, g.Density, g.Modules[0].Org)
+		for _, raw := range parts {
+			res.AddRow(raw.([]string)...)
+		}
+		res.AddNote("total DDR4 chips: %d across %d modules (paper: 216 across 28)",
+			chipdb.TotalDDR4Chips(), len(chipdb.DDR4Modules()))
+		return res, nil
 	}
-	hbm := chipdb.HBM2Chips()
-	res.AddRow(string(chipdb.Samsung)+" HBM2", fmt.Sprintf("HBM0..HBM%d", len(hbm)-1),
-		fmt.Sprintf("%d", len(hbm)), "N/A", "N/A", "N/A")
-	res.AddNote("total DDR4 chips: %d across %d modules (paper: 216 across 28)",
-		chipdb.TotalDDR4Chips(), len(chipdb.DDR4Modules()))
-	return res, nil
+	return &Plan{Shards: shards, Merge: merge}, nil
 }

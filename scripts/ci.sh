@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI gate for every PR: build, vet, race-enabled tests, and a compile-and-
+# run pass over every benchmark (one iteration each, so the experiment
+# runners stay executable without turning CI into a perf run).
+#
+# Usage: scripts/ci.sh [extra go-test flags...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test -race =="
+go test -race "$@" ./...
+
+echo "== benchmarks (1 iteration) =="
+go test -run xxx -bench . -benchtime 1x "$@" ./...
+
+echo "CI OK"
