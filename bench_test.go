@@ -8,6 +8,7 @@ package columndisturb
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"testing"
 
 	"columndisturb/internal/chipdb"
@@ -82,7 +83,7 @@ func benchEngine(b *testing.B, workers int) {
 	cfg := experiments.Small()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := e.RunWith(cfg, workers, nil)
+		res, err := e.RunWith(context.Background(), cfg, workers, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

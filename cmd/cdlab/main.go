@@ -1,30 +1,45 @@
 // Command cdlab runs the ColumnDisturb reproduction experiments: it can
 // list the catalog of simulated DRAM modules, enumerate the paper's tables
-// and figures, and regenerate any (or all) of them at benchmark or full
-// sweep scale. Experiments run through the parallel experiment engine;
-// output is bit-identical for every -j value.
+// and figures, and regenerate any of them at benchmark or full sweep
+// scale. Experiments run through the experiment service: any number of
+// requested experiments share ONE engine worker pool, shard results are
+// cached under (experiment, config digest, shard label) when -cache-dir is
+// given, and -json exposes the service's machine-readable JSONL event
+// stream. Report output is bit-identical for every -j value and for warm
+// vs cold caches.
 //
 // Usage:
 //
-//	cdlab catalog                 # Table 1's chip population
-//	cdlab list                    # every reproducible artifact
-//	cdlab run <id> [-full] [-j N] [-progress]        # regenerate one table/figure
-//	cdlab run all [-full] [-j N] [-progress] [-o d]  # regenerate everything
+//	cdlab catalog                             # Table 1's chip population
+//	cdlab list                                # every reproducible artifact
+//	cdlab run <id>... [flags]                 # regenerate one or more artifacts
+//	cdlab run all [flags]                     # regenerate everything
+//	cdlab serve -addr :8080 [flags]           # HTTP experiment service
 //
-// Exit status: 0 on success, 1 when any experiment fails (a `run all`
+// Run flags: -full, -j N, -o dir, -progress, -json, -cache-dir d,
+// -cache-entries N. Serve flags: -addr, -j, -max-active, -cache-dir,
+// -cache-entries.
+//
+// Exit status: 0 on success, 1 when any experiment fails (a multi-ID
 // sweep keeps going and reports every failure), 2 on usage errors.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"columndisturb"
+	"columndisturb/internal/cache"
+	"columndisturb/internal/service"
 )
 
 func main() {
@@ -45,6 +60,8 @@ func run(args []string) int {
 		return 0
 	case "run":
 		return runExperiments(args[1:])
+	case "serve":
+		return serve(args[1:])
 	default:
 		usage()
 		return 2
@@ -52,7 +69,10 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cdlab catalog | list | run <id|all> [-full] [-j N] [-progress] [-o dir]")
+	fmt.Fprintln(os.Stderr, `usage: cdlab catalog
+       cdlab list
+       cdlab run <id>...|all [-full] [-j N] [-progress] [-json] [-o dir] [-cache-dir d] [-cache-entries N]
+       cdlab serve [-addr a] [-j N] [-max-active N] [-cache-dir d] [-cache-entries N]`)
 }
 
 func catalog() {
@@ -77,18 +97,60 @@ func list() {
 	}
 }
 
+// openCache builds the shard-result store, or nil when caching is off.
+func openCache(dir string, entries int) (*cache.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return cache.New(entries, dir)
+}
+
+// eventPrinter serializes the service's global event hook onto the CLI's
+// two channels: raw JSONL on stdout (-json) and human shard progress on
+// stderr (-progress).
+func eventPrinter(jsonOut, progress bool) func(service.Event) {
+	if !jsonOut && !progress {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(ev service.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if jsonOut {
+			os.Stdout.Write(ev.EncodeJSONL())
+		}
+		if progress && ev.Type == service.EventShardDone {
+			suffix := ""
+			if ev.Cached != nil && *ev.Cached {
+				suffix = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "cdlab: %s [%d/%d] %s%s\n", ev.Experiment, ev.Done, ev.Total, ev.Shard, suffix)
+		}
+	}
+}
+
 func runExperiments(args []string) int {
-	if len(args) < 1 {
+	// Leading non-flag arguments are experiment IDs: `run fig6 table1 -j 4`.
+	var ids []string
+	rest := args
+	for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		ids = append(ids, rest[0])
+		rest = rest[1:]
+	}
+	if len(ids) == 0 {
 		usage()
 		return 2
 	}
-	id := args[0]
+
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	full := fs.Bool("full", false, "run the paper-breadth sweep instead of the benchmark-scale one")
 	outDir := fs.String("o", "", "write each result to <dir>/<id>.txt instead of stdout")
-	workers := fs.Int("j", runtime.GOMAXPROCS(0), "worker bound for the experiment engine (1 = serial)")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "worker bound for the shared experiment pool (1 = serial)")
 	progress := fs.Bool("progress", false, "report per-shard progress on stderr")
-	if err := fs.Parse(args[1:]); err != nil {
+	jsonOut := fs.Bool("json", false, "stream the service's JSONL events on stdout (reports go to -o or are suppressed)")
+	cacheDir := fs.String("cache-dir", "", "enable the shard-result cache, persisted in this directory")
+	cacheEntries := fs.Int("cache-entries", 0, "in-memory cache capacity in shard results (0 = default)")
+	if err := fs.Parse(rest); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h: the flag set already printed its defaults
 		}
@@ -99,52 +161,125 @@ func runExperiments(args []string) int {
 		return 2
 	}
 
-	var ids []string
-	if id == "all" {
+	// `all` expands to the catalog and cannot be mixed with explicit IDs.
+	for _, id := range ids {
+		if id == "all" && len(ids) > 1 {
+			fmt.Fprintln(os.Stderr, "cdlab: `all` cannot be combined with explicit experiment IDs")
+			return 2
+		}
+	}
+	if ids[0] == "all" {
+		ids = ids[:0]
 		for _, e := range columndisturb.ListExperiments() {
 			ids = append(ids, e.ID)
 		}
-	} else {
-		ids = []string{id}
 	}
+
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "cdlab:", err)
 			return 1
 		}
 	}
-	var onProgress columndisturb.ProgressFunc
-	if *progress {
-		onProgress = func(done, total int, label string) {
-			fmt.Fprintf(os.Stderr, "cdlab: [%d/%d] %s\n", done, total, label)
-		}
+	store, err := openCache(*cacheDir, *cacheEntries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
+		return 1
 	}
+
+	svc := service.New(service.Options{
+		Workers: *workers,
+		Cache:   store,
+		OnEvent: eventPrinter(*jsonOut, *progress),
+	})
+	defer svc.Close()
+
+	// Submit everything up front — the jobs share the pool — then collect
+	// in request order so output order is deterministic.
+	type submitted struct {
+		id  string
+		job *service.Job
+	}
+	var jobs []submitted
 	failed := 0
-	for _, eid := range ids {
-		t0 := time.Now()
-		rep, err := columndisturb.RunExperimentWith(eid, *full, *workers, onProgress)
+	for _, id := range ids {
+		j, err := svc.Submit(service.JobSpec{Experiment: id, Full: *full})
 		if err != nil {
-			// Keep sweeping: one broken artifact must not hide the rest,
-			// but the process still exits non-zero.
-			fmt.Fprintf(os.Stderr, "cdlab: %s: %v\n", eid, err)
+			fmt.Fprintf(os.Stderr, "cdlab: %s: %v\n", id, err)
 			failed++
 			continue
 		}
-		body := fmt.Sprintf("%s(%s in %s)\n\n", rep.Text, eid, time.Since(t0).Round(time.Millisecond))
+		jobs = append(jobs, submitted{id, j})
+	}
+
+	// Human status lines go to stderr in -json mode to keep stdout pure
+	// JSONL.
+	human := os.Stdout
+	if *jsonOut {
+		human = os.Stderr
+	}
+	for _, sub := range jobs {
+		res, err := sub.job.Wait(context.Background())
+		// The run's wall time is measured once, by the service, at job
+		// completion: the "wrote" line and any trailer always agree.
+		elapsed := sub.job.Elapsed().Round(time.Millisecond)
+		if err != nil {
+			// Keep sweeping: one broken artifact must not hide the rest,
+			// but the process still exits non-zero.
+			fmt.Fprintf(os.Stderr, "cdlab: %s: %v\n", sub.id, err)
+			failed++
+			continue
+		}
+		text := res.String()
 		if *outDir != "" {
-			path := filepath.Join(*outDir, eid+".txt")
-			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			// Report files carry only the deterministic report text (no
+			// timing trailer), so warm-cache re-runs are byte-identical.
+			path := filepath.Join(*outDir, sub.id+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "cdlab:", err)
 				failed++
 				continue
 			}
-			fmt.Printf("wrote %s (%s)\n", path, time.Since(t0).Round(time.Millisecond))
-		} else {
-			fmt.Print(body)
+			fmt.Fprintf(human, "wrote %s (%s)\n", path, elapsed)
+		} else if !*jsonOut {
+			fmt.Fprintf(human, "%s(%s in %s)\n\n", text, sub.id, elapsed)
 		}
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "cdlab: cache: %d hits (%d from disk), %d misses\n", st.Hits, st.DiskHits, st.Misses)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "cdlab: %d of %d experiments failed\n", failed, len(ids))
+		return 1
+	}
+	return 0
+}
+
+func serve(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "worker bound for the shared experiment pool")
+	maxActive := fs.Int("max-active", 0, "max concurrently running jobs (0 = unlimited)")
+	cacheDir := fs.String("cache-dir", "", "enable the shard-result cache, persisted in this directory")
+	cacheEntries := fs.Int("cache-entries", 0, "in-memory cache capacity in shard results (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	store, err := openCache(*cacheDir, *cacheEntries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
+		return 1
+	}
+	svc := service.New(service.Options{Workers: *workers, MaxActiveJobs: *maxActive, Cache: store})
+	defer svc.Close()
+	fmt.Fprintf(os.Stderr, "cdlab: serving experiments on %s (pool=%d workers, cache=%s)\n",
+		*addr, svc.Workers(), orNA(*cacheDir))
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
 		return 1
 	}
 	return 0

@@ -1,6 +1,7 @@
 package columndisturb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -224,7 +225,7 @@ type ProgressFunc func(done, total int, label string)
 // uses the benchmark-scale configuration; full=true the paper-breadth
 // sweep. Output is bit-identical for every worker count.
 func RunExperiment(id string, full bool) (*Report, error) {
-	return RunExperimentWith(id, full, 0, nil)
+	return RunExperimentWith(context.Background(), id, full, 0, nil)
 }
 
 // RunExperimentWith is RunExperiment with an explicit worker bound
@@ -232,8 +233,11 @@ func RunExperiment(id string, full bool) (*Report, error) {
 // and an optional progress callback. Sharded experiments produce
 // byte-identical reports for every worker count: shard randomness is
 // derived from per-shard keys and partial results merge in canonical
-// order.
-func RunExperimentWith(id string, full bool, workers int, progress ProgressFunc) (*Report, error) {
+// order. Cancelling ctx stops scheduling new shards and returns an error
+// satisfying errors.Is(err, ctx.Err()). For long-running sweeps under a
+// shared worker pool, shard-result caching and a machine-readable event
+// stream, use the experiment service (internal/service, `cdlab serve`).
+func RunExperimentWith(ctx context.Context, id string, full bool, workers int, progress ProgressFunc) (*Report, error) {
 	e, ok := experiments.ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("columndisturb: unknown experiment %q (see ListExperiments)", id)
@@ -242,7 +246,7 @@ func RunExperimentWith(id string, full bool, workers int, progress ProgressFunc)
 	if full {
 		cfg = experiments.Full()
 	}
-	res, err := e.RunWith(cfg, workers, progress)
+	res, err := e.RunWith(ctx, cfg, workers, progress)
 	if err != nil {
 		return nil, err
 	}

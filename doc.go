@@ -34,6 +34,12 @@
 //   - Analyses: the §6 mitigation arithmetic and RAIDR sweeps
 //     (AnalyzeMitigations, RAIDRSweep).
 //
+// Above these sits the experiment service subsystem (internal/service,
+// DESIGN.md §8): a job scheduler that runs any number of concurrently
+// submitted experiments on one shared engine pool, caches shard results
+// under (experiment, config digest, shard label), and emits a JSONL event
+// stream per job. Its front-ends are `cdlab run -json` and `cdlab serve`.
+//
 // Everything is deterministic for a fixed seed and runs on a laptop; see
 // EXPERIMENTS.md for measured-vs-paper results of every artifact.
 package columndisturb

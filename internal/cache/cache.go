@@ -1,0 +1,308 @@
+// Package cache is the content-addressed shard-result cache of the
+// experiment service (see DESIGN.md §8).
+//
+// A cache entry is keyed by (experiment ID, config digest, shard label):
+// the experiment and shard name the unit of work, and the config digest —
+// a hash of every field of the experiment configuration — pins the inputs
+// it ran under. Because shards are pure functions of (config, shard key)
+// by the engine's determinism contract, a key collision-free lookup is a
+// correctness-preserving skip: re-running a sweep after a config tweak
+// recomputes exactly the shards whose keys changed and replays the rest.
+//
+// The store is a two-level hierarchy: an in-memory LRU bounded by entry
+// count, backed by an optional on-disk directory so warm results survive
+// process restarts. Disk entries are checksummed; a corrupted or truncated
+// file is treated as a miss and silently repaired by the next Put, never
+// surfaced as an error. Values are opaque bytes — encoding is the caller's
+// business (see Codec and Gob).
+package cache
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Key identifies one cached shard result.
+type Key struct {
+	// Experiment is the experiment ID the shard belongs to.
+	Experiment string
+	// ConfigDigest is a stable hash of the experiment configuration
+	// (experiments.Config.Digest): any config change changes every key.
+	ConfigDigest string
+	// Shard is the shard's label, unique within an experiment's plan.
+	Shard string
+}
+
+// digest returns the key's content address: a hex SHA-256 over the three
+// components with an unambiguous separator (labels cannot smuggle one
+// component's bytes into another's).
+func (k Key) digest() string {
+	h := sha256.New()
+	for _, part := range []string{k.Experiment, k.ConfigDigest, k.Shard} {
+		fmt.Fprintf(h, "%d:%s,", len(part), part)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats counts cache traffic since the store was created.
+type Stats struct {
+	// Hits and Misses count Get outcomes; DiskHits is the subset of Hits
+	// served from the on-disk store rather than memory.
+	Hits, Misses, DiskHits int64
+	// Puts counts stored entries; Corrupt counts on-disk entries rejected
+	// by the checksum (each also counted as a miss).
+	Puts, Corrupt int64
+}
+
+// Store is a bounded in-memory LRU with an optional on-disk second level.
+// All methods are goroutine-safe. Byte slices returned by Get and handed
+// to Put are shared, not copied: callers must not mutate them.
+type Store struct {
+	dir string
+
+	mu         sync.Mutex
+	maxEntries int
+	ll         *list.List // front = most recently used
+	idx        map[string]*list.Element
+	stats      Stats
+}
+
+type entry struct {
+	digest string
+	data   []byte
+}
+
+// New creates a store holding at most maxEntries results in memory
+// (<= 0 selects 4096). A non-empty dir enables the on-disk level: entries
+// are spilled there on Put and faulted back in on Get, so a fresh process
+// pointed at the same directory starts warm.
+func New(maxEntries int, dir string) (*Store, error) {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	return &Store{
+		dir:        dir,
+		maxEntries: maxEntries,
+		ll:         list.New(),
+		idx:        make(map[string]*list.Element),
+	}, nil
+}
+
+// Dir returns the on-disk directory ("" when the store is memory-only).
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the cached bytes for k, consulting memory first and then the
+// on-disk level. The second result is false on a miss (including corrupted
+// disk entries).
+func (s *Store) Get(k Key) ([]byte, bool) {
+	d := k.digest()
+	s.mu.Lock()
+	if el, ok := s.idx[d]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		data := el.Value.(*entry).data
+		s.mu.Unlock()
+		return data, true
+	}
+	s.mu.Unlock()
+
+	if s.dir != "" {
+		data, ok, corrupt := s.readDisk(k, d)
+		s.mu.Lock()
+		if ok {
+			s.stats.Hits++
+			s.stats.DiskHits++
+			s.insertLocked(d, data)
+			s.mu.Unlock()
+			return data, true
+		}
+		if corrupt {
+			s.stats.Corrupt++
+		}
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+	return nil, false
+}
+
+// Put stores data under k in memory and, when enabled, on disk. The
+// returned error reports only disk-spill failures; the in-memory insert
+// always succeeds, so callers may treat the error as advisory.
+func (s *Store) Put(k Key, data []byte) error {
+	d := k.digest()
+	s.mu.Lock()
+	s.insertLocked(d, data)
+	s.stats.Puts++
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	return s.writeDisk(k, d, data)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Len returns the number of in-memory entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// insertLocked adds or refreshes an entry and evicts from the LRU tail.
+func (s *Store) insertLocked(digest string, data []byte) {
+	if el, ok := s.idx[digest]; ok {
+		el.Value.(*entry).data = data
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.idx[digest] = s.ll.PushFront(&entry{digest: digest, data: data})
+	for s.ll.Len() > s.maxEntries {
+		tail := s.ll.Back()
+		s.ll.Remove(tail)
+		delete(s.idx, tail.Value.(*entry).digest)
+	}
+}
+
+// Disk layout: <dir>/<sanitized experiment>/<key digest>.cds, written
+// atomically (temp file + rename). Each file carries a magic header and a
+// payload checksum so torn writes and bit rot degrade to misses.
+const diskMagic = "cdcache1\n"
+
+func (s *Store) diskPath(k Key, digest string) string {
+	return filepath.Join(s.dir, sanitize(k.Experiment), digest+".cds")
+}
+
+// sanitize maps an experiment ID onto a safe directory name.
+func sanitize(id string) string {
+	if id == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if strings.Trim(b.String(), ".") == "" {
+		return "_"
+	}
+	return b.String()
+}
+
+// readDisk loads and verifies one on-disk entry. ok reports a valid hit;
+// corrupt reports a present-but-invalid file (bad magic, bad checksum,
+// truncation) — treated as a miss by the caller.
+func (s *Store) readDisk(k Key, digest string) (data []byte, ok, corrupt bool) {
+	raw, err := os.ReadFile(s.diskPath(k, digest))
+	if err != nil {
+		return nil, false, false
+	}
+	if !bytes.HasPrefix(raw, []byte(diskMagic)) {
+		return nil, false, true
+	}
+	rest := raw[len(diskMagic):]
+	if len(rest) < sha256.Size {
+		return nil, false, true
+	}
+	sum, payload := rest[:sha256.Size], rest[sha256.Size:]
+	if sha256.Sum256(payload) != [sha256.Size]byte(sum) {
+		return nil, false, true
+	}
+	return payload, true, false
+}
+
+// writeDisk spills one entry atomically.
+func (s *Store) writeDisk(k Key, digest string, data []byte) error {
+	path := s.diskPath(k, digest)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	buf := make([]byte, 0, len(diskMagic)+len(sum)+len(data))
+	buf = append(buf, diskMagic...)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, data...)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Codec turns shard results into cacheable bytes and back. Implementations
+// must round-trip values exactly: the service's byte-identical-report
+// guarantee rests on Decode(Encode(v)) being indistinguishable from v to
+// the experiment's merge step.
+type Codec interface {
+	Encode(v any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// Gob is the default Codec: encoding/gob behind an interface envelope, so
+// one codec serves every experiment. Each experiment registers the
+// concrete type of its shard results once via RegisterType (gob needs the
+// type name ↔ type mapping on both ends).
+type Gob struct{}
+
+// RegisterType records a concrete shard-result type with the gob codec.
+// Call it from the experiment's init alongside registration; encoding an
+// unregistered type is an error surfaced by Encode.
+func RegisterType(v any) { gob.Register(v) }
+
+// Encode serializes v (whose concrete type must be registered).
+func (Gob) Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, fmt.Errorf("cache: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes bytes produced by Encode.
+func (Gob) Decode(data []byte) (any, error) {
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		return nil, fmt.Errorf("cache: decode: %w", err)
+	}
+	return v, nil
+}

@@ -1,0 +1,244 @@
+package cache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func k(exp, digest, shard string) Key {
+	return Key{Experiment: exp, ConfigDigest: digest, Shard: shard}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	s, err := New(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := k("fig6", "cfg1", "fig6 group A")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestKeyComponentsIndependent checks every key component participates in
+// the address, including separator-confusable values.
+func TestKeyComponentsIndependent(t *testing.T) {
+	s, _ := New(16, "")
+	base := k("fig6", "d1", "shard 0")
+	if err := s.Put(base, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []Key{
+		k("fig7", "d1", "shard 0"),
+		k("fig6", "d2", "shard 0"),
+		k("fig6", "d1", "shard 1"),
+		k("fig6d1", "", "shard 0"),         // component bytes shifted across fields
+		k("fig6", "d1shard", " 0"),         // likewise
+		k("fig6", "d1", "shard 0\x00junk"), // embedded separator bytes
+	} {
+		if _, ok := s.Get(other); ok {
+			t.Fatalf("key %+v aliases %+v", other, base)
+		}
+	}
+	if _, ok := s.Get(base); !ok {
+		t.Fatal("base key lost")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, _ := New(3, "")
+	for _, id := range []string{"a", "b", "c"} {
+		s.Put(k("e", "d", id), []byte(id))
+	}
+	// Touch "a" so "b" becomes the LRU victim.
+	if _, ok := s.Get(k("e", "d", "a")); !ok {
+		t.Fatal("a missing")
+	}
+	s.Put(k("e", "d", "x"), []byte("x"))
+	if _, ok := s.Get(k("e", "d", "b")); ok {
+		t.Fatal("LRU victim b survived")
+	}
+	for _, id := range []string{"a", "c", "x"} {
+		if _, ok := s.Get(k("e", "d", id)); !ok {
+			t.Fatalf("%s evicted out of LRU order", id)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestPutRefreshesExistingEntry(t *testing.T) {
+	s, _ := New(4, "")
+	key := k("e", "d", "s")
+	s.Put(key, []byte("v1"))
+	s.Put(key, []byte("v2"))
+	if s.Len() != 1 {
+		t.Fatalf("duplicate key grew the store: Len = %d", s.Len())
+	}
+	got, _ := s.Get(key)
+	if string(got) != "v2" {
+		t.Fatalf("Get = %q after overwrite", got)
+	}
+}
+
+func TestDiskPersistenceAcrossStores(t *testing.T) {
+	dir := t.TempDir()
+	key := k("fig6", "cfg", "fig6 µ-shard/0") // label with non-filename runes
+	s1, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(key, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same directory starts warm.
+	s2, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key)
+	if !ok || string(got) != "persisted" {
+		t.Fatalf("disk Get = %q, %v", got, ok)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("stats after disk hit = %+v", st)
+	}
+	// Second Get is served from memory.
+	if _, ok := s2.Get(key); !ok {
+		t.Fatal("promoted entry lost")
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.Hits != 2 {
+		t.Fatalf("promotion stats = %+v", st)
+	}
+}
+
+// TestCorruptedDiskEntryIsMiss covers the satellite requirement: flipped
+// payload bytes, truncation, and garbage files all degrade to misses, and
+// the next Put repairs the entry.
+func TestCorruptedDiskEntryIsMiss(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"flipped payload byte": func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"truncated":            func(b []byte) []byte { return b[:len(b)/2] },
+		"bad magic":            func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"empty file":           func([]byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			key := k("fig6", "cfg", "shard")
+			s1, _ := New(8, dir)
+			if err := s1.Put(key, []byte("good data")); err != nil {
+				t.Fatal(err)
+			}
+			path := findOnly(t, dir)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, _ := New(8, dir)
+			if _, ok := s2.Get(key); ok {
+				t.Fatal("corrupted entry served as a hit")
+			}
+			if st := s2.Stats(); st.Misses != 1 {
+				t.Fatalf("stats = %+v, want exactly one miss", st)
+			}
+			// The next Put repairs the entry.
+			if err := s2.Put(key, []byte("repaired")); err != nil {
+				t.Fatal(err)
+			}
+			s3, _ := New(8, dir)
+			got, ok := s3.Get(key)
+			if !ok || string(got) != "repaired" {
+				t.Fatalf("after repair Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// findOnly returns the single regular cache file under dir.
+func findOnly(t *testing.T, dir string) string {
+	t.Helper()
+	var files []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files = append(files, path)
+		}
+		return err
+	})
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files = %v (%v)", files, err)
+	}
+	return files[0]
+}
+
+type gobPart struct {
+	Label  string
+	Values []float64
+	Count  int
+}
+
+func TestGobCodecRoundTrip(t *testing.T) {
+	RegisterType(gobPart{})
+	RegisterType([]string(nil))
+	codec := Gob{}
+
+	orig := gobPart{Label: "g", Values: []float64{1.5, -2.25, 0}, Count: 7}
+	data, err := codec.Encode(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := codec.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.(gobPart)
+	if !ok {
+		t.Fatalf("decoded type %T", back)
+	}
+	if got.Label != orig.Label || got.Count != orig.Count || len(got.Values) != len(orig.Values) {
+		t.Fatalf("round trip mutated value: %+v", got)
+	}
+	for i := range orig.Values {
+		if got.Values[i] != orig.Values[i] {
+			t.Fatalf("Values[%d] = %v, want %v", i, got.Values[i], orig.Values[i])
+		}
+	}
+
+	// Slices-of-strings (table1's shard type) round trip too.
+	data, err = codec.Encode([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err = codec.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss := back.([]string); len(ss) != 2 || ss[0] != "a" || ss[1] != "b" {
+		t.Fatalf("[]string round trip = %v", back)
+	}
+
+	// Corrupted bytes decode to an error, never a wrong value.
+	if _, err := codec.Decode(bytes.Repeat([]byte{0x5a}, 16)); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+}

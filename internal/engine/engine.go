@@ -17,6 +17,23 @@
 // which the experiments package exploits to make `cdlab run -j N` produce
 // byte-for-byte the output of `-j 1`.
 //
+// Two execution surfaces share that contract:
+//
+//   - Run spins up a transient pool for one shard list — the one-shot CLI
+//     path.
+//   - Pool is a long-lived shared pool: any number of concurrent Run calls
+//     (one per in-flight experiment) feed their shards into the same fixed
+//     set of workers, so a service scheduling many experiments at once
+//     stays bounded at one pool's worth of parallelism instead of pooling
+//     per experiment (see internal/service).
+//
+// Cancellation is cooperative and scheduling-level: when a Run call's
+// context is cancelled the engine stops handing out new shards, marks the
+// not-yet-started ones with the context error, lets in-flight shards finish
+// (their Run receives the context and may return early), and reports the
+// cancellation via errors.Is(err, ctx.Err()). A cancelled Run on a shared
+// Pool leaves the pool fully usable for other callers.
+//
 // Panics inside a shard are isolated: they are captured with their stack
 // and reported as that shard's error instead of tearing down the process,
 // so one poisoned unit of a 1000-shard sweep fails loudly without losing
@@ -24,6 +41,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -31,23 +49,26 @@ import (
 )
 
 // Shard is one independent unit of work. Run must be safe to call from any
-// goroutine and must not share mutable state with other shards.
+// goroutine and must not share mutable state with other shards. The context
+// is the one passed to the engine's Run: long-running shards may poll it to
+// bail out early after cancellation, but are not required to.
 type Shard struct {
 	// Label identifies the shard in progress reports and error messages.
 	Label string
 	// Run produces the shard's partial result.
-	Run func() (any, error)
+	Run func(ctx context.Context) (any, error)
 }
 
 // Options tunes a Run call.
 type Options struct {
 	// Workers bounds the number of concurrently executing shards.
-	// Values <= 0 select runtime.GOMAXPROCS(0).
+	// Values <= 0 select runtime.GOMAXPROCS(0). Ignored by Pool.Run,
+	// where the pool's own size is the bound.
 	Workers int
 	// OnProgress, when non-nil, is called after each shard completes with
 	// the number of completed shards, the total, and the finished shard's
 	// label. Calls are serialized (never concurrent) but may arrive in any
-	// shard order.
+	// shard order. Shards skipped because of cancellation are not reported.
 	OnProgress func(done, total int, label string)
 }
 
@@ -67,8 +88,10 @@ func (e *ShardError) Unwrap() error { return e.Err }
 // Run executes every shard and returns their results in input order:
 // out[i] is the value produced by shards[i]. All shards are attempted even
 // if some fail; the returned error joins every per-shard failure (wrapped
-// in *ShardError) and is nil only when all shards succeeded.
-func Run(shards []Shard, opts Options) ([]any, error) {
+// in *ShardError) and is nil only when all shards succeeded. If ctx is
+// cancelled mid-run, no new shards start and the returned error satisfies
+// errors.Is(err, ctx.Err()).
+func Run(ctx context.Context, shards []Shard, opts Options) ([]any, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -76,66 +99,156 @@ func Run(shards []Shard, opts Options) ([]any, error) {
 	if workers > len(shards) {
 		workers = len(shards)
 	}
-	out := make([]any, len(shards))
-	errs := make([]error, len(shards))
 	if len(shards) == 0 {
-		return out, nil
+		return nil, ctx.Err()
 	}
-
-	// The counter increment and the callback share one critical section so
-	// OnProgress observes a strictly monotonic done sequence.
-	done := 0
-	var progressMu sync.Mutex
-	report := func(label string) {
-		progressMu.Lock()
-		done++
-		if opts.OnProgress != nil {
-			opts.OnProgress(done, len(shards), label)
-		}
-		progressMu.Unlock()
-	}
-
-	runOne := func(i int) {
-		out[i], errs[i] = callShard(shards[i])
-		report(shards[i].Label)
-	}
-
 	if workers == 1 {
 		// Serial reference path: input order, no goroutines.
+		out := make([]any, len(shards))
+		errs := make([]error, len(shards))
+		report := progressReporter(opts, len(shards))
 		for i := range shards {
-			runOne(i)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			out[i], errs[i] = callShard(ctx, shards[i])
+			report(shards[i].Label)
 		}
-	} else {
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					runOne(i)
-				}
-			}()
-		}
-		for i := range shards {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
+		return out, joinShardErrors(ctx, shards, errs)
 	}
+	p := NewPool(workers)
+	defer p.Close()
+	return p.Run(ctx, shards, opts)
+}
 
-	var joined []error
-	for i, err := range errs {
-		if err != nil {
-			joined = append(joined, &ShardError{Index: i, Label: shards[i].Label, Err: err})
+// Pool is a fixed set of workers shared by any number of concurrent Run
+// calls. It is the scheduling substrate of the experiment service: every
+// submitted experiment's shards funnel into the same workers, so total
+// parallelism stays bounded no matter how many experiments are in flight.
+// A Pool must be released with Close; all methods are goroutine-safe.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewPool starts a pool with the given number of workers (<= 0 selects
+// runtime.GOMAXPROCS(0)).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, tasks: make(chan func())}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops accepting work and waits for the workers to drain. It is
+// safe to call more than once, but not concurrently with Run.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}
+
+// Run executes the shards on the shared pool with the same ordered-
+// collection, error-joining and cancellation semantics as the package-level
+// Run. Concurrent Run calls interleave their shards on the same workers;
+// each call observes only its own context, so cancelling one caller never
+// disturbs the others. Run must not be called from inside a shard (the
+// nested submission could deadlock waiting for its own worker).
+func (p *Pool) Run(ctx context.Context, shards []Shard, opts Options) ([]any, error) {
+	out := make([]any, len(shards))
+	errs := make([]error, len(shards))
+	report := progressReporter(opts, len(shards))
+
+	var wg sync.WaitGroup
+submit:
+	for i := range shards {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		i := i
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			// The shard may have sat in the queue across a cancellation;
+			// don't start it late.
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			out[i], errs[i] = callShard(ctx, shards[i])
+			report(shards[i].Label)
+		}
+		select {
+		case p.tasks <- task:
+		case <-ctx.Done():
+			wg.Done() // the task was never handed to a worker
+			errs[i] = ctx.Err()
+			continue submit
 		}
 	}
-	return out, errors.Join(joined...)
+	wg.Wait()
+	return out, joinShardErrors(ctx, shards, errs)
+}
+
+// progressReporter serializes OnProgress callbacks: the counter increment
+// and the callback share one critical section so OnProgress observes a
+// strictly monotonic done sequence.
+func progressReporter(opts Options, total int) func(label string) {
+	done := 0
+	var mu sync.Mutex
+	return func(label string) {
+		mu.Lock()
+		done++
+		if opts.OnProgress != nil {
+			opts.OnProgress(done, total, label)
+		}
+		mu.Unlock()
+	}
+}
+
+// joinShardErrors folds per-shard failures into one error. Shards that
+// never ran because the context was cancelled are represented by a single
+// ctx.Err() (rather than one ShardError per skipped shard), so a cancelled
+// 1000-shard sweep reports "context canceled" once, alongside any genuine
+// shard failures.
+func joinShardErrors(ctx context.Context, shards []Shard, errs []error) error {
+	var joined []error
+	cancelled := false
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			cancelled = true
+			continue
+		}
+		joined = append(joined, &ShardError{Index: i, Label: shards[i].Label, Err: err})
+	}
+	if cancelled {
+		joined = append([]error{ctx.Err()}, joined...)
+	}
+	return errors.Join(joined...)
 }
 
 // callShard runs one shard with panic isolation: a panicking shard yields
 // an error carrying the panic value and stack instead of crashing the pool.
-func callShard(s Shard) (result any, err error) {
+func callShard(ctx context.Context, s Shard) (result any, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			buf := make([]byte, 16<<10)
@@ -143,5 +256,5 @@ func callShard(s Shard) (result any, err error) {
 			err = fmt.Errorf("panic: %v\n%s", p, buf)
 		}
 	}()
-	return s.Run()
+	return s.Run(ctx)
 }

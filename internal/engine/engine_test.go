@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"columndisturb/internal/sim/rng"
 )
@@ -14,14 +17,14 @@ func intShards(n int, f func(i int) (any, error)) []Shard {
 	shards := make([]Shard, n)
 	for i := range shards {
 		i := i
-		shards[i] = Shard{Label: fmt.Sprintf("s%d", i), Run: func() (any, error) { return f(i) }}
+		shards[i] = Shard{Label: fmt.Sprintf("s%d", i), Run: func(context.Context) (any, error) { return f(i) }}
 	}
 	return shards
 }
 
 func TestOrderedCollection(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
-		out, err := Run(intShards(100, func(i int) (any, error) { return i * i, nil }),
+		out, err := Run(context.Background(), intShards(100, func(i int) (any, error) { return i * i, nil }),
 			Options{Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -35,11 +38,11 @@ func TestOrderedCollection(t *testing.T) {
 }
 
 func TestEmptyAndSingleShard(t *testing.T) {
-	out, err := Run(nil, Options{Workers: 4})
+	out, err := Run(context.Background(), nil, Options{Workers: 4})
 	if err != nil || len(out) != 0 {
 		t.Fatalf("empty run: %v %v", out, err)
 	}
-	out, err = Run(intShards(1, func(i int) (any, error) { return "one", nil }), Options{Workers: 8})
+	out, err = Run(context.Background(), intShards(1, func(i int) (any, error) { return "one", nil }), Options{Workers: 8})
 	if err != nil || out[0].(string) != "one" {
 		t.Fatalf("single shard: %v %v", out, err)
 	}
@@ -51,7 +54,7 @@ func TestPoolHammer(t *testing.T) {
 	const n = 2000
 	var ran atomic.Int64
 	var calls int
-	out, err := Run(intShards(n, func(i int) (any, error) {
+	out, err := Run(context.Background(), intShards(n, func(i int) (any, error) {
 		ran.Add(1)
 		// Per-shard keyed randomness, as real experiment shards use it.
 		return rng.New(rng.Key(uint64(i))).Uint64(), nil
@@ -86,11 +89,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 			return sum, nil
 		})
 	}
-	serial, err := Run(mk(), Options{Workers: 1})
+	serial, err := Run(context.Background(), mk(), Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Run(mk(), Options{Workers: 8})
+	parallel, err := Run(context.Background(), mk(), Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +105,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 }
 
 func TestPanicIsolation(t *testing.T) {
-	out, err := Run(intShards(10, func(i int) (any, error) {
+	out, err := Run(context.Background(), intShards(10, func(i int) (any, error) {
 		if i == 3 {
 			panic("poisoned shard")
 		}
@@ -130,7 +133,7 @@ func TestPanicIsolation(t *testing.T) {
 
 func TestErrorsJoinAndWrap(t *testing.T) {
 	sentinel := errors.New("sentinel")
-	_, err := Run(intShards(8, func(i int) (any, error) {
+	_, err := Run(context.Background(), intShards(8, func(i int) (any, error) {
 		if i%2 == 1 {
 			return nil, fmt.Errorf("unit %d: %w", i, sentinel)
 		}
@@ -158,7 +161,7 @@ func TestErrorsJoinAndWrap(t *testing.T) {
 func TestProgressReporting(t *testing.T) {
 	seen := map[string]bool{}
 	last := 0
-	_, err := Run(intShards(30, func(i int) (any, error) { return nil, nil }), Options{
+	_, err := Run(context.Background(), intShards(30, func(i int) (any, error) { return nil, nil }), Options{
 		Workers: 5,
 		OnProgress: func(done, total int, label string) {
 			if total != 30 {
@@ -182,12 +185,152 @@ func TestProgressReporting(t *testing.T) {
 func TestWorkerDefaultAndClamp(t *testing.T) {
 	// Workers<=0 and workers>len(shards) must both still run everything.
 	for _, w := range []int{0, -3, 1000} {
-		out, err := Run(intShards(5, func(i int) (any, error) { return i, nil }), Options{Workers: w})
+		out, err := Run(context.Background(), intShards(5, func(i int) (any, error) { return i, nil }), Options{Workers: w})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
 		if len(out) != 5 {
 			t.Fatalf("workers=%d: %d results", w, len(out))
 		}
+	}
+}
+
+// TestCancellationStopsScheduling is the engine's cancellation contract:
+// cancelling mid-sweep stops handing out new shards, the Run call reports
+// context.Canceled, and the shared pool keeps serving other callers.
+func TestCancellationStopsScheduling(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+
+	const n = 50
+	started := make(chan int, n)
+	release := make(chan struct{})
+	var ran atomic.Int64
+	shards := make([]Shard, n)
+	for i := range shards {
+		i := i
+		shards[i] = Shard{Label: fmt.Sprintf("block%d", i), Run: func(ctx context.Context) (any, error) {
+			ran.Add(1)
+			started <- i
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return i, nil
+		}}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var runErr error
+	doneRun := make(chan struct{})
+	out := []any(nil)
+	go func() {
+		defer close(doneRun)
+		out, runErr = pool.Run(ctx, shards, Options{})
+	}()
+
+	// Wait until both workers hold a shard, then cancel and unblock them.
+	<-started
+	<-started
+	cancel()
+	close(release)
+	<-doneRun
+
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want context.Canceled", runErr)
+	}
+	// At most the two in-flight shards (plus possibly one queued task that
+	// raced the cancel) may have started; the bulk of the sweep must not.
+	if got := ran.Load(); got > 4 {
+		t.Fatalf("%d shards ran after cancellation, want <= 4", got)
+	}
+	// Unstarted shards carry no results.
+	nonNil := 0
+	for _, v := range out {
+		if v != nil {
+			nonNil++
+		}
+	}
+	if nonNil > 4 {
+		t.Fatalf("%d results materialized after cancellation", nonNil)
+	}
+
+	// The pool must remain usable after a cancelled job.
+	out2, err := pool.Run(context.Background(), intShards(20, func(i int) (any, error) { return i, nil }), Options{})
+	if err != nil {
+		t.Fatalf("pool unusable after cancellation: %v", err)
+	}
+	for i, v := range out2 {
+		if v.(int) != i {
+			t.Fatalf("post-cancel run out[%d] = %v", i, v)
+		}
+	}
+}
+
+// TestSharedPoolConcurrentRuns submits several Run calls to one pool at
+// once: every call must collect its own ordered results, and the number of
+// simultaneously executing shards must never exceed the pool size.
+func TestSharedPoolConcurrentRuns(t *testing.T) {
+	const workers = 3
+	pool := NewPool(workers)
+	defer pool.Close()
+
+	var inFlight, peak atomic.Int64
+	mkShards := func(base int) []Shard {
+		return intShards(40, func(i int) (any, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			inFlight.Add(-1)
+			return base + i, nil
+		})
+	}
+
+	var wg sync.WaitGroup
+	results := make([][]any, 4)
+	errs := make([]error, 4)
+	for j := 0; j < 4; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[j], errs[j] = pool.Run(context.Background(), mkShards(j*1000), Options{})
+		}()
+	}
+	wg.Wait()
+
+	for j := 0; j < 4; j++ {
+		if errs[j] != nil {
+			t.Fatalf("job %d: %v", j, errs[j])
+		}
+		for i, v := range results[j] {
+			if v.(int) != j*1000+i {
+				t.Fatalf("job %d out[%d] = %v, want %d", j, i, v, j*1000+i)
+			}
+		}
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", p, workers)
+	}
+}
+
+// TestShardObservesContext checks the context handed to Shard.Run is the
+// caller's, so long shards can return early after cancellation.
+func TestShardObservesContext(t *testing.T) {
+	type ctxKey struct{}
+	ctx := context.WithValue(context.Background(), ctxKey{}, "marker")
+	out, err := Run(ctx, []Shard{{Label: "probe", Run: func(ctx context.Context) (any, error) {
+		return ctx.Value(ctxKey{}), nil
+	}}}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "marker" {
+		t.Fatalf("shard saw context value %v, want marker", out[0])
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -37,11 +38,11 @@ func TestSerialParallelBitIdentical(t *testing.T) {
 			if e.Plan == nil {
 				t.Fatalf("experiment %s has no shard plan", id)
 			}
-			serial, err := e.RunWith(cfg, 1, nil)
+			serial, err := e.RunWith(context.Background(), cfg, 1, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			parallel, err := e.RunWith(cfg, 4, nil)
+			parallel, err := e.RunWith(context.Background(), cfg, 4, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -62,7 +63,7 @@ func TestLegacyRunMatchesEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaEngine, err := e.RunWith(cfg, 1, nil)
+	viaEngine, err := e.RunWith(context.Background(), cfg, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestProgressThroughRunWith(t *testing.T) {
 	}
 	var calls int
 	var lastDone, lastTotal int
-	if _, err := e.RunWith(cfg, 2, func(done, total int, label string) {
+	if _, err := e.RunWith(context.Background(), cfg, 2, func(done, total int, label string) {
 		calls++
 		lastDone, lastTotal = done, total
 	}); err != nil {

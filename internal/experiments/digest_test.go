@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestConfigDigestCoversEveryField is the cache-key sensitivity guarantee:
+// changing any single Config field must change the digest, including fields
+// added after this test was written (the loop walks the struct via
+// reflection, so a new field that silently escaped the digest fails here).
+func TestConfigDigestCoversEveryField(t *testing.T) {
+	base := Small()
+	baseDigest := base.Digest()
+	if baseDigest == "" || baseDigest == Full().Digest() {
+		t.Fatalf("degenerate digest: Small=%q Full=%q", baseDigest, Full().Digest())
+	}
+
+	rv := reflect.ValueOf(&base).Elem()
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		cfg := Small()
+		f := reflect.ValueOf(&cfg).Elem().Field(i)
+		if !f.CanSet() {
+			t.Fatalf("Config field %s is unexported: the JSON digest cannot see it, so it must not exist", rt.Field(i).Name)
+		}
+		switch f.Kind() {
+		case reflect.Int, reflect.Int64:
+			f.SetInt(f.Int() + 1)
+		case reflect.Uint64:
+			f.SetUint(f.Uint() + 1)
+		case reflect.Float64:
+			f.SetFloat(f.Float() + 0.5)
+		case reflect.String:
+			f.SetString(f.String() + "x")
+		case reflect.Bool:
+			f.SetBool(!f.Bool())
+		default:
+			t.Fatalf("Config field %s has kind %v: teach this test how to perturb it", rt.Field(i).Name, f.Kind())
+		}
+		if cfg.Digest() == baseDigest {
+			t.Errorf("changing Config.%s did not change the digest", rt.Field(i).Name)
+		}
+	}
+
+	// Digest is a pure function: same config, same digest.
+	if Small().Digest() != baseDigest {
+		t.Fatal("digest is not deterministic")
+	}
+}

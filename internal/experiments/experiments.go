@@ -8,10 +8,15 @@
 package experiments
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 
+	"columndisturb/internal/cache"
 	"columndisturb/internal/engine"
 	"columndisturb/internal/sim/rng"
 )
@@ -66,6 +71,36 @@ func Full() Config {
 		RetentionTrials:    10,
 		Seed:               1,
 	}
+}
+
+// resultSchemaVersion tags Config.Digest so persisted shard-cache entries
+// invalidate when the *meaning* of cached results changes. Bump it whenever
+// a change would make previously cached shard results wrong for the same
+// Config — a changed shard computation, renamed/renumbered part fields, a
+// different merge contract. The cache cannot detect such changes itself:
+// gob silently decodes old bytes into new structs (missing fields zero),
+// so without this tag a warm -cache-dir would serve stale results across
+// binary versions.
+const resultSchemaVersion = "cd-shards/1"
+
+// Digest returns a stable content digest of the configuration, used as the
+// config component of shard cache keys (cache.Key.ConfigDigest). It hashes
+// the JSON encoding of the struct, so every exported field — including ones
+// added later — participates: any config change changes every shard key,
+// and a warm cache can never serve results computed under different inputs.
+// The digest also folds in resultSchemaVersion, pinning entries to the
+// result-encoding generation that produced them.
+func (c Config) Digest() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config is a flat struct of scalars; Marshal cannot fail.
+		panic("experiments: config digest: " + err.Error())
+	}
+	h := sha256.New()
+	h.Write([]byte(resultSchemaVersion))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 func (c Config) rand(stream uint64) *rng.Rand {
@@ -175,15 +210,21 @@ type Experiment struct {
 // GOMAXPROCS, 1 is the serial reference path). progress may be nil. For
 // sharded experiments, parallel output is bit-identical to serial output:
 // shards are keyed-RNG independent and merged in canonical order.
-func (e Experiment) RunWith(cfg Config, workers int, progress func(done, total int, label string)) (*Result, error) {
+// Cancelling ctx stops scheduling new shards and returns an error
+// satisfying errors.Is(err, ctx.Err()); legacy serial runners observe the
+// context only between experiments (they are checked once, up front).
+func (e Experiment) RunWith(ctx context.Context, cfg Config, workers int, progress func(done, total int, label string)) (*Result, error) {
 	if e.Plan == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return e.Run(cfg)
 	}
 	plan, err := e.Plan(cfg)
 	if err != nil {
 		return nil, err
 	}
-	parts, err := engine.Run(plan.Shards, engine.Options{Workers: workers, OnProgress: progress})
+	parts, err := engine.Run(ctx, plan.Shards, engine.Options{Workers: workers, OnProgress: progress})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
 	}
@@ -200,9 +241,29 @@ func register(e Experiment) {
 		if e.Plan == nil {
 			panic("experiments: " + e.ID + " registered with neither Run nor Plan")
 		}
-		e.Run = func(cfg Config) (*Result, error) { return e.RunWith(cfg, 1, nil) }
+		e.Run = func(cfg Config) (*Result, error) { return e.RunWith(context.Background(), cfg, 1, nil) }
 	}
 	registry[e.ID] = e
+}
+
+// Register adds an experiment to the registry. The paper's own artifacts
+// register themselves from init; this exported hook exists for extensions
+// and service tests that need synthetic experiments (e.g. a controllable
+// sweep for cancellation coverage). Duplicate IDs panic, as in init.
+func Register(e Experiment) { register(e) }
+
+// registerShardType records the concrete Go type an experiment's shards
+// return with the result cache's codec, giving the experiment an
+// encode/decode path for shard-level caching (see internal/cache). Every
+// sharded experiment registers its part type(s) in init, next to register.
+func registerShardType(v any) { cache.RegisterType(v) }
+
+func init() {
+	// Two shard-result shapes are shared across experiments: table1's plain
+	// string rows, and whole *Results (how the service caches legacy serial
+	// experiments, which run as a single pseudo-shard).
+	registerShardType([]string(nil))
+	registerShardType(&Result{})
 }
 
 // All returns every experiment sorted by ID.

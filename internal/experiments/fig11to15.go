@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"columndisturb/internal/chipdb"
@@ -40,6 +41,10 @@ func init() {
 		Title: "Blast radius grid: temperature × refresh interval",
 		Plan:  planFig15,
 	})
+	registerShardType(blastPart{})
+	registerShardType(fig12Part{})
+	registerShardType(fig13Part{})
+	registerShardType(fig14Part{})
 }
 
 // shortIntervalsMs are the refresh-window-scale intervals of Figs 11/15.
@@ -48,10 +53,10 @@ func shortIntervalsMs() []float64 { return []float64{64, 128, 256, 512, 1024} }
 // blastPart is one (manufacturer [, temperature], interval) grid cell of
 // the Fig 11/15 blast-radius sweeps.
 type blastPart struct {
-	mfr        chipdb.Manufacturer
-	tempC      float64
-	intervalMs float64
-	cd, ret    stats.Summary
+	Mfr        chipdb.Manufacturer
+	TempC      float64
+	IntervalMs float64
+	CD, Ret    stats.Summary
 }
 
 // sampleBlastCell samples every module of one manufacturer at one
@@ -69,8 +74,8 @@ func sampleBlastCell(cfg Config, mfr chipdb.Manufacturer, tempC, iv float64,
 			core.RetentionClasses(p, dram.PatFF), tempC, iv,
 			cfg.SubarraysPerModule, r))...)
 	}
-	return blastPart{mfr: mfr, tempC: tempC, intervalMs: iv,
-		cd: stats.Summarize(cdVals), ret: stats.Summarize(retVals)}
+	return blastPart{Mfr: mfr, TempC: tempC, IntervalMs: iv,
+		CD: stats.Summarize(cdVals), Ret: stats.Summarize(retVals)}
 }
 
 // planFig11 shards Fig 11 by (manufacturer × interval) at 65 °C.
@@ -81,7 +86,7 @@ func planFig11(cfg Config) (*Plan, error) {
 			mi, ii, mfr, iv := mi, ii, mfr, iv
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig11 %s %.0fms", mfr, iv),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					return sampleBlastCell(cfg, mfr, 65, iv, 11, uint64(mi), uint64(ii)), nil
 				},
 			})
@@ -99,19 +104,19 @@ func planFig11(cfg Config) (*Plan, error) {
 		maxRatio := 0.0
 		for _, raw := range parts {
 			part := raw.(blastPart)
-			res.AddRow(string(part.mfr), fmt.Sprintf("%.0f", part.intervalMs),
-				fmtF(part.cd.Mean), fmtF(part.cd.Max), fmtF(part.ret.Mean), fmtF(part.ret.Max))
-			a := agg{part.cd.Mean, part.cd.Max, part.ret.Mean, part.ret.Max}
-			if part.intervalMs == 512 {
-				at512[part.mfr] = a
+			res.AddRow(string(part.Mfr), fmt.Sprintf("%.0f", part.IntervalMs),
+				fmtF(part.CD.Mean), fmtF(part.CD.Max), fmtF(part.Ret.Mean), fmtF(part.Ret.Max))
+			a := agg{part.CD.Mean, part.CD.Max, part.Ret.Mean, part.Ret.Max}
+			if part.IntervalMs == 512 {
+				at512[part.Mfr] = a
 			}
-			if part.intervalMs == 1024 {
-				at1024[part.mfr] = a
+			if part.IntervalMs == 1024 {
+				at1024[part.Mfr] = a
 			}
 			// Ratios over near-zero retention means are unbounded noise;
 			// only count grid points with measurable retention.
-			if part.ret.Mean >= 0.5 && part.cd.Mean/part.ret.Mean > maxRatio {
-				maxRatio = part.cd.Mean / part.ret.Mean
+			if part.Ret.Mean >= 0.5 && part.CD.Mean/part.Ret.Mean > maxRatio {
+				maxRatio = part.CD.Mean / part.Ret.Mean
 			}
 		}
 		res.AddNote("Obs 13 @512ms: CD rows mean H=%.1f M=%.1f S=%.1f (paper: 2 / 6 / 232); RET max H=%.1f M=%.1f S=%.1f (paper: ≤2)",
@@ -133,9 +138,9 @@ func planFig11(cfg Config) (*Plan, error) {
 // fig12Part is one (HBM2 chip, interval) cell: the rendered row plus the
 // deterministic expected counts the Obs 15 ratios are built from.
 type fig12Part struct {
-	row           []string
-	intervalMs    float64
-	cdExp, retExp float64
+	Row           []string
+	IntervalMs    float64
+	CDExp, RetExp float64
 }
 
 // planFig12 shards Fig 12 by (HBM2 chip × interval).
@@ -152,7 +157,7 @@ func planFig12(cfg Config) (*Plan, error) {
 			ci, ii, iv := ci, ii, iv
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig12 %s %.0fs", m.ID, iv/1000),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(12, uint64(ci), uint64(ii))
 					cd := sampleSubarrayCounts(m, cdCls, 85, iv, cfg.SubarraysPerModule, r)
 					cdMean, cdMin, cdMax := countStats(cd)
@@ -165,11 +170,11 @@ func planFig12(cfg Config) (*Plan, error) {
 					cdCfg, retCfg := base, base
 					cdCfg.Classes, retCfg.Classes = cdCls, retCls
 					return fig12Part{
-						row: []string{m.ID, fmt.Sprintf("%.0fs", iv/1000),
+						Row: []string{m.ID, fmt.Sprintf("%.0fs", iv/1000),
 							fmtF(cdMean), fmtF(cdMin), fmtF(cdMax), fmtF(retMean)},
-						intervalMs: iv,
-						cdExp:      core.ExpectedCount(cdCfg),
-						retExp:     core.ExpectedCount(retCfg),
+						IntervalMs: iv,
+						CDExp:      core.ExpectedCount(cdCfg),
+						RetExp:     core.ExpectedCount(retCfg),
 					}, nil
 				},
 			})
@@ -185,9 +190,9 @@ func planFig12(cfg Config) (*Plan, error) {
 		retSum := map[float64]float64{}
 		for _, raw := range parts {
 			part := raw.(fig12Part)
-			res.AddRow(part.row...)
-			cdSum[part.intervalMs] += part.cdExp
-			retSum[part.intervalMs] += part.retExp
+			res.AddRow(part.Row...)
+			cdSum[part.IntervalMs] += part.CDExp
+			retSum[part.IntervalMs] += part.RetExp
 		}
 		res.AddNote("Obs 15: CD/RET ratio 1s=%.2fx 2s=%.2fx 4s=%.2fx (paper: 1.61x / 2.08x / 2.43x)",
 			stats.Ratio(cdSum[1000], retSum[1000]),
@@ -200,9 +205,9 @@ func planFig12(cfg Config) (*Plan, error) {
 
 // fig13Part is one (manufacturer, temperature) TTF distribution.
 type fig13Part struct {
-	mfr   chipdb.Manufacturer
-	tempC float64
-	found []float64
+	Mfr   chipdb.Manufacturer
+	TempC float64
+	Found []float64
 }
 
 // planFig13 shards Fig 13 by (manufacturer × temperature): each shard
@@ -216,10 +221,10 @@ func planFig13(cfg Config) (*Plan, error) {
 			mi, ti, mfr, tC := mi, ti, mfr, tC
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig13 %s %.0f°C", mfr, tC),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(13, uint64(mi), uint64(ti))
 					found, _ := mfrTTFs(mfr, setup, tC, cfg.SubarraysPerModule, r)
-					return fig13Part{mfr: mfr, tempC: tC, found: found}, nil
+					return fig13Part{Mfr: mfr, TempC: tC, Found: found}, nil
 				},
 			})
 		}
@@ -233,22 +238,22 @@ func planFig13(cfg Config) (*Plan, error) {
 		means := map[chipdb.Manufacturer]map[float64]float64{}
 		for _, raw := range parts {
 			part := raw.(fig13Part)
-			if means[part.mfr] == nil {
-				means[part.mfr] = map[float64]float64{}
+			if means[part.Mfr] == nil {
+				means[part.Mfr] = map[float64]float64{}
 			}
-			if len(part.found) == 0 {
-				res.AddRow(string(part.mfr), fmt.Sprintf("%.0f", part.tempC), "-", "-", "-", "-", "-")
+			if len(part.Found) == 0 {
+				res.AddRow(string(part.Mfr), fmt.Sprintf("%.0f", part.TempC), "-", "-", "-", "-", "-")
 				continue
 			}
-			b := stats.BoxPlot(part.found)
-			means[part.mfr][part.tempC] = b.Mean
+			b := stats.BoxPlot(part.Found)
+			means[part.Mfr][part.TempC] = b.Mean
 			over := 0
-			for _, v := range part.found {
+			for _, v := range part.Found {
 				if v > ttfCeilingMs {
 					over++
 				}
 			}
-			res.AddRow(string(part.mfr), fmt.Sprintf("%.0f", part.tempC),
+			res.AddRow(string(part.Mfr), fmt.Sprintf("%.0f", part.TempC),
 				fmtMs(b.Min), fmtMs(b.Median), fmtMs(b.Max), fmtMs(b.Mean),
 				fmt.Sprintf("%d", over))
 		}
@@ -264,9 +269,9 @@ func planFig13(cfg Config) (*Plan, error) {
 
 // fig14Part is one (manufacturer, temperature) expected-fraction pair.
 type fig14Part struct {
-	mfr     chipdb.Manufacturer
-	tempC   float64
-	cd, ret float64
+	Mfr     chipdb.Manufacturer
+	TempC   float64
+	CD, Ret float64
 }
 
 // planFig14 shards Fig 14 by (manufacturer × temperature). The experiment
@@ -280,7 +285,7 @@ func planFig14(cfg Config) (*Plan, error) {
 			mfr, tC := mfr, tC
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig14 %s %.0f°C", mfr, tC),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					// Fraction-of-cells ratios at 512 ms reach below one
 					// bitflip per sampled subarray; expected fractions keep
 					// them well-defined.
@@ -298,7 +303,7 @@ func planFig14(cfg Config) (*Plan, error) {
 						retFr += core.ExpectedCount(retCfg) / cells
 						n++
 					}
-					return fig14Part{mfr: mfr, tempC: tC, cd: cdFr / n, ret: retFr / n}, nil
+					return fig14Part{Mfr: mfr, TempC: tC, CD: cdFr / n, Ret: retFr / n}, nil
 				},
 			})
 		}
@@ -313,13 +318,13 @@ func planFig14(cfg Config) (*Plan, error) {
 		ret := map[chipdb.Manufacturer]map[float64]float64{}
 		for _, raw := range parts {
 			part := raw.(fig14Part)
-			if cd[part.mfr] == nil {
-				cd[part.mfr] = map[float64]float64{}
-				ret[part.mfr] = map[float64]float64{}
+			if cd[part.Mfr] == nil {
+				cd[part.Mfr] = map[float64]float64{}
+				ret[part.Mfr] = map[float64]float64{}
 			}
-			cd[part.mfr][part.tempC] = part.cd
-			ret[part.mfr][part.tempC] = part.ret
-			res.AddRow(string(part.mfr), fmt.Sprintf("%.0f", part.tempC), fmtF(part.cd), fmtF(part.ret))
+			cd[part.Mfr][part.TempC] = part.CD
+			ret[part.Mfr][part.TempC] = part.Ret
+			res.AddRow(string(part.Mfr), fmt.Sprintf("%.0f", part.TempC), fmtF(part.CD), fmtF(part.Ret))
 		}
 		res.AddNote("Obs 17: SK Hynix 85→95 °C increase: CD %.1fx vs RET %.1fx (paper: 72.96x vs 3.68x)",
 			stats.Ratio(cd[chipdb.SKHynix][95], cd[chipdb.SKHynix][85]),
@@ -347,7 +352,7 @@ func planFig15(cfg Config) (*Plan, error) {
 				mi, ti, ii, mfr, tC, iv := mi, ti, ii, mfr, tC, iv
 				shards = append(shards, Shard{
 					Label: fmt.Sprintf("fig15 %s %.0f°C %.0fms", mfr, tC, iv),
-					Run: func() (any, error) {
+					Run: func(context.Context) (any, error) {
 						return sampleBlastCell(cfg, mfr, tC, iv, 15,
 							uint64(mi), uint64(ti), uint64(ii)), nil
 					},
@@ -365,17 +370,17 @@ func planFig15(cfg Config) (*Plan, error) {
 		var micron45Max, samsung45Max float64
 		for _, raw := range parts {
 			part := raw.(blastPart)
-			res.AddRow(string(part.mfr), fmt.Sprintf("%.0f", part.tempC), fmt.Sprintf("%.0f", part.intervalMs),
-				fmtF(part.cd.Mean), fmtF(part.cd.Max), fmtF(part.ret.Mean), fmtF(part.ret.Max))
-			if part.ret.Mean >= 0.5 && part.cd.Mean/part.ret.Mean > maxRatio {
-				maxRatio = part.cd.Mean / part.ret.Mean
+			res.AddRow(string(part.Mfr), fmt.Sprintf("%.0f", part.TempC), fmt.Sprintf("%.0f", part.IntervalMs),
+				fmtF(part.CD.Mean), fmtF(part.CD.Max), fmtF(part.Ret.Mean), fmtF(part.Ret.Max))
+			if part.Ret.Mean >= 0.5 && part.CD.Mean/part.Ret.Mean > maxRatio {
+				maxRatio = part.CD.Mean / part.Ret.Mean
 			}
-			if part.tempC == 45 && part.intervalMs == 1024 {
-				switch part.mfr {
+			if part.TempC == 45 && part.IntervalMs == 1024 {
+				switch part.Mfr {
 				case chipdb.Micron:
-					micron45Max = part.cd.Max
+					micron45Max = part.CD.Max
 				case chipdb.Samsung:
-					samsung45Max = part.cd.Max
+					samsung45Max = part.CD.Max
 				}
 			}
 		}

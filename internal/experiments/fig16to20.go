@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"columndisturb/internal/chipdb"
@@ -40,14 +41,16 @@ func init() {
 		Title: "Aggressor row location in the subarray",
 		Plan:  planFig20,
 	})
+	registerShardType(ttfPart{})
+	registerShardType(fig19Part{})
 }
 
 // ttfPart is one (manufacturer, variant) TTF distribution of the Fig 16–20
 // family: a manufacturer's modules sampled under one setup variant.
 type ttfPart struct {
-	mfr     chipdb.Manufacturer
-	variant string
-	found   []float64
+	Mfr     chipdb.Manufacturer
+	Variant string
+	Found   []float64
 }
 
 // planFig16 shards Fig 16 by (manufacturer × tAggOn).
@@ -62,12 +65,12 @@ func planFig16(cfg Config) (*Plan, error) {
 			mi, oi, mfr, on := mi, oi, mfr, on
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig16 %s %s", mfr, on.label),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					setup := worstCaseSetup()
 					setup.TAggOnNs = on.ns
 					r := cfg.shardRand(16, uint64(mi), uint64(oi))
 					found, _ := mfrTTFs(mfr, setup, 85, cfg.SubarraysPerModule, r)
-					return ttfPart{mfr: mfr, variant: on.label, found: found}, nil
+					return ttfPart{Mfr: mfr, Variant: on.label, Found: found}, nil
 				},
 			})
 		}
@@ -96,16 +99,16 @@ func ttfMeansTable(res *Result, parts []any) map[chipdb.Manufacturer]map[string]
 	means := map[chipdb.Manufacturer]map[string]float64{}
 	for _, raw := range parts {
 		part := raw.(ttfPart)
-		if means[part.mfr] == nil {
-			means[part.mfr] = map[string]float64{}
+		if means[part.Mfr] == nil {
+			means[part.Mfr] = map[string]float64{}
 		}
-		if len(part.found) == 0 {
-			res.AddRow(string(part.mfr), part.variant, "-", "-", "-", "-")
+		if len(part.Found) == 0 {
+			res.AddRow(string(part.Mfr), part.Variant, "-", "-", "-", "-")
 			continue
 		}
-		b := stats.BoxPlot(part.found)
-		means[part.mfr][part.variant] = b.Mean
-		res.AddRow(string(part.mfr), part.variant, fmtMs(b.Min), fmtMs(b.Median), fmtMs(b.Max), fmtMs(b.Mean))
+		b := stats.BoxPlot(part.Found)
+		means[part.Mfr][part.Variant] = b.Mean
+		res.AddRow(string(part.Mfr), part.Variant, fmtMs(b.Min), fmtMs(b.Median), fmtMs(b.Max), fmtMs(b.Mean))
 	}
 	return means
 }
@@ -148,10 +151,10 @@ func planFig17(cfg Config) (*Plan, error) {
 			mi, vi, mfr, v := mi, vi, mfr, v
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig17 %s %s", mfr, v.label),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(17, uint64(mi), uint64(vi))
 					found, _ := mfrTTFs(mfr, v.s, 85, cfg.SubarraysPerModule, r)
-					return ttfPart{mfr: mfr, variant: v.label, found: found}, nil
+					return ttfPart{Mfr: mfr, Variant: v.label, Found: found}, nil
 				},
 			})
 		}
@@ -184,13 +187,13 @@ func planFig18(cfg Config) (*Plan, error) {
 			mi, mfr, pat := mi, mfr, pat
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig18 %s 0x%02X", mfr, byte(pat)),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					setup := worstCaseSetup()
 					setup.AggPattern = pat
 					setup.VictimPattern = pat.Negate()
 					r := cfg.shardRand(18, uint64(mi))
 					found, _ := mfrTTFs(mfr, setup, 85, cfg.SubarraysPerModule, r)
-					return ttfPart{mfr: mfr, variant: fmt.Sprintf("0x%02X", byte(pat)), found: found}, nil
+					return ttfPart{Mfr: mfr, Variant: fmt.Sprintf("0x%02X", byte(pat)), Found: found}, nil
 				},
 			})
 		}
@@ -211,9 +214,9 @@ func planFig18(cfg Config) (*Plan, error) {
 
 // fig19Part is one (module, pattern) count statistic.
 type fig19Part struct {
-	mfr            chipdb.Manufacturer
-	pattern        dram.DataPattern
-	mean, min, max float64
+	Mfr            chipdb.Manufacturer
+	Pattern        dram.DataPattern
+	Mean, Min, Max float64
 }
 
 // planFig19 shards Fig 19 by (representative module × aggressor pattern).
@@ -227,14 +230,14 @@ func planFig19(cfg Config) (*Plan, error) {
 			mi, pi, pat := mi, pi, pat
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig19 %s 0x%02X", m.ID, byte(pat)),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					setup := worstCaseSetup()
 					setup.AggPattern = pat
 					setup.VictimPattern = pat.Negate()
 					cls := core.AggressorSubarrayClasses(p, setup)
 					r := cfg.shardRand(19, uint64(mi), uint64(pi))
-					part := fig19Part{mfr: m.Mfr, pattern: pat}
-					part.mean, part.min, part.max = countStats(
+					part := fig19Part{Mfr: m.Mfr, Pattern: pat}
+					part.Mean, part.Min, part.Max = countStats(
 						sampleSubarrayCounts(m, cls, 85, 512, cfg.SubarraysPerModule, r))
 					return part, nil
 				},
@@ -250,10 +253,10 @@ func planFig19(cfg Config) (*Plan, error) {
 		samMeans := map[dram.DataPattern]float64{}
 		for _, raw := range parts {
 			part := raw.(fig19Part)
-			res.AddRow(string(part.mfr), fmt.Sprintf("0x%02X", byte(part.pattern)),
-				fmtF(part.mean), fmtF(part.min), fmtF(part.max))
-			if part.mfr == chipdb.Samsung {
-				samMeans[part.pattern] = part.mean
+			res.AddRow(string(part.Mfr), fmt.Sprintf("0x%02X", byte(part.Pattern)),
+				fmtF(part.Mean), fmtF(part.Min), fmtF(part.Max))
+			if part.Mfr == chipdb.Samsung {
+				samMeans[part.Pattern] = part.Mean
 			}
 		}
 		res.AddNote("Obs 23: Samsung 0x00/0xAA bitflip ratio %.2fx (paper: 2.04x); more logic-0 columns ⇒ more bitflips",
@@ -276,10 +279,10 @@ func planFig20(cfg Config) (*Plan, error) {
 			mi, li, mfr, loc := mi, li, mfr, loc
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig20 %s %s", mfr, loc),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(20, uint64(mi), uint64(li))
 					found, _ := mfrTTFs(mfr, worstCaseSetup(), 85, cfg.SubarraysPerModule, r)
-					return ttfPart{mfr: mfr, variant: loc, found: found}, nil
+					return ttfPart{Mfr: mfr, Variant: loc, Found: found}, nil
 				},
 			})
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"columndisturb/internal/chipdb"
@@ -15,13 +16,14 @@ func init() {
 		Title: "Time to first ColumnDisturb bitflip by chip density & die revision",
 		Plan:  planFig6,
 	})
+	registerShardType(fig6Part{})
 }
 
 // fig6Part is one die group's sampled TTF distribution.
 type fig6Part struct {
-	key      string
-	found    []float64
-	notFound int
+	Key      string
+	Found    []float64
+	NotFound int
 }
 
 // planFig6 shards Fig 6 by die group: each shard samples the group's
@@ -36,10 +38,10 @@ func planFig6(cfg Config) (*Plan, error) {
 		gi, g := gi, g
 		shards[gi] = Shard{
 			Label: "fig6 " + g.Key,
-			Run: func() (any, error) {
+			Run: func(context.Context) (any, error) {
 				r := cfg.shardRand(6, uint64(gi))
 				found, notFound := groupTTFs(g, setup, 85, ttfCeilingMs, cfg.SubarraysPerModule, r)
-				return fig6Part{key: g.Key, found: found, notFound: notFound}, nil
+				return fig6Part{Key: g.Key, Found: found, NotFound: notFound}, nil
 			},
 		}
 	}
@@ -52,14 +54,14 @@ func planFig6(cfg Config) (*Plan, error) {
 		anyNotVulnerable := false
 		for _, raw := range parts {
 			part := raw.(fig6Part)
-			if len(part.found) == 0 {
+			if len(part.Found) == 0 {
 				anyNotVulnerable = true
-				res.AddRow(part.key, "-", "-", "-", "-", "-", "0", fmt.Sprintf("%d", part.notFound))
+				res.AddRow(part.Key, "-", "-", "-", "-", "-", "0", fmt.Sprintf("%d", part.NotFound))
 				continue
 			}
-			b := stats.BoxPlot(part.found)
-			res.AddRow(part.key, fmtMs(b.Min), fmtMs(b.Q1), fmtMs(b.Median), fmtMs(b.Q3), fmtMs(b.Max),
-				fmt.Sprintf("%d", b.N), fmt.Sprintf("%d", part.notFound))
+			b := stats.BoxPlot(part.Found)
+			res.AddRow(part.Key, fmtMs(b.Min), fmtMs(b.Q1), fmtMs(b.Median), fmtMs(b.Q3), fmtMs(b.Max),
+				fmt.Sprintf("%d", b.N), fmt.Sprintf("%d", part.NotFound))
 		}
 		if !anyNotVulnerable {
 			res.AddNote("Obs 1: every tested die group shows ColumnDisturb bitflips within 512 ms")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"columndisturb/internal/chipdb"
@@ -34,13 +35,16 @@ func init() {
 		Title: "Average voltage level on perturbed columns",
 		Plan:  planFig10,
 	})
+	registerShardType(fig7Part{})
+	registerShardType(figModIvPart{})
+	registerShardType(fig10Part{})
 }
 
 // fig7Part is one refresh interval's sampled statistics.
 type fig7Part struct {
-	label                   string
-	cdMean, cdMin, cdMax    float64
-	retMean, retMin, retMax float64
+	Label                   string
+	CDMean, CDMin, CDMax    float64
+	RetMean, RetMin, RetMax float64
 }
 
 // planFig7 shards Fig 7 by refresh interval: each shard samples both the
@@ -56,13 +60,13 @@ func planFig7(cfg Config) (*Plan, error) {
 		i, iv := i, iv
 		shards[i] = Shard{
 			Label: fmt.Sprintf("fig7 %.0fs", iv/1000),
-			Run: func() (any, error) {
+			Run: func(context.Context) (any, error) {
 				r := cfg.shardRand(7, uint64(i))
 				cd := sampleSubarrayCounts(s0, cdClasses, 85, iv, cfg.SubarraysPerModule, r)
 				ret := sampleSubarrayCounts(s0, retClasses, 85, iv, cfg.SubarraysPerModule, r)
-				part := fig7Part{label: fmt.Sprintf("%.0fs", iv/1000)}
-				part.cdMean, part.cdMin, part.cdMax = countStats(cd)
-				part.retMean, part.retMin, part.retMax = countStats(ret)
+				part := fig7Part{Label: fmt.Sprintf("%.0fs", iv/1000)}
+				part.CDMean, part.CDMin, part.CDMax = countStats(cd)
+				part.RetMean, part.RetMin, part.RetMax = countStats(ret)
 				return part, nil
 			},
 		}
@@ -78,9 +82,9 @@ func planFig7(cfg Config) (*Plan, error) {
 			part := raw.(fig7Part)
 			// ColumnDisturb and retention flips are 1→0 only in the tested
 			// true-cell modules (Obs 7); the 0→1 column stays zero.
-			res.AddRow(part.label, "ColumnDisturb", fmtF(part.cdMean), fmtF(part.cdMin), fmtF(part.cdMax), "0")
-			res.AddRow("", "Retention", fmtF(part.retMean), fmtF(part.retMin), fmtF(part.retMax), "0")
-			line += fmt.Sprintf(" %.0fs=%.2fx", ivs[i]/1000, stats.Ratio(part.cdMean, part.retMean))
+			res.AddRow(part.Label, "ColumnDisturb", fmtF(part.CDMean), fmtF(part.CDMin), fmtF(part.CDMax), "0")
+			res.AddRow("", "Retention", fmtF(part.RetMean), fmtF(part.RetMin), fmtF(part.RetMax), "0")
+			line += fmt.Sprintf(" %.0fs=%.2fx", ivs[i]/1000, stats.Ratio(part.CDMean, part.RetMean))
 		}
 		res.AddNote("Obs 7: only 1→0 bitflips for both ColumnDisturb and retention (RowHammer/RowPress flip both ways)")
 		res.AddNote("%s (paper: 1s=11.77x 2s=7.02x 4s=4.86x 8s=3.97x 16s=4.58x)", line)
@@ -92,10 +96,10 @@ func planFig7(cfg Config) (*Plan, error) {
 // figModIvPart is one (module, interval) cell of the Fig 8/9 sweeps: the
 // rendered row plus the two-or-three fractions the observation notes need.
 type figModIvPart struct {
-	row        []string
-	moduleID   string
-	intervalMs float64
-	a, b, ret  float64
+	Row        []string
+	ModuleID   string
+	IntervalMs float64
+	A, B, Ret  float64
 }
 
 // planFig8 shards Fig 8 by (representative module × interval); each shard
@@ -117,15 +121,15 @@ func planFig8(cfg Config) (*Plan, error) {
 			mi, ii, iv := mi, ii, iv
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig8 %s %.0fs", m.ID, iv/1000),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(8, uint64(mi), uint64(ii))
 					f0, _, _ := fractionStats(sampleSubarrayCounts(m, cls0, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
 					f1, _, _ := fractionStats(sampleSubarrayCounts(m, cls1, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
 					fr, _, _ := fractionStats(sampleSubarrayCounts(m, clsR, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
 					return figModIvPart{
-						row: []string{fmt.Sprintf("%s (%s)", m.ID, m.Mfr),
+						Row: []string{fmt.Sprintf("%s (%s)", m.ID, m.Mfr),
 							fmt.Sprintf("%.0fs", iv/1000), fmtF(f0), fmtF(f1), fmtF(fr)},
-						moduleID: m.ID, intervalMs: iv, a: f0, b: f1, ret: fr,
+						ModuleID: m.ID, IntervalMs: iv, A: f0, B: f1, Ret: fr,
 					}, nil
 				},
 			})
@@ -140,14 +144,14 @@ func planFig8(cfg Config) (*Plan, error) {
 		last := map[string]figModIvPart{}
 		for _, raw := range parts {
 			part := raw.(figModIvPart)
-			res.AddRow(part.row...)
-			last[part.moduleID] = part
+			res.AddRow(part.Row...)
+			last[part.ModuleID] = part
 		}
 		h, mi, s := last["H0"], last["M6"], last["S0"]
 		res.AddNote("Obs 9: all-0/all-1 bitflips at 16 s: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx (paper: 1.15x / 11.52x / 2.86x)",
-			stats.Ratio(h.a, h.b), stats.Ratio(mi.a, mi.b), stats.Ratio(s.a, s.b))
+			stats.Ratio(h.A, h.B), stats.Ratio(mi.A, mi.B), stats.Ratio(s.A, s.B))
 		res.AddNote("Obs 10: Micron all-1 vs retention at 16 s: %.2fx fewer (paper: 2.73x fewer)",
-			stats.Ratio(mi.ret, mi.b))
+			stats.Ratio(mi.Ret, mi.B))
 		return res, nil
 	}
 	return &Plan{Shards: shards, Merge: merge}, nil
@@ -174,15 +178,15 @@ func planFig9(cfg Config) (*Plan, error) {
 			mi, ii, iv := mi, ii, iv
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig9 %s %.0fs", m.ID, iv/1000),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(9, uint64(mi), uint64(ii))
 					fh, _, _ := fractionStats(sampleSubarrayCounts(m, clsH, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
 					fp, _, _ := fractionStats(sampleSubarrayCounts(m, clsP, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
 					fr, _, _ := fractionStats(sampleSubarrayCounts(m, clsR, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
 					return figModIvPart{
-						row: []string{fmt.Sprintf("%s (%s)", m.ID, m.Mfr),
+						Row: []string{fmt.Sprintf("%s (%s)", m.ID, m.Mfr),
 							fmt.Sprintf("%.0fs", iv/1000), fmtF(fh), fmtF(fp), fmtF(fr)},
-						moduleID: m.ID, intervalMs: iv, a: fh, b: fp, ret: fr,
+						ModuleID: m.ID, IntervalMs: iv, A: fh, B: fp, Ret: fr,
 					}, nil
 				},
 			})
@@ -197,13 +201,13 @@ func planFig9(cfg Config) (*Plan, error) {
 		last := map[string]figModIvPart{}
 		for _, raw := range parts {
 			part := raw.(figModIvPart)
-			res.AddRow(part.row...)
-			last[part.moduleID] = part
+			res.AddRow(part.Row...)
+			last[part.ModuleID] = part
 		}
 		res.AddNote("Obs 11: 36 ns → 70.2 µs bitflip increase at 16 s: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx (paper: 1.20x / 2.12x / 2.45x)",
-			stats.Ratio(last["H0"].b, last["H0"].a),
-			stats.Ratio(last["M6"].b, last["M6"].a),
-			stats.Ratio(last["S0"].b, last["S0"].a))
+			stats.Ratio(last["H0"].B, last["H0"].A),
+			stats.Ratio(last["M6"].B, last["M6"].A),
+			stats.Ratio(last["S0"].B, last["S0"].A))
 		return res, nil
 	}
 	return &Plan{Shards: shards, Merge: merge}, nil
@@ -211,10 +215,10 @@ func planFig9(cfg Config) (*Plan, error) {
 
 // fig10Part is one (module, voltage) row across all intervals.
 type fig10Part struct {
-	row      []string
-	moduleID string
-	voltage  float64
-	at16     float64
+	Row      []string
+	ModuleID string
+	Voltage  float64
+	At16     float64
 }
 
 // planFig10 shards Fig 10 by (representative module × column voltage);
@@ -238,15 +242,15 @@ func planFig10(cfg Config) (*Plan, error) {
 			}
 			shards = append(shards, Shard{
 				Label: fmt.Sprintf("fig10 %s v=%.3f", m.ID, v),
-				Run: func() (any, error) {
+				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(10, uint64(mi), uint64(vi))
-					part := fig10Part{moduleID: m.ID, voltage: v,
-						row: []string{fmt.Sprintf("%s (%s)", m.ID, m.Mfr), fmtF(v)}}
+					part := fig10Part{ModuleID: m.ID, Voltage: v,
+						Row: []string{fmt.Sprintf("%s (%s)", m.ID, m.Mfr), fmtF(v)}}
 					for _, iv := range standardIntervalsMs() {
 						f, _, _ := fractionStats(sampleSubarrayCounts(m, cls, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
-						part.row = append(part.row, fmtF(f))
+						part.Row = append(part.Row, fmtF(f))
 						if iv == 16000 {
-							part.at16 = f
+							part.At16 = f
 						}
 					}
 					return part, nil
@@ -267,8 +271,8 @@ func planFig10(cfg Config) (*Plan, error) {
 		at16 := map[key]float64{}
 		for _, raw := range parts {
 			part := raw.(fig10Part)
-			res.AddRow(part.row...)
-			at16[key{part.moduleID, part.voltage}] = part.at16
+			res.AddRow(part.Row...)
+			at16[key{part.ModuleID, part.Voltage}] = part.At16
 		}
 		res.AddNote("Obs 12: GND vs VDD column at 16 s: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx more cells (paper: 1.65x / 26.31x / 7.50x)",
 			stats.Ratio(at16[key{"H0", 0}], at16[key{"H0", 1}]),

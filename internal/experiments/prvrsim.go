@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"columndisturb/internal/memsim"
@@ -13,14 +14,15 @@ func init() {
 		Title: "PRVR vs naive refresh-rate increase in the cycle-level memory-system simulator",
 		Plan:  planPRVRSim,
 	})
+	registerShardType(prvrMixPart{})
 }
 
 // prvrMixPart is one workload mix's weighted speedups under the three
 // refresh mechanisms, plus each engine's (deterministic) refresh-rate
 // statistics.
 type prvrMixPart struct {
-	base, naive, prvr                float64
-	baseStats, naiveStats, prvrStats memsim.RefreshStats
+	Base, Naive, PRVR                float64
+	BaseStats, NaiveStats, PRVRStats memsim.RefreshStats
 }
 
 // planPRVRSim shards the cycle-level PRVR evaluation by workload mix: each
@@ -43,7 +45,7 @@ func planPRVRSim(cfg Config) (*Plan, error) {
 		i, mix := i, mix
 		shards[i] = Shard{
 			Label: fmt.Sprintf("prvr-sim mix %d", i),
-			Run: func() (any, error) {
+			Run: func(context.Context) (any, error) {
 				solos := make([]float64, len(mix))
 				for j, w := range mix {
 					ipc, err := memsim.SoloIPC(sys, w, seed)
@@ -63,17 +65,17 @@ func planPRVRSim(cfg Config) (*Plan, error) {
 				}
 				var part prvrMixPart
 				var err error
-				if part.base, part.baseStats, err = ws(func() (memsim.RefreshEngine, error) {
+				if part.Base, part.BaseStats, err = ws(func() (memsim.RefreshEngine, error) {
 					return memsim.PeriodicRefresh(sys, 32)
 				}); err != nil {
 					return nil, err
 				}
-				if part.naive, part.naiveStats, err = ws(func() (memsim.RefreshEngine, error) {
+				if part.Naive, part.NaiveStats, err = ws(func() (memsim.RefreshEngine, error) {
 					return memsim.PeriodicRefresh(sys, 8)
 				}); err != nil {
 					return nil, err
 				}
-				if part.prvr, part.prvrStats, err = ws(func() (memsim.RefreshEngine, error) {
+				if part.PRVR, part.PRVRStats, err = ws(func() (memsim.RefreshEngine, error) {
 					return memsim.PRVR(sys, 32, 3072, 8)
 				}); err != nil {
 					return nil, err
@@ -94,9 +96,9 @@ func planPRVRSim(cfg Config) (*Plan, error) {
 		var base, naive, prvr float64
 		for _, raw := range parts {
 			part := raw.(prvrMixPart)
-			base += part.base
-			naive += part.naive
-			prvr += part.prvr
+			base += part.Base
+			naive += part.Naive
+			prvr += part.PRVR
 		}
 		n := float64(len(parts))
 		base, naive, prvr = base/n, naive/n, prvr/n
@@ -106,9 +108,9 @@ func planPRVRSim(cfg Config) (*Plan, error) {
 			res.AddRow(name, fmtF(ws/base),
 				fmt.Sprintf("%.0f + %.0f", st.AllBankPerSec, st.RowPerSecPerBank))
 		}
-		row("periodic 32 ms (unprotected)", base, first.baseStats)
-		row("periodic 8 ms (naive fix)", naive, first.naiveStats)
-		row("PRVR (3072 victims / 8 ms / bank)", prvr, first.prvrStats)
+		row("periodic 32 ms (unprotected)", base, first.BaseStats)
+		row("periodic 8 ms (naive fix)", naive, first.NaiveStats)
+		row("PRVR (3072 victims / 8 ms / bank)", prvr, first.PRVRStats)
 
 		naiveLoss := 1 - naive/base
 		prvrLoss := 1 - prvr/base

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"columndisturb/internal/chipdb"
@@ -26,7 +27,7 @@ func planTable1(cfg Config) (*Plan, error) {
 		g := g
 		shards = append(shards, Shard{
 			Label: "table1 " + g.Key,
-			Run: func() (any, error) {
+			Run: func(context.Context) (any, error) {
 				ids := ""
 				chips := 0
 				for i, m := range g.Modules {
@@ -43,7 +44,7 @@ func planTable1(cfg Config) (*Plan, error) {
 	}
 	shards = append(shards, Shard{
 		Label: "table1 HBM2",
-		Run: func() (any, error) {
+		Run: func(context.Context) (any, error) {
 			hbm := chipdb.HBM2Chips()
 			return []string{string(chipdb.Samsung) + " HBM2",
 				fmt.Sprintf("HBM0..HBM%d", len(hbm)-1),

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// EventType enumerates the records of a job's event stream.
+type EventType string
+
+const (
+	// EventJobQueued is emitted once when Submit accepts the job.
+	EventJobQueued EventType = "job_queued"
+	// EventJobStarted is emitted when the scheduler hands the job to the
+	// shared pool.
+	EventJobStarted EventType = "job_started"
+	// EventShardDone is emitted after each shard completes, with Done/Total
+	// progress and whether the shard was served from the result cache.
+	EventShardDone EventType = "shard_done"
+	// EventJobFinished is emitted once when the job's report is ready.
+	EventJobFinished EventType = "job_finished"
+	// EventJobFailed is emitted once when the job errors or is cancelled.
+	EventJobFailed EventType = "job_failed"
+)
+
+// Event is one record of a job's machine-readable progress stream. Encoded
+// as JSON lines it is the service's wire format: `cdlab run -json` prints
+// it to stdout and `cdlab serve` streams it per job over HTTP. Every event
+// carries the type/job/experiment/seq/time envelope; the remaining fields
+// are type-specific and omitted elsewhere.
+type Event struct {
+	Type       EventType `json:"type"`
+	Job        string    `json:"job"`
+	Experiment string    `json:"experiment"`
+	// Seq numbers the job's events from 0 with no gaps, so a consumer can
+	// detect a torn stream.
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+
+	// Shard identifies the finished shard; Done counts completed shards of
+	// Total; Cached reports whether the result came from the shard cache.
+	// Set on shard_done only.
+	Shard  string `json:"shard,omitempty"`
+	Done   int    `json:"done,omitempty"`
+	Total  int    `json:"total,omitempty"`
+	Cached *bool  `json:"cached,omitempty"`
+
+	// ElapsedMs is the job's wall time, measured once by the service from
+	// job start to report completion. Set on job_finished and job_failed.
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+	// Error is the failure cause. Set on job_failed only.
+	Error string `json:"error,omitempty"`
+}
+
+// EncodeJSONL renders the event as one JSON line (newline included).
+func (e Event) EncodeJSONL() []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		// Event is a flat struct of scalars; Marshal cannot fail.
+		panic("service: event encode: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// ValidateEvent checks one decoded event against the stream schema; the
+// CLI's -json self-check and CI's event-schema gate share it.
+func ValidateEvent(e Event) error {
+	if e.Job == "" || e.Experiment == "" {
+		return fmt.Errorf("event missing job/experiment envelope: %+v", e)
+	}
+	if e.Time.IsZero() {
+		return fmt.Errorf("event missing timestamp: %+v", e)
+	}
+	switch e.Type {
+	case EventJobQueued, EventJobStarted:
+		return nil
+	case EventShardDone:
+		if e.Shard == "" || e.Done < 1 || e.Total < e.Done || e.Cached == nil {
+			return fmt.Errorf("malformed shard_done event: %+v", e)
+		}
+		return nil
+	case EventJobFinished:
+		return nil
+	case EventJobFailed:
+		if e.Error == "" {
+			return fmt.Errorf("job_failed event without error: %+v", e)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown event type %q", e.Type)
+	}
+}

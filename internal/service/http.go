@@ -1,0 +1,199 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"columndisturb/internal/experiments"
+)
+
+// Handler exposes the service over HTTP (`cdlab serve`):
+//
+//	GET    /experiments           list runnable experiments
+//	GET    /jobs                  list submitted jobs
+//	POST   /jobs                  submit {"experiment": "fig6", "full": false}
+//	GET    /jobs/<id>             one job's status
+//	DELETE /jobs/<id>             cancel the job
+//	GET    /jobs/<id>/events      stream the job's events as JSON lines
+//	GET    /jobs/<id>/report      fetch the finished report (?format=text)
+//
+// The events endpoint streams application/x-ndjson: the job's history
+// replays first, then live events follow until the terminal event closes
+// the stream — a front-end gets a complete, gap-free Seq sequence no
+// matter when it connects.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/experiments", s.handleExperiments)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	return mux
+}
+
+// jobStatus is the JSON shape of one job in listings and status responses.
+type jobStatus struct {
+	ID         string  `json:"id"`
+	Experiment string  `json:"experiment"`
+	Full       bool    `json:"full"`
+	State      string  `json:"state"`
+	Done       int     `json:"done"`
+	Total      int     `json:"total"`
+	CacheHits  int     `json:"cache_hits"`
+	CacheMiss  int     `json:"cache_misses"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+	Error      string  `json:"error,omitempty"`
+}
+
+func statusOf(j *Job) jobStatus {
+	done, total := j.Progress()
+	hits, misses := j.CacheCounts()
+	st := jobStatus{
+		ID:         j.ID(),
+		Experiment: j.Spec().Experiment,
+		Full:       j.Spec().Full,
+		State:      string(j.State()),
+		Done:       done,
+		Total:      total,
+		CacheHits:  hits,
+		CacheMiss:  misses,
+		ElapsedMs:  float64(j.Elapsed().Microseconds()) / 1000,
+	}
+	if j.State().terminal() {
+		if _, err := j.Result(); err != nil {
+			st.Error = err.Error()
+		}
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	type info struct{ ID, Paper, Title string }
+	var out []info
+	for _, e := range experiments.All() {
+		out = append(out, info{e.ID, e.Paper, e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		out := []jobStatus{}
+		for _, j := range s.Jobs() {
+			out = append(out, statusOf(j))
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+			return
+		}
+		j, err := s.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrClosed) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, statusOf(j))
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+// handleJob routes /jobs/<id>[/events|/report].
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	j, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, statusOf(j))
+		case http.MethodDelete:
+			j.Cancel()
+			writeJSON(w, http.StatusAccepted, statusOf(j))
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+		}
+	case "events":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		s.streamEvents(w, r, j)
+	case "report":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		s.serveReport(w, r, j)
+	default:
+		writeError(w, http.StatusNotFound, "unknown endpoint %q", sub)
+	}
+}
+
+func (s *Service) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for ev := range j.Events(r.Context()) {
+		if _, err := w.Write(ev.EncodeJSONL()); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Service) serveReport(w http.ResponseWriter, r *http.Request, j *Job) {
+	if !j.State().terminal() {
+		writeError(w, http.StatusConflict, "job %s still %s (stream /jobs/%s/events to follow it)", j.ID(), j.State(), j.ID())
+		return
+	}
+	res, err := j.Result()
+	if err != nil {
+		writeError(w, http.StatusConflict, "job %s produced no report: %v", j.ID(), err)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.String())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      res.ID,
+		"title":   res.Title,
+		"headers": res.Headers,
+		"rows":    res.Rows,
+		"notes":   res.Notes,
+		"text":    res.String(),
+	})
+}

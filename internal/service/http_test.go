@@ -1,0 +1,215 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"columndisturb/internal/experiments"
+)
+
+func postJob(t *testing.T, base, id string) jobStatus {
+	t.Helper()
+	body, _ := json.Marshal(JobSpec{Experiment: id})
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %s", resp.Status)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestHTTPSubmitStreamReport drives the full front-end loop: submit a job,
+// follow its JSONL event stream to completion, then fetch the report in
+// both encodings and check it matches a direct run.
+func TestHTTPSubmitStreamReport(t *testing.T) {
+	svc := New(Options{Workers: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	st := postJob(t, srv.URL, "table1")
+	if st.ID == "" || st.Experiment != "table1" {
+		t.Fatalf("submit status = %+v", st)
+	}
+
+	// The event stream replays from Seq 0 and closes after the terminal
+	// event.
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%s/events", srv.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if err := ValidateEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	checkEventStream(t, events, -1)
+
+	// Report, JSON first.
+	resp, err = http.Get(fmt.Sprintf("%s/jobs/%s/report", srv.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET report: %s", resp.Status)
+	}
+	var rep struct {
+		ID   string `json:"id"`
+		Text string `json:"text"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := experiments.ByID("table1")
+	direct, err := e.RunWith(context.Background(), experiments.Small(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "table1" || rep.Text != direct.String() {
+		t.Fatalf("HTTP report differs from direct run (id=%q)", rep.ID)
+	}
+
+	// Text rendering.
+	resp, err = http.Get(fmt.Sprintf("%s/jobs/%s/report?format=text", srv.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != direct.String() {
+		t.Fatal("text report differs from direct run")
+	}
+}
+
+// TestHTTPConcurrentSubmissions is the serve-side acceptance criterion:
+// two experiments submitted through the HTTP front-end complete through
+// one shared pool, each with a valid event stream.
+func TestHTTPConcurrentSubmissions(t *testing.T) {
+	svc := New(Options{Workers: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	sts := []jobStatus{postJob(t, srv.URL, "fig6"), postJob(t, srv.URL, "table1")}
+	for _, st := range sts {
+		j, ok := svc.Job(st.ID)
+		if !ok {
+			t.Fatalf("job %s not in table", st.ID)
+		}
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		_, total := j.Progress()
+		checkEventStream(t, j.EventHistory(), total)
+	}
+
+	// The listing reports both jobs done.
+	resp, err := http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("listing has %d jobs", len(list))
+	}
+	for _, st := range list {
+		if st.State != string(JobDone) {
+			t.Fatalf("job %s state %s", st.ID, st.State)
+		}
+		if st.Done != st.Total || st.Total == 0 {
+			t.Fatalf("job %s progress %d/%d", st.ID, st.Done, st.Total)
+		}
+	}
+}
+
+// TestHTTPErrors covers the failure paths: bad spec, unknown experiment,
+// unknown job, report on an unfinished job.
+func TestHTTPErrors(t *testing.T) {
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	registerBlockingExperiment("svc-test-http-block", 1, started, release)
+
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		method, path, body string
+		wantCode           int
+	}{
+		{"POST", "/jobs", "{not json", http.StatusBadRequest},
+		{"POST", "/jobs", `{"experiment":"nope"}`, http.StatusBadRequest},
+		{"GET", "/jobs/job-999", "", http.StatusNotFound},
+		{"GET", "/jobs/job-999/events", "", http.StatusNotFound},
+		{"PUT", "/jobs", "", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantCode {
+			t.Fatalf("%s %s: %s, want %d", tc.method, tc.path, resp.Status, tc.wantCode)
+		}
+	}
+
+	// Report on a still-running job: 409 with a pointer to the stream.
+	st := postJob(t, srv.URL, "svc-test-http-block")
+	<-started
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%s/report", srv.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("report on running job: %s, want 409", resp.Status)
+	}
+	close(release)
+	if j, _ := svc.Job(st.ID); j != nil {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,565 @@
+// Package service is the experiment service subsystem (DESIGN.md §8): a
+// job queue and cross-experiment scheduler that executes any number of
+// concurrently submitted experiments on ONE shared engine pool, with
+// shard-level result caching and a typed JSONL event stream per job.
+//
+// The layering:
+//
+//   - Submit validates a JobSpec and enqueues a Job. The scheduler starts
+//     queued jobs (optionally bounded by MaxActiveJobs); a started job
+//     feeds its shards into the shared engine.Pool, where they interleave
+//     with every other in-flight job's shards. Total CPU parallelism is
+//     the pool's worker count, no matter how many jobs run — this replaces
+//     the old `run all` behaviour of pooling per experiment.
+//   - Before a shard executes, the service consults the result cache under
+//     (experiment ID, config digest, shard label). A hit decodes the
+//     stored bytes and skips the computation; a miss runs the shard and
+//     stores its encoded result. Because shards are pure functions of
+//     (config, shard key), a warm re-run recomputes zero shards and still
+//     merges a byte-identical report.
+//   - Every state transition is emitted on the job's event stream (Event),
+//     consumable live (Job.Events replays history then follows) and
+//     serialized as JSON lines by the front-ends: `cdlab run -json` and
+//     `cdlab serve`'s per-job HTTP stream.
+//
+// Cancellation flows through context: cancelling a job stops scheduling
+// its remaining shards (in-flight ones finish), fails the job with
+// context.Canceled, and leaves the pool serving other jobs.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"columndisturb/internal/cache"
+	"columndisturb/internal/engine"
+	"columndisturb/internal/experiments"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: closed")
+
+// Options configures a Service.
+type Options struct {
+	// Workers sizes the shared engine pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// MaxActiveJobs bounds how many jobs run concurrently (0 = unlimited).
+	// Shard-level parallelism is always bounded by Workers; this knob only
+	// serializes whole jobs, e.g. to keep per-job latency predictable.
+	MaxActiveJobs int
+	// Cache, when non-nil, enables shard-result caching.
+	Cache *cache.Store
+	// Codec encodes shard results for the cache (nil selects cache.Gob).
+	Codec cache.Codec
+	// OnEvent, when non-nil, observes every event of every job as it is
+	// emitted (calls may arrive concurrently across jobs, serialized within
+	// one job). It must not call back into the Service or Job.
+	OnEvent func(Event)
+}
+
+// Service owns the shared pool, the job table and the scheduler.
+type Service struct {
+	opts  Options
+	pool  *engine.Pool
+	codec cache.Codec
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	seq    int
+	jobs   map[string]*Job
+	order  []string // job IDs in submission order
+	queue  []*Job   // submitted, not yet started
+	active int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a service. Callers must release it with Close.
+func New(opts Options) *Service {
+	codec := opts.Codec
+	if codec == nil {
+		codec = cache.Gob{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Service{
+		opts:       opts,
+		pool:       engine.NewPool(opts.Workers),
+		codec:      codec,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+}
+
+// Workers returns the shared pool's size.
+func (s *Service) Workers() int { return s.pool.Workers() }
+
+// CacheStats returns the result cache's counters (zero Stats when caching
+// is disabled).
+func (s *Service) CacheStats() cache.Stats {
+	if s.opts.Cache == nil {
+		return cache.Stats{}
+	}
+	return s.opts.Cache.Stats()
+}
+
+// Close cancels every running job, waits for them to settle and releases
+// the pool. Jobs still queued are failed with context.Canceled.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+	s.pool.Close()
+}
+
+// JobSpec names one experiment run.
+type JobSpec struct {
+	// Experiment is the experiment ID (see experiments.All).
+	Experiment string `json:"experiment"`
+	// Full selects the paper-breadth configuration instead of the
+	// benchmark-scale one.
+	Full bool `json:"full,omitempty"`
+}
+
+func (spec JobSpec) config() experiments.Config {
+	if spec.Full {
+		return experiments.Full()
+	}
+	return experiments.Small()
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// terminal reports whether no further events can follow.
+func (st JobState) terminal() bool {
+	return st == JobDone || st == JobFailed || st == JobCanceled
+}
+
+// Job is one submitted experiment run.
+type Job struct {
+	id     string
+	spec   JobSpec
+	svc    *Service
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// emitMu serializes whole event emissions (append + OnEvent callback)
+	// so observers see events in Seq order; mu guards the fields below and
+	// is never held across callbacks.
+	emitMu    sync.Mutex
+	mu        sync.Mutex
+	state     JobState
+	events    []Event
+	notify    chan struct{} // closed and replaced on every append
+	result    *experiments.Result
+	err       error
+	started   time.Time
+	elapsed   time.Duration
+	shards    int // total shards, known once running
+	completed int
+	hits      int // cache hits (0 when caching disabled)
+	misses    int
+}
+
+// Submit validates the spec, queues a job and returns it. The job starts
+// as soon as the scheduler has capacity; events begin with job_queued.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	if _, ok := experiments.ByID(spec.Experiment); !ok {
+		return nil, fmt.Errorf("service: unknown experiment %q", spec.Experiment)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		id:     fmt.Sprintf("job-%d", s.seq),
+		spec:   spec,
+		svc:    s,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		state:  JobQueued,
+		notify: make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	// job_queued is emitted before the job enters the scheduler's queue:
+	// were the order reversed, a concurrent jobSettled could start the job
+	// and emit job_started first, tearing the stream's opening invariant.
+	j.emit(Event{Type: EventJobQueued})
+	s.mu.Lock()
+	s.queue = append(s.queue, j)
+	s.startQueuedLocked()
+	s.mu.Unlock()
+	return j, nil
+}
+
+// Job looks up a submitted job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every submitted job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// startQueuedLocked pops queued jobs into runners while the scheduler has
+// capacity. Caller holds s.mu.
+func (s *Service) startQueuedLocked() {
+	for len(s.queue) > 0 && (s.opts.MaxActiveJobs <= 0 || s.active < s.opts.MaxActiveJobs) {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.active++
+		go s.runJob(j)
+	}
+}
+
+// jobSettled releases the job's scheduler slot and starts the next queued
+// job.
+func (s *Service) jobSettled() {
+	s.mu.Lock()
+	s.active--
+	s.startQueuedLocked()
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// runJob executes one job end to end on the shared pool.
+func (s *Service) runJob(j *Job) {
+	defer s.jobSettled()
+
+	e, _ := experiments.ByID(j.spec.Experiment) // validated at Submit
+	cfg := j.spec.config()
+
+	j.mu.Lock()
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.emitState(Event{Type: EventJobStarted}, JobRunning)
+
+	if err := j.ctx.Err(); err != nil {
+		j.finish(nil, err)
+		return
+	}
+
+	shards, merge, err := j.buildPlan(e, cfg)
+	if err != nil {
+		j.finish(nil, err)
+		return
+	}
+	j.mu.Lock()
+	j.shards = len(shards)
+	j.mu.Unlock()
+
+	digest := cfg.Digest()
+	wrapped := make([]engine.Shard, len(shards))
+	for i, sh := range shards {
+		wrapped[i] = s.wrapShard(j, digest, len(shards), sh)
+	}
+	parts, err := s.pool.Run(j.ctx, wrapped, engine.Options{})
+	if err != nil {
+		j.finish(nil, fmt.Errorf("service: %s: %w", j.spec.Experiment, err))
+		return
+	}
+	res, err := safeMerge(j.spec.Experiment, merge, parts)
+	j.finish(res, err)
+}
+
+// safeMerge runs the merge step with the same panic isolation the engine
+// gives shards: merges type-assert their parts, so a foreign value (e.g.
+// out of a cross-version cache directory) must fail the one job, not kill
+// the serve process and every other in-flight job with it.
+func safeMerge(id string, merge func([]any) (*experiments.Result, error), parts []any) (res *experiments.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = fmt.Errorf("service: %s: merge panic: %v\n%s", id, p, buf)
+		}
+	}()
+	return merge(parts)
+}
+
+// buildPlan decomposes the experiment into engine shards plus a merge. A
+// sharded experiment contributes its own Plan; a legacy serial runner
+// becomes a single pseudo-shard (so it, too, runs on the shared pool and
+// caches its whole *Result under its one shard key).
+func (j *Job) buildPlan(e experiments.Experiment, cfg experiments.Config) ([]engine.Shard, func([]any) (*experiments.Result, error), error) {
+	if e.Plan == nil {
+		shard := engine.Shard{
+			Label: e.ID + " (serial)",
+			Run:   func(context.Context) (any, error) { return e.Run(cfg) },
+		}
+		merge := func(parts []any) (*experiments.Result, error) {
+			res, ok := parts[0].(*experiments.Result)
+			if !ok {
+				return nil, fmt.Errorf("service: %s: cached value has type %T, want *Result", e.ID, parts[0])
+			}
+			return res, nil
+		}
+		return []engine.Shard{shard}, merge, nil
+	}
+	plan, err := e.Plan(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan.Shards, plan.Merge, nil
+}
+
+// wrapShard layers the result cache and event emission around one shard.
+func (s *Service) wrapShard(j *Job, digest string, total int, sh engine.Shard) engine.Shard {
+	run := sh.Run
+	label := sh.Label
+	key := cache.Key{Experiment: j.spec.Experiment, ConfigDigest: digest, Shard: label}
+	return engine.Shard{
+		Label: label,
+		Run: func(ctx context.Context) (any, error) {
+			if s.opts.Cache != nil {
+				if data, ok := s.opts.Cache.Get(key); ok {
+					if v, err := s.codec.Decode(data); err == nil {
+						j.shardDone(label, total, true)
+						return v, nil
+					}
+					// Undecodable entry (e.g. the part type changed):
+					// fall through and recompute; the Put below repairs it.
+				}
+			}
+			v, err := run(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if s.opts.Cache != nil {
+				if data, err := s.codec.Encode(v); err == nil {
+					// Spill failures only cost future hits.
+					_ = s.opts.Cache.Put(key, data)
+				}
+			}
+			j.shardDone(label, total, false)
+			return v, nil
+		},
+	}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the submitted spec.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Progress returns completed and total shard counts (total is 0 until the
+// job starts).
+func (j *Job) Progress() (completed, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.completed, j.shards
+}
+
+// CacheCounts returns how many of the job's shards hit and missed the
+// result cache (both 0 when caching is disabled).
+func (j *Job) CacheCounts() (hits, misses int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.hits, j.misses
+}
+
+// Elapsed returns the job's wall time: running jobs report time since
+// start, finished jobs the final figure measured once at completion.
+func (j *Job) Elapsed() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobRunning {
+		return time.Since(j.started)
+	}
+	return j.elapsed
+}
+
+// Cancel asks the job to stop: queued jobs fail immediately when the
+// scheduler reaches them; running jobs stop scheduling new shards.
+func (j *Job) Cancel() { j.cancel() }
+
+// Wait blocks until the job settles (or ctx is cancelled) and returns its
+// result.
+func (j *Job) Wait(ctx context.Context) (*experiments.Result, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Result returns the finished report (nil while the job is in flight or
+// failed).
+func (j *Job) Result() (*experiments.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.terminal() {
+		return nil, fmt.Errorf("service: job %s still %s", j.id, j.state)
+	}
+	return j.result, j.err
+}
+
+// shardDone records one finished shard and emits its event. The counter
+// increment happens inside the emission's critical section: if it were a
+// separate step, two workers could swap between incrementing and emitting
+// and the stream would carry Done values out of order.
+func (j *Job) shardDone(label string, total int, cached bool) {
+	c := cached
+	j.emitWith(Event{Type: EventShardDone, Shard: label, Total: total, Cached: &c}, func(ev *Event) {
+		j.completed++
+		if cached {
+			j.hits++
+		} else {
+			j.misses++
+		}
+		ev.Done = j.completed
+	}, "")
+}
+
+// finish settles the job, records the once-measured elapsed time and emits
+// the terminal event.
+func (j *Job) finish(res *experiments.Result, err error) {
+	j.cancel() // release the context either way
+	j.mu.Lock()
+	j.elapsed = time.Since(j.started)
+	elapsedMs := float64(j.elapsed) / float64(time.Millisecond)
+	j.result, j.err = res, err
+	j.mu.Unlock()
+
+	state := JobDone
+	ev := Event{Type: EventJobFinished, ElapsedMs: elapsedMs}
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		state = JobCanceled
+		ev = Event{Type: EventJobFailed, ElapsedMs: elapsedMs, Error: err.Error()}
+	default:
+		state = JobFailed
+		ev = Event{Type: EventJobFailed, ElapsedMs: elapsedMs, Error: err.Error()}
+	}
+	// The state change and the terminal event append share emitState's
+	// critical section: a follower can never observe a terminal state whose
+	// terminal event is not yet in the history.
+	j.emitState(ev, state)
+	close(j.done)
+}
+
+// emit stamps the envelope, appends to the job's history and wakes every
+// stream follower.
+func (j *Job) emit(ev Event) { j.emitWith(ev, nil, "") }
+
+// emitState is emit plus an atomic state transition ("" keeps the state).
+func (j *Job) emitState(ev Event, state JobState) { j.emitWith(ev, nil, state) }
+
+// emitWith is the single emission path: mutate (when non-nil) updates job
+// fields and the event, and state ("" keeps it) transitions the lifecycle,
+// both inside the same critical section that orders and appends the event.
+func (j *Job) emitWith(ev Event, mutate func(*Event), state JobState) {
+	ev.Job = j.id
+	ev.Experiment = j.spec.Experiment
+	ev.Time = time.Now()
+	j.emitMu.Lock()
+	j.mu.Lock()
+	if mutate != nil {
+		mutate(&ev)
+	}
+	if state != "" {
+		j.state = state
+	}
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+	if j.svc.opts.OnEvent != nil {
+		j.svc.opts.OnEvent(ev)
+	}
+	j.emitMu.Unlock()
+}
+
+// Events streams the job's event history followed by live events, closing
+// after the terminal event (or when ctx is cancelled). Every subscriber
+// sees the full sequence from Seq 0, so late consumers replay the history.
+func (j *Job) Events(ctx context.Context) <-chan Event {
+	ch := make(chan Event)
+	go func() {
+		defer close(ch)
+		next := 0
+		for {
+			j.mu.Lock()
+			batch := make([]Event, len(j.events)-next)
+			copy(batch, j.events[next:])
+			next = len(j.events)
+			terminal := j.state.terminal()
+			notify := j.notify
+			j.mu.Unlock()
+			for _, ev := range batch {
+				select {
+				case ch <- ev:
+				case <-ctx.Done():
+					return
+				}
+			}
+			if terminal {
+				return
+			}
+			select {
+			case <-notify:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// EventHistory returns a snapshot of the events emitted so far.
+func (j *Job) EventHistory() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, len(j.events))
+	copy(out, j.events)
+	return out
+}

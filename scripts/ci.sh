@@ -27,4 +27,27 @@ go test -race "$@" ./...
 echo "== benchmarks (1 iteration) =="
 go test -run xxx -bench . -benchtime 1x "$@" ./...
 
+echo "== cdlab smoke: shared pool + shard cache =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/cdlab" ./cmd/cdlab
+
+# Cold sweep populates the cache; the warm sweep must be served entirely
+# from it (no "cached":false shard event) and write byte-identical reports.
+"$tmp/cdlab" run all -j 2 -o "$tmp/out1" -cache-dir "$tmp/cache" > /dev/null
+"$tmp/cdlab" run all -j 2 -o "$tmp/out2" -cache-dir "$tmp/cache" -json \
+    > "$tmp/events-all.jsonl" 2> "$tmp/warm-stderr.txt"
+if grep -q '"cached":false' "$tmp/events-all.jsonl"; then
+    echo "warm cdlab run recomputed shards:" >&2
+    grep '"cached":false' "$tmp/events-all.jsonl" | head -5 >&2
+    exit 1
+fi
+grep -q '"cached":true' "$tmp/events-all.jsonl"
+grep -q ', 0 misses' "$tmp/warm-stderr.txt"
+diff -r "$tmp/out1" "$tmp/out2"
+
+echo "== cdlab smoke: JSONL event schema =="
+"$tmp/cdlab" run fig6 -json | go run ./scripts/eventcheck
+go run ./scripts/eventcheck < "$tmp/events-all.jsonl"
+
 echo "CI OK"

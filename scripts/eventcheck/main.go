@@ -1,0 +1,100 @@
+// Command eventcheck validates a cdlab JSONL event stream on stdin
+// against the service's event schema (CI's event-schema gate):
+//
+//	cdlab run fig6 -json | go run ./scripts/eventcheck
+//
+// Beyond per-event validation it checks stream-level invariants for every
+// job present in the input: the first event is job_queued, seq numbers are
+// gap-free from 0, shard_done progress is monotonic, and the stream ends
+// with exactly one terminal event per job. Exits non-zero with a line
+// number on the first violation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"columndisturb/internal/service"
+)
+
+// jobTrack accumulates one job's stream-level state.
+type jobTrack struct {
+	nextSeq   int
+	shardDone int
+	terminal  bool
+	finished  bool
+}
+
+func main() {
+	if err := check(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "eventcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check(in *os.File) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	jobs := map[string]*jobTrack{}
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			return fmt.Errorf("line %d: empty line in JSONL stream", line)
+		}
+		var ev service.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("line %d: not a JSON event: %v", line, err)
+		}
+		if err := service.ValidateEvent(ev); err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		j := jobs[ev.Job]
+		if j == nil {
+			j = &jobTrack{}
+			jobs[ev.Job] = j
+			if ev.Type != service.EventJobQueued {
+				return fmt.Errorf("line %d: job %s opens with %s, want job_queued", line, ev.Job, ev.Type)
+			}
+		}
+		if j.terminal {
+			return fmt.Errorf("line %d: job %s emits %s after its terminal event", line, ev.Job, ev.Type)
+		}
+		if ev.Seq != j.nextSeq {
+			return fmt.Errorf("line %d: job %s seq %d, want %d (gap or reorder)", line, ev.Job, ev.Seq, j.nextSeq)
+		}
+		j.nextSeq++
+		switch ev.Type {
+		case service.EventShardDone:
+			j.shardDone++
+			if ev.Done != j.shardDone {
+				return fmt.Errorf("line %d: job %s shard_done #%d reports done=%d", line, ev.Job, j.shardDone, ev.Done)
+			}
+			if ev.Total < j.shardDone {
+				return fmt.Errorf("line %d: job %s done %d exceeds total %d", line, ev.Job, j.shardDone, ev.Total)
+			}
+		case service.EventJobFinished:
+			j.terminal, j.finished = true, true
+		case service.EventJobFailed:
+			j.terminal = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if line == 0 {
+		return fmt.Errorf("empty input: no events to check")
+	}
+	for id, j := range jobs {
+		if !j.terminal {
+			return fmt.Errorf("job %s has no terminal event", id)
+		}
+		if !j.finished {
+			return fmt.Errorf("job %s failed (stream is schema-valid but the run was not clean)", id)
+		}
+	}
+	fmt.Printf("eventcheck: OK (%d events, %d jobs)\n", line, len(jobs))
+	return nil
+}
