@@ -1,27 +1,35 @@
 // Command cdlab runs the ColumnDisturb reproduction experiments: it can
 // list the catalog of simulated DRAM modules, enumerate the paper's tables
-// and figures, and regenerate any of them at benchmark or full sweep
-// scale. Experiments run through the experiment service: any number of
-// requested experiments share ONE engine worker pool, shard results are
-// cached under (experiment, config digest, shard label) when -cache-dir is
-// given, and -json exposes the service's machine-readable JSONL event
-// stream. Report output is bit-identical for every -j value and for warm
-// vs cold caches.
+// and figures, and regenerate any of them — locally or against a running
+// `cdlab serve` process — through the typed Request/Profile/Runner API.
+//
+// A run is one Request: experiment IDs, a named configuration profile
+// (-profile small|full|..., see `cdlab profiles`), per-run overrides
+// (-set key=value, repeatable), and execution options. Locally the request
+// executes on one shared worker pool with optional shard-result caching;
+// with -remote it is submitted to a server over the /v1 HTTP API and the
+// report comes back byte-identical to the same request run locally —
+// config resolution is shared, so both sides even agree on cache keys.
+// -json exposes the service's versioned JSONL event stream either way.
 //
 // Usage:
 //
 //	cdlab catalog                             # Table 1's chip population
 //	cdlab list                                # every reproducible artifact
-//	cdlab run <id>... [flags]                 # regenerate one or more artifacts
-//	cdlab run all [flags]                     # regenerate everything
-//	cdlab serve -addr :8080 [flags]           # HTTP experiment service
+//	cdlab profiles                            # named profiles + override keys
+//	cdlab run <id>...|all [flags]             # regenerate one or more artifacts
+//	cdlab serve -addr :8080 [flags]           # HTTP experiment service (/v1)
 //
-// Run flags: -full, -j N, -o dir, -progress, -json, -cache-dir d,
-// -cache-entries N. Serve flags: -addr, -j, -max-active, -cache-dir,
-// -cache-entries.
+// Run flags: -profile p, -set k=v (repeatable), -full (deprecated alias of
+// -profile full), -remote addr, -j N, -o dir, -progress, -json,
+// -cache-dir d, -cache-entries N, -cache-bytes N, -no-cache.
+// Serve flags: -addr, -j, -max-active, -cache-dir, -cache-entries,
+// -cache-bytes.
 //
 // Exit status: 0 on success, 1 when any experiment fails (a multi-ID
-// sweep keeps going and reports every failure), 2 on usage errors.
+// sweep keeps going and reports every failure), 2 on usage errors —
+// including any unknown experiment ID, which is rejected up front before
+// any work starts.
 package main
 
 import (
@@ -33,13 +41,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"columndisturb"
-	"columndisturb/internal/cache"
-	"columndisturb/internal/service"
+	"columndisturb/client"
 )
 
 func main() {
@@ -58,6 +66,9 @@ func run(args []string) int {
 	case "list":
 		list()
 		return 0
+	case "profiles":
+		profiles()
+		return 0
 	case "run":
 		return runExperiments(args[1:])
 	case "serve":
@@ -71,8 +82,12 @@ func run(args []string) int {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cdlab catalog
        cdlab list
-       cdlab run <id>...|all [-full] [-j N] [-progress] [-json] [-o dir] [-cache-dir d] [-cache-entries N]
-       cdlab serve [-addr a] [-j N] [-max-active N] [-cache-dir d] [-cache-entries N]`)
+       cdlab profiles
+       cdlab run <id>...|all [-profile p] [-set k=v]... [-full] [-remote addr] [-j N]
+                 [-progress] [-json] [-o dir] [-cache-dir d] [-cache-entries N]
+                 [-cache-bytes N] [-no-cache]
+       cdlab serve [-addr a] [-j N] [-max-active N] [-cache-dir d] [-cache-entries N]
+                 [-cache-bytes N]`)
 }
 
 func catalog() {
@@ -97,29 +112,55 @@ func list() {
 	}
 }
 
-// openCache builds the shard-result store, or nil when caching is off.
-func openCache(dir string, entries int) (*cache.Store, error) {
-	if dir == "" {
-		return nil, nil
+func profiles() {
+	fmt.Println("profiles (select with `cdlab run -profile <name>`):")
+	for _, p := range columndisturb.Profiles() {
+		fmt.Printf("  %-10s %s\n", p.Name, p.Description)
 	}
-	return cache.New(entries, dir)
+	fmt.Println("\noverride keys (apply with `cdlab run -set key=value`):")
+	for _, k := range columndisturb.OverrideKeys() {
+		key, doc, _ := strings.Cut(k, "\t")
+		fmt.Printf("  %-22s %s\n", key, doc)
+	}
 }
 
-// eventPrinter serializes the service's global event hook onto the CLI's
+// kvFlags collects repeatable -set key=value flags.
+type kvFlags map[string]string
+
+func (f kvFlags) String() string {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + f[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f kvFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	f[k] = v
+	return nil
+}
+
+// eventPrinter serializes the runner's event subscription onto the CLI's
 // two channels: raw JSONL on stdout (-json) and human shard progress on
 // stderr (-progress).
-func eventPrinter(jsonOut, progress bool) func(service.Event) {
-	if !jsonOut && !progress {
-		return nil
-	}
+func eventPrinter(jsonOut, progress bool) func(columndisturb.Event) {
 	var mu sync.Mutex
-	return func(ev service.Event) {
+	return func(ev columndisturb.Event) {
 		mu.Lock()
 		defer mu.Unlock()
 		if jsonOut {
 			os.Stdout.Write(ev.EncodeJSONL())
 		}
-		if progress && ev.Type == service.EventShardDone {
+		if progress && ev.Type == columndisturb.EventShardDone {
 			suffix := ""
 			if ev.Cached != nil && *ev.Cached {
 				suffix = " (cached)"
@@ -142,22 +183,44 @@ func runExperiments(args []string) int {
 		return 2
 	}
 
+	overrides := kvFlags{}
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	full := fs.Bool("full", false, "run the paper-breadth sweep instead of the benchmark-scale one")
+	profile := fs.String("profile", "", "named configuration profile (default small; see `cdlab profiles`)")
+	fs.Var(overrides, "set", "configuration override `key=value` (repeatable; see `cdlab profiles`)")
+	full := fs.Bool("full", false, "deprecated: alias of -profile full")
+	remote := fs.String("remote", "", "run against a `cdlab serve` server at this address instead of locally")
 	outDir := fs.String("o", "", "write each result to <dir>/<id>.txt instead of stdout")
-	workers := fs.Int("j", runtime.GOMAXPROCS(0), "worker bound for the shared experiment pool (1 = serial)")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "worker bound for the local shared pool (1 = serial; ignored with -remote)")
 	progress := fs.Bool("progress", false, "report per-shard progress on stderr")
 	jsonOut := fs.Bool("json", false, "stream the service's JSONL events on stdout (reports go to -o or are suppressed)")
-	cacheDir := fs.String("cache-dir", "", "enable the shard-result cache, persisted in this directory")
+	cacheDir := fs.String("cache-dir", "", "enable the shard-result cache, persisted in this directory (local only)")
 	cacheEntries := fs.Int("cache-entries", 0, "in-memory cache capacity in shard results (0 = default)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "per-level cache capacity in payload bytes (0 = unbounded)")
+	noCache := fs.Bool("no-cache", false, "bypass the shard-result cache for this run")
 	if err := fs.Parse(rest); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h: the flag set already printed its defaults
 		}
 		return 2
 	}
+	if fs.NArg() > 0 {
+		// flag.Parse stops at the first non-flag operand; anything left
+		// over would be a silently dropped experiment ID.
+		fmt.Fprintf(os.Stderr, "cdlab: unexpected arguments after flags: %s (experiment IDs go before flags)\n",
+			strings.Join(fs.Args(), " "))
+		return 2
+	}
 	if *workers < 1 {
 		fmt.Fprintln(os.Stderr, "cdlab: -j must be at least 1")
+		return 2
+	}
+
+	// Fold the deprecated -full into the profile vocabulary.
+	switch {
+	case *full && *profile == "":
+		*profile = "full"
+	case *full && *profile != "full":
+		fmt.Fprintf(os.Stderr, "cdlab: -full conflicts with -profile %s\n", *profile)
 		return 2
 	}
 
@@ -168,11 +231,64 @@ func runExperiments(args []string) int {
 			return 2
 		}
 	}
+
+	// Build the runner: local shared-pool execution, or the /v1 client.
+	var runner columndisturb.Runner
+	if *remote != "" {
+		if *cacheDir != "" || *cacheEntries != 0 || *cacheBytes != 0 {
+			fmt.Fprintln(os.Stderr, "cdlab: -cache-dir/-cache-entries/-cache-bytes configure the local cache; with -remote the server owns the cache (see `cdlab serve`)")
+			return 2
+		}
+		c, err := client.New(*remote)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdlab:", err)
+			return 2
+		}
+		runner = c
+	} else {
+		local, err := columndisturb.NewLocalRunner(columndisturb.LocalOptions{
+			Workers:       *workers,
+			CacheDir:      *cacheDir,
+			CacheEntries:  *cacheEntries,
+			CacheMaxBytes: *cacheBytes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdlab:", err)
+			return 1
+		}
+		defer local.Close()
+		runner = local
+	}
+
+	ctx := context.Background()
+
+	// Validate every experiment ID up front — against the server's registry
+	// in remote mode — and exit 2 before any work starts if one is unknown:
+	// a typo in a long sweep must cost nothing.
+	known, err := runner.Experiments(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
+		return 1
+	}
+	knownIDs := make(map[string]bool, len(known))
+	for _, e := range known {
+		knownIDs[e.ID] = true
+	}
 	if ids[0] == "all" {
 		ids = ids[:0]
-		for _, e := range columndisturb.ListExperiments() {
+		for _, e := range known {
 			ids = append(ids, e.ID)
 		}
+	}
+	var unknown []string
+	for _, id := range ids {
+		if !knownIDs[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "cdlab: unknown experiment(s): %s (see `cdlab list`)\n", strings.Join(unknown, ", "))
+		return 2
 	}
 
 	if *outDir != "" {
@@ -181,35 +297,24 @@ func runExperiments(args []string) int {
 			return 1
 		}
 	}
-	store, err := openCache(*cacheDir, *cacheEntries)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cdlab:", err)
-		return 1
+
+	if *jsonOut || *progress {
+		stop := runner.Subscribe(eventPrinter(*jsonOut, *progress))
+		defer stop()
 	}
 
-	svc := service.New(service.Options{
-		Workers: *workers,
-		Cache:   store,
-		OnEvent: eventPrinter(*jsonOut, *progress),
+	res, runErr := runner.Run(ctx, columndisturb.Request{
+		Experiments: ids,
+		Profile:     *profile,
+		Overrides:   overrides,
+		Workers:     *workers,
+		NoCache:     *noCache,
 	})
-	defer svc.Close()
-
-	// Submit everything up front — the jobs share the pool — then collect
-	// in request order so output order is deterministic.
-	type submitted struct {
-		id  string
-		job *service.Job
-	}
-	var jobs []submitted
-	failed := 0
-	for _, id := range ids {
-		j, err := svc.Submit(service.JobSpec{Experiment: id, Full: *full})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cdlab: %s: %v\n", id, err)
-			failed++
-			continue
-		}
-		jobs = append(jobs, submitted{id, j})
+	if res == nil {
+		// Whole-request failure (bad profile/override, unreachable server):
+		// nothing ran.
+		fmt.Fprintln(os.Stderr, "cdlab:", runErr)
+		return 1
 	}
 
 	// Human status lines go to stderr in -json mode to keep stdout pure
@@ -218,35 +323,34 @@ func runExperiments(args []string) int {
 	if *jsonOut {
 		human = os.Stderr
 	}
-	for _, sub := range jobs {
-		res, err := sub.job.Wait(context.Background())
-		// The run's wall time is measured once, by the service, at job
-		// completion: the "wrote" line and any trailer always agree.
-		elapsed := sub.job.Elapsed().Round(time.Millisecond)
-		if err != nil {
+	failed := 0
+	for i, id := range ids {
+		if err := res.Errors[i]; err != nil {
 			// Keep sweeping: one broken artifact must not hide the rest,
 			// but the process still exits non-zero.
-			fmt.Fprintf(os.Stderr, "cdlab: %s: %v\n", sub.id, err)
+			fmt.Fprintf(os.Stderr, "cdlab: %v\n", err)
 			failed++
 			continue
 		}
-		text := res.String()
+		rep := res.Reports[i]
+		elapsed := rep.Elapsed.Round(time.Millisecond)
 		if *outDir != "" {
 			// Report files carry only the deterministic report text (no
-			// timing trailer), so warm-cache re-runs are byte-identical.
-			path := filepath.Join(*outDir, sub.id+".txt")
-			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			// timing trailer), so warm-cache and remote re-runs are
+			// byte-identical.
+			path := filepath.Join(*outDir, id+".txt")
+			if err := os.WriteFile(path, []byte(rep.Text), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "cdlab:", err)
 				failed++
 				continue
 			}
 			fmt.Fprintf(human, "wrote %s (%s)\n", path, elapsed)
 		} else if !*jsonOut {
-			fmt.Fprintf(human, "%s(%s in %s)\n\n", text, sub.id, elapsed)
+			fmt.Fprintf(human, "%s(%s in %s)\n\n", rep.Text, id, elapsed)
 		}
 	}
-	if store != nil {
-		st := store.Stats()
+	if local, ok := runner.(*columndisturb.LocalRunner); ok && (*cacheDir != "" || *cacheEntries != 0 || *cacheBytes != 0) {
+		st := local.CacheStats()
 		fmt.Fprintf(os.Stderr, "cdlab: cache: %d hits (%d from disk), %d misses\n", st.Hits, st.DiskHits, st.Misses)
 	}
 	if failed > 0 {
@@ -263,22 +367,33 @@ func serve(args []string) int {
 	maxActive := fs.Int("max-active", 0, "max concurrently running jobs (0 = unlimited)")
 	cacheDir := fs.String("cache-dir", "", "enable the shard-result cache, persisted in this directory")
 	cacheEntries := fs.Int("cache-entries", 0, "in-memory cache capacity in shard results (0 = default)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "per-level cache capacity in payload bytes (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
 	}
-	store, err := openCache(*cacheDir, *cacheEntries)
+	runner, err := columndisturb.NewLocalRunner(columndisturb.LocalOptions{
+		Workers:       *workers,
+		MaxActiveJobs: *maxActive,
+		CacheDir:      *cacheDir,
+		CacheEntries:  *cacheEntries,
+		CacheMaxBytes: *cacheBytes,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdlab:", err)
 		return 1
 	}
-	svc := service.New(service.Options{Workers: *workers, MaxActiveJobs: *maxActive, Cache: store})
-	defer svc.Close()
-	fmt.Fprintf(os.Stderr, "cdlab: serving experiments on %s (pool=%d workers, cache=%s)\n",
-		*addr, svc.Workers(), orNA(*cacheDir))
-	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+	defer runner.Close()
+	handler, err := runner.Handler()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "cdlab: serving the /v1 experiment API on %s (cache=%s)\n",
+		*addr, orNA(*cacheDir))
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintln(os.Stderr, "cdlab:", err)
 		return 1
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"columndisturb/internal/bender"
 	"columndisturb/internal/charz"
@@ -205,14 +206,18 @@ func ListExperiments() []ExperimentInfo {
 	return out
 }
 
-// Report is a rendered experiment result.
+// Report is a rendered experiment result. Text (and the report files
+// `cdlab run -o` writes) carries only the deterministic rendering —
+// Elapsed is metadata, so warm-cache and remote re-runs stay
+// byte-identical.
 type Report struct {
 	ID      string
 	Title   string
 	Headers []string
 	Rows    [][]string
 	Notes   []string
-	Text    string // aligned text rendering
+	Text    string        // aligned text rendering
+	Elapsed time.Duration // wall time, measured once by the service
 }
 
 // ProgressFunc receives experiment progress: done of total shards are
@@ -220,10 +225,15 @@ type Report struct {
 // serialized but may arrive in any shard order.
 type ProgressFunc func(done, total int, label string)
 
-// RunExperiment regenerates one paper artifact through the parallel
-// experiment engine at the default worker bound (GOMAXPROCS). full=false
-// uses the benchmark-scale configuration; full=true the paper-breadth
-// sweep. Output is bit-identical for every worker count.
+// RunExperiment regenerates one paper artifact at the default worker bound
+// (GOMAXPROCS). full=false runs the "small" profile (benchmark scale),
+// full=true the "full" profile (paper breadth). Output is bit-identical
+// for every worker count.
+//
+// Deprecated: use a Runner with a typed Request — it expresses
+// multi-experiment jobs, named profiles beyond small/full, per-run
+// overrides, caching and event subscription. This shim survives for
+// source compatibility and delegates to the same path.
 func RunExperiment(id string, full bool) (*Report, error) {
 	return RunExperimentWith(context.Background(), id, full, 0, nil)
 }
@@ -233,27 +243,41 @@ func RunExperiment(id string, full bool) (*Report, error) {
 // and an optional progress callback. Sharded experiments produce
 // byte-identical reports for every worker count: shard randomness is
 // derived from per-shard keys and partial results merge in canonical
-// order. Cancelling ctx stops scheduling new shards and returns an error
-// satisfying errors.Is(err, ctx.Err()). For long-running sweeps under a
-// shared worker pool, shard-result caching and a machine-readable event
-// stream, use the experiment service (internal/service, `cdlab serve`).
+// order. Cancelling ctx aborts the run and returns an error satisfying
+// errors.Is(err, ctx.Err()).
+//
+// Deprecated: use NewLocalRunner + Runner.Run with a Request; subscribe
+// for events instead of the progress callback. This shim builds exactly
+// that — a one-request LocalRunner whose shard_done events feed progress —
+// so both entry points execute the identical code path.
 func RunExperimentWith(ctx context.Context, id string, full bool, workers int, progress ProgressFunc) (*Report, error) {
-	e, ok := experiments.ByID(id)
-	if !ok {
-		return nil, fmt.Errorf("columndisturb: unknown experiment %q (see ListExperiments)", id)
-	}
-	cfg := experiments.Small()
-	if full {
-		cfg = experiments.Full()
-	}
-	res, err := e.RunWith(ctx, cfg, workers, progress)
+	r, err := NewLocalRunner(LocalOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	return &Report{
-		ID: res.ID, Title: res.Title, Headers: res.Headers,
-		Rows: res.Rows, Notes: res.Notes, Text: res.String(),
-	}, nil
+	defer r.Close()
+	if progress != nil {
+		stop := r.Subscribe(func(ev Event) {
+			if ev.Type == EventShardDone {
+				progress(ev.Done, ev.Total, ev.Shard)
+			}
+		})
+		defer stop()
+	}
+	profile := "small"
+	if full {
+		profile = "full"
+	}
+	res, err := r.Run(ctx, Request{Experiments: []string{id}, Profile: profile})
+	if err != nil {
+		if res != nil && res.Errors[0] != nil {
+			// Unwrap the single-experiment failure: callers of the old API
+			// expect the experiment's own error, not a joined batch error.
+			return nil, res.Errors[0]
+		}
+		return nil, err
+	}
+	return res.Reports[0], nil
 }
 
 // MitigationAnalysis is the §6.1 comparison of the two ColumnDisturb

@@ -24,21 +24,26 @@
 //     the paper's access patterns (hammer, press, idle), read back bitflips
 //     and run methodology steps such as subarray boundary reverse
 //     engineering and the time-to-first-bitflip search.
-//   - Experiments: regenerate any table or figure of the paper
-//     (RunExperiment, ListExperiments). Experiments execute on the
-//     parallel experiment engine (internal/engine): heavy sweeps decompose
-//     into independent shards with per-shard keyed RNG streams, run on a
-//     bounded worker pool (RunExperimentWith's workers, cdlab's -j), and
-//     merge in canonical order — so output is bit-identical for every
-//     worker count, including the serial reference path.
+//   - Experiments: regenerate any table or figure of the paper through the
+//     typed Request/Profile/Runner API (DESIGN.md §9). A Request names
+//     experiment IDs, a configuration Profile ("small", "full", or a
+//     registered scenario profile) and per-run Overrides; a Runner
+//     executes it. NewLocalRunner runs in-process — every experiment's
+//     shards interleave on ONE shared worker pool with optional two-level
+//     result caching — and the client package (columndisturb/client) is
+//     the same Runner interface speaking the /v1 HTTP API against a
+//     `cdlab serve` process, with byte-identical reports. Subscribe
+//     observes the per-job event stream (queued/started/shard_done with
+//     cache hit/miss, finished/failed). The deprecated
+//     RunExperiment/RunExperimentWith entry points delegate to this path.
 //   - Analyses: the §6 mitigation arithmetic and RAIDR sweeps
 //     (AnalyzeMitigations, RAIDRSweep).
 //
-// Above these sits the experiment service subsystem (internal/service,
-// DESIGN.md §8): a job scheduler that runs any number of concurrently
-// submitted experiments on one shared engine pool, caches shard results
-// under (experiment, config digest, shard label), and emits a JSONL event
-// stream per job. Its front-ends are `cdlab run -json` and `cdlab serve`.
+// Experiments execute on the parallel experiment engine (internal/engine):
+// sweeps decompose into independent shards with per-shard keyed RNG
+// streams, run on a bounded worker pool and merge in canonical order — so
+// output is bit-identical for every worker count, every backend (local or
+// remote), and warm or cold caches.
 //
 // Everything is deterministic for a fixed seed and runs on a laptop; see
 // EXPERIMENTS.md for measured-vs-paper results of every artifact.

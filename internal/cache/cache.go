@@ -9,12 +9,16 @@
 // correctness-preserving skip: re-running a sweep after a config tweak
 // recomputes exactly the shards whose keys changed and replays the rest.
 //
-// The store is a two-level hierarchy: an in-memory LRU bounded by entry
-// count, backed by an optional on-disk directory so warm results survive
-// process restarts. Disk entries are checksummed; a corrupted or truncated
-// file is treated as a miss and silently repaired by the next Put, never
-// surfaced as an error. Values are opaque bytes — encoding is the caller's
-// business (see Codec and Gob).
+// The store is a two-level hierarchy: an in-memory LRU backed by an
+// optional on-disk directory so warm results survive process restarts.
+// Both levels are bounded twice over — by entry count (Options.MaxEntries,
+// memory only) and by payload bytes (Options.MaxBytes, accounted in both
+// levels; the disk level evicts least-recently-used files, surviving
+// process restarts by rebuilding its accounting from a directory scan).
+// Disk entries are checksummed; a corrupted or truncated file is treated
+// as a miss, deleted to reclaim its bytes, and silently repaired by the
+// next Put, never surfaced as an error. Values are opaque bytes — encoding
+// is the caller's business (see Codec and Gob).
 package cache
 
 import (
@@ -24,8 +28,10 @@ import (
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -52,7 +58,25 @@ func (k Key) digest() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Stats counts cache traffic since the store was created.
+// Options configures a Store.
+type Options struct {
+	// MaxEntries bounds the in-memory level by entry count
+	// (<= 0 selects 4096).
+	MaxEntries int
+	// MaxBytes bounds each level by payload bytes (<= 0 = unbounded).
+	// The in-memory level accounts the raw payload; the on-disk level
+	// accounts full file sizes (payload plus header). An entry larger than
+	// MaxBytes is not retained at all — it is computed, offered, and
+	// immediately evicted, so one pathological shard cannot pin the cache.
+	MaxBytes int64
+	// Dir enables the on-disk level: entries are spilled there on Put and
+	// faulted back in on Get, so a fresh process pointed at the same
+	// directory starts warm.
+	Dir string
+}
+
+// Stats counts cache traffic since the store was created, plus the current
+// size of each level.
 type Stats struct {
 	// Hits and Misses count Get outcomes; DiskHits is the subset of Hits
 	// served from the on-disk store rather than memory.
@@ -60,19 +84,34 @@ type Stats struct {
 	// Puts counts stored entries; Corrupt counts on-disk entries rejected
 	// by the checksum (each also counted as a miss).
 	Puts, Corrupt int64
+	// MemEvictions and DiskEvictions count entries expelled from each level
+	// by the entry or byte bound.
+	MemEvictions, DiskEvictions int64
+	// MemBytes and DiskBytes are the levels' current payload footprints
+	// (disk includes per-file header overhead).
+	MemBytes, DiskBytes int64
 }
 
 // Store is a bounded in-memory LRU with an optional on-disk second level.
 // All methods are goroutine-safe. Byte slices returned by Get and handed
 // to Put are shared, not copied: callers must not mutate them.
 type Store struct {
-	dir string
+	opts Options
 
-	mu         sync.Mutex
-	maxEntries int
-	ll         *list.List // front = most recently used
-	idx        map[string]*list.Element
-	stats      Stats
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	idx      map[string]*list.Element
+	memBytes int64
+	stats    Stats
+
+	// The disk level keeps its own recency list and byte accounting,
+	// guarded separately so disk I/O never extends the memory level's
+	// critical section.
+	dmu       sync.Mutex
+	dll       *list.List // front = most recently used file
+	didx      map[string]*list.Element
+	diskBytes int64
+	dstats    struct{ evictions int64 }
 }
 
 type entry struct {
@@ -80,29 +119,39 @@ type entry struct {
 	data   []byte
 }
 
-// New creates a store holding at most maxEntries results in memory
-// (<= 0 selects 4096). A non-empty dir enables the on-disk level: entries
-// are spilled there on Put and faulted back in on Get, so a fresh process
-// pointed at the same directory starts warm.
-func New(maxEntries int, dir string) (*Store, error) {
-	if maxEntries <= 0 {
-		maxEntries = 4096
+type diskEntry struct {
+	path string
+	size int64
+}
+
+// New creates a store from the given options. A non-empty Dir enables the
+// on-disk level; its accounting is seeded by scanning the directory, so
+// byte bounds hold across process restarts (an over-budget directory is
+// trimmed immediately, oldest files first).
+func New(opts Options) (*Store, error) {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = 4096
 	}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+	s := &Store{
+		opts: opts,
+		ll:   list.New(),
+		idx:  make(map[string]*list.Element),
+		dll:  list.New(),
+		didx: make(map[string]*list.Element),
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("cache: %w", err)
 		}
+		if err := s.scanDisk(); err != nil {
+			return nil, err
+		}
 	}
-	return &Store{
-		dir:        dir,
-		maxEntries: maxEntries,
-		ll:         list.New(),
-		idx:        make(map[string]*list.Element),
-	}, nil
+	return s, nil
 }
 
 // Dir returns the on-disk directory ("" when the store is memory-only).
-func (s *Store) Dir() string { return s.dir }
+func (s *Store) Dir() string { return s.opts.Dir }
 
 // Get returns the cached bytes for k, consulting memory first and then the
 // on-disk level. The second result is false on a miss (including corrupted
@@ -119,7 +168,7 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	}
 	s.mu.Unlock()
 
-	if s.dir != "" {
+	if s.opts.Dir != "" {
 		data, ok, corrupt := s.readDisk(k, d)
 		s.mu.Lock()
 		if ok {
@@ -152,17 +201,23 @@ func (s *Store) Put(k Key, data []byte) error {
 	s.insertLocked(d, data)
 	s.stats.Puts++
 	s.mu.Unlock()
-	if s.dir == "" {
+	if s.opts.Dir == "" {
 		return nil
 	}
 	return s.writeDisk(k, d, data)
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters and level sizes.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.MemBytes = s.memBytes
+	s.mu.Unlock()
+	s.dmu.Lock()
+	st.DiskBytes = s.diskBytes
+	st.DiskEvictions = s.dstats.evictions
+	s.dmu.Unlock()
+	return st
 }
 
 // Len returns the number of in-memory entries.
@@ -172,18 +227,35 @@ func (s *Store) Len() int {
 	return s.ll.Len()
 }
 
-// insertLocked adds or refreshes an entry and evicts from the LRU tail.
+// DiskLen returns the number of on-disk entries (0 when the disk level is
+// disabled).
+func (s *Store) DiskLen() int {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	return s.dll.Len()
+}
+
+// insertLocked adds or refreshes an entry, keeps the byte accounting, and
+// evicts from the LRU tail while either bound is exceeded. Caller holds
+// s.mu.
 func (s *Store) insertLocked(digest string, data []byte) {
 	if el, ok := s.idx[digest]; ok {
-		el.Value.(*entry).data = data
+		e := el.Value.(*entry)
+		s.memBytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
 		s.ll.MoveToFront(el)
-		return
+	} else {
+		s.idx[digest] = s.ll.PushFront(&entry{digest: digest, data: data})
+		s.memBytes += int64(len(data))
 	}
-	s.idx[digest] = s.ll.PushFront(&entry{digest: digest, data: data})
-	for s.ll.Len() > s.maxEntries {
+	for s.ll.Len() > 0 &&
+		(s.ll.Len() > s.opts.MaxEntries || (s.opts.MaxBytes > 0 && s.memBytes > s.opts.MaxBytes)) {
 		tail := s.ll.Back()
+		e := tail.Value.(*entry)
 		s.ll.Remove(tail)
-		delete(s.idx, tail.Value.(*entry).digest)
+		delete(s.idx, e.digest)
+		s.memBytes -= int64(len(e.data))
+		s.stats.MemEvictions++
 	}
 }
 
@@ -193,7 +265,7 @@ func (s *Store) insertLocked(digest string, data []byte) {
 const diskMagic = "cdcache1\n"
 
 func (s *Store) diskPath(k Key, digest string) string {
-	return filepath.Join(s.dir, sanitize(k.Experiment), digest+".cds")
+	return filepath.Join(s.opts.Dir, sanitize(k.Experiment), digest+".cds")
 }
 
 // sanitize maps an experiment ID onto a safe directory name.
@@ -216,29 +288,131 @@ func sanitize(id string) string {
 	return b.String()
 }
 
+// scanDisk seeds the disk level's byte accounting and recency list from the
+// directory's existing entries (oldest modification first, so eviction
+// order survives restarts), then trims any pre-existing overage.
+func (s *Store) scanDisk() error {
+	type fileInfo struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var files []fileInfo
+	err := filepath.WalkDir(s.opts.Dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			// A write interrupted mid-spill left its temp file behind; it
+			// holds bytes the MaxBytes accounting would never see, so
+			// reclaim it now.
+			_ = os.Remove(path)
+			return nil
+		}
+		if !strings.HasSuffix(path, ".cds") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent delete: skip
+		}
+		files = append(files, fileInfo{path, info.Size(), info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("cache: scan %s: %w", s.opts.Dir, err)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mtime != files[j].mtime {
+			return files[i].mtime < files[j].mtime
+		}
+		return files[i].path < files[j].path
+	})
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	for _, f := range files {
+		// Oldest pushed first ends up at the back — first out.
+		s.didx[f.path] = s.dll.PushFront(&diskEntry{path: f.path, size: f.size})
+		s.diskBytes += f.size
+	}
+	s.evictDiskLocked()
+	return nil
+}
+
+// touchDisk marks one on-disk entry recently used (or adopts a file written
+// by an earlier process generation). Caller must NOT hold dmu.
+func (s *Store) touchDisk(path string, size int64) {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	if el, ok := s.didx[path]; ok {
+		s.dll.MoveToFront(el)
+		return
+	}
+	s.didx[path] = s.dll.PushFront(&diskEntry{path: path, size: size})
+	s.diskBytes += size
+	s.evictDiskLocked()
+}
+
+// dropDisk removes one on-disk entry and its accounting (corrupt file
+// cleanup). Caller must NOT hold dmu.
+func (s *Store) dropDisk(path string) {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	_ = os.Remove(path)
+	if el, ok := s.didx[path]; ok {
+		s.diskBytes -= el.Value.(*diskEntry).size
+		s.dll.Remove(el)
+		delete(s.didx, path)
+	}
+}
+
+// evictDiskLocked deletes least-recently-used files while the disk level
+// exceeds its byte bound. Caller holds dmu.
+func (s *Store) evictDiskLocked() {
+	if s.opts.MaxBytes <= 0 {
+		return
+	}
+	for s.diskBytes > s.opts.MaxBytes && s.dll.Len() > 0 {
+		tail := s.dll.Back()
+		de := tail.Value.(*diskEntry)
+		_ = os.Remove(de.path)
+		s.dll.Remove(tail)
+		delete(s.didx, de.path)
+		s.diskBytes -= de.size
+		s.dstats.evictions++
+	}
+}
+
 // readDisk loads and verifies one on-disk entry. ok reports a valid hit;
 // corrupt reports a present-but-invalid file (bad magic, bad checksum,
-// truncation) — treated as a miss by the caller.
+// truncation) — treated as a miss by the caller and deleted so its bytes
+// are reclaimed.
 func (s *Store) readDisk(k Key, digest string) (data []byte, ok, corrupt bool) {
-	raw, err := os.ReadFile(s.diskPath(k, digest))
+	path := s.diskPath(k, digest)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false, false
 	}
 	if !bytes.HasPrefix(raw, []byte(diskMagic)) {
+		s.dropDisk(path)
 		return nil, false, true
 	}
 	rest := raw[len(diskMagic):]
 	if len(rest) < sha256.Size {
+		s.dropDisk(path)
 		return nil, false, true
 	}
 	sum, payload := rest[:sha256.Size], rest[sha256.Size:]
 	if sha256.Sum256(payload) != [sha256.Size]byte(sum) {
+		s.dropDisk(path)
 		return nil, false, true
 	}
+	s.touchDisk(path, int64(len(raw)))
 	return payload, true, false
 }
 
-// writeDisk spills one entry atomically.
+// writeDisk spills one entry atomically and folds it into the disk level's
+// accounting, evicting older files if the byte bound is now exceeded.
 func (s *Store) writeDisk(k Key, digest string, data []byte) error {
 	path := s.diskPath(k, digest)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -266,6 +440,20 @@ func (s *Store) writeDisk(k Key, digest string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("cache: %w", err)
 	}
+
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	size := int64(len(buf))
+	if el, ok := s.didx[path]; ok {
+		de := el.Value.(*diskEntry)
+		s.diskBytes += size - de.size
+		de.size = size
+		s.dll.MoveToFront(el)
+	} else {
+		s.didx[path] = s.dll.PushFront(&diskEntry{path: path, size: size})
+		s.diskBytes += size
+	}
+	s.evictDiskLocked()
 	return nil
 }
 

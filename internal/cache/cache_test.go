@@ -12,7 +12,7 @@ func k(exp, digest, shard string) Key {
 }
 
 func TestMemoryRoundTrip(t *testing.T) {
-	s, err := New(8, "")
+	s, err := New(Options{MaxEntries: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestMemoryRoundTrip(t *testing.T) {
 // TestKeyComponentsIndependent checks every key component participates in
 // the address, including separator-confusable values.
 func TestKeyComponentsIndependent(t *testing.T) {
-	s, _ := New(16, "")
+	s, _ := New(Options{MaxEntries: 16})
 	base := k("fig6", "d1", "shard 0")
 	if err := s.Put(base, []byte("v")); err != nil {
 		t.Fatal(err)
@@ -59,7 +59,7 @@ func TestKeyComponentsIndependent(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	s, _ := New(3, "")
+	s, _ := New(Options{MaxEntries: 3})
 	for _, id := range []string{"a", "b", "c"} {
 		s.Put(k("e", "d", id), []byte(id))
 	}
@@ -82,7 +82,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestPutRefreshesExistingEntry(t *testing.T) {
-	s, _ := New(4, "")
+	s, _ := New(Options{MaxEntries: 4})
 	key := k("e", "d", "s")
 	s.Put(key, []byte("v1"))
 	s.Put(key, []byte("v2"))
@@ -98,7 +98,7 @@ func TestPutRefreshesExistingEntry(t *testing.T) {
 func TestDiskPersistenceAcrossStores(t *testing.T) {
 	dir := t.TempDir()
 	key := k("fig6", "cfg", "fig6 µ-shard/0") // label with non-filename runes
-	s1, err := New(8, dir)
+	s1, err := New(Options{MaxEntries: 8, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestDiskPersistenceAcrossStores(t *testing.T) {
 	}
 
 	// A fresh store over the same directory starts warm.
-	s2, err := New(8, dir)
+	s2, err := New(Options{MaxEntries: 8, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestCorruptedDiskEntryIsMiss(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
 			key := k("fig6", "cfg", "shard")
-			s1, _ := New(8, dir)
+			s1, _ := New(Options{MaxEntries: 8, Dir: dir})
 			if err := s1.Put(key, []byte("good data")); err != nil {
 				t.Fatal(err)
 			}
@@ -155,7 +155,7 @@ func TestCorruptedDiskEntryIsMiss(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			s2, _ := New(8, dir)
+			s2, _ := New(Options{MaxEntries: 8, Dir: dir})
 			if _, ok := s2.Get(key); ok {
 				t.Fatal("corrupted entry served as a hit")
 			}
@@ -166,7 +166,7 @@ func TestCorruptedDiskEntryIsMiss(t *testing.T) {
 			if err := s2.Put(key, []byte("repaired")); err != nil {
 				t.Fatal(err)
 			}
-			s3, _ := New(8, dir)
+			s3, _ := New(Options{MaxEntries: 8, Dir: dir})
 			got, ok := s3.Get(key)
 			if !ok || string(got) != "repaired" {
 				t.Fatalf("after repair Get = %q, %v", got, ok)
@@ -240,5 +240,172 @@ func TestGobCodecRoundTrip(t *testing.T) {
 	// Corrupted bytes decode to an error, never a wrong value.
 	if _, err := codec.Decode(bytes.Repeat([]byte{0x5a}, 16)); err == nil {
 		t.Fatal("garbage decoded without error")
+	}
+}
+
+// TestMemoryByteBound: the in-memory level evicts by payload bytes, LRU
+// first, and an entry larger than the whole budget is not retained.
+func TestMemoryByteBound(t *testing.T) {
+	s, err := New(Options{MaxEntries: 100, MaxBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay := func(n int) []byte { return bytes.Repeat([]byte{0xab}, n) }
+	s.Put(k("e", "d", "a"), pay(40))
+	s.Put(k("e", "d", "b"), pay(40))
+	if st := s.Stats(); st.MemBytes != 80 || st.MemEvictions != 0 {
+		t.Fatalf("stats before overflow = %+v", st)
+	}
+	// Touch "a" so "b" is the byte-bound victim.
+	s.Get(k("e", "d", "a"))
+	s.Put(k("e", "d", "c"), pay(40))
+	if _, ok := s.Get(k("e", "d", "b")); ok {
+		t.Fatal("byte bound did not evict the LRU entry")
+	}
+	for _, id := range []string{"a", "c"} {
+		if _, ok := s.Get(k("e", "d", id)); !ok {
+			t.Fatalf("%s evicted out of order", id)
+		}
+	}
+	st := s.Stats()
+	if st.MemBytes != 80 || st.MemEvictions != 1 {
+		t.Fatalf("stats after overflow = %+v", st)
+	}
+
+	// An entry bigger than the whole budget cannot pin the cache.
+	s.Put(k("e", "d", "huge"), pay(200))
+	if _, ok := s.Get(k("e", "d", "huge")); ok {
+		t.Fatal("oversized entry retained in memory")
+	}
+	if st := s.Stats(); st.MemBytes > 100 {
+		t.Fatalf("memory over budget: %+v", st)
+	}
+}
+
+// TestDiskByteBound: the on-disk level evicts least-recently-used files
+// once its byte budget is exceeded, and the in-memory accounting matches
+// what is actually on disk.
+func TestDiskByteBound(t *testing.T) {
+	dir := t.TempDir()
+	// Each file is payload + 9-byte magic + 32-byte checksum = payload+41.
+	// Budget of 3 such files.
+	payload := 100
+	budget := int64(3 * (payload + 41))
+	s, err := New(Options{MaxEntries: 1, MaxBytes: budget, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay := bytes.Repeat([]byte{0x77}, payload)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := s.Put(k("e", "d", id), pay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.DiskBytes != budget || st.DiskEvictions != 0 {
+		t.Fatalf("stats at capacity = %+v", st)
+	}
+	// A fourth entry pushes out "a" (the oldest file).
+	if err := s.Put(k("e", "d", "x"), pay); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DiskBytes != budget || st.DiskEvictions != 1 {
+		t.Fatalf("stats after disk eviction = %+v", st)
+	}
+	if s.DiskLen() != 3 {
+		t.Fatalf("DiskLen = %d, want 3", s.DiskLen())
+	}
+	// MaxEntries=1 keeps memory nearly empty, so reads go to disk: "a" is
+	// gone, the other three survive.
+	if _, ok := s.Get(k("e", "d", "a")); ok {
+		t.Fatal("disk-evicted entry still served")
+	}
+	for _, id := range []string{"b", "c", "x"} {
+		if got, ok := s.Get(k("e", "d", id)); !ok || !bytes.Equal(got, pay) {
+			t.Fatalf("%s lost by disk eviction", id)
+		}
+	}
+}
+
+// TestDiskAccountingSurvivesRestart: a fresh store over an existing
+// directory rebuilds its byte accounting by scanning, and trims a directory
+// that exceeds the (new, smaller) budget oldest-first.
+func TestDiskAccountingSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay := bytes.Repeat([]byte{0x11}, 100)
+	ids := []string{"a", "b", "c", "d"}
+	for _, id := range ids {
+		if err := s1.Put(k("e", "d", id), pay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := s1.Stats().DiskBytes
+	if total != 4*141 {
+		t.Fatalf("disk bytes = %d, want %d", total, 4*141)
+	}
+
+	// Reopen with the same budget: accounting matches the directory.
+	s2, err := New(Options{MaxBytes: total, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.DiskBytes != total || st.DiskEvictions != 0 {
+		t.Fatalf("reopened stats = %+v, want %d bytes", st, total)
+	}
+
+	// Reopen with half the budget: the overage is trimmed at New, and the
+	// survivors are still readable.
+	s3, err := New(Options{MaxEntries: 1, MaxBytes: total / 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s3.Stats()
+	if st.DiskBytes > total/2 || st.DiskEvictions == 0 {
+		t.Fatalf("over-budget directory not trimmed: %+v", st)
+	}
+	hits := 0
+	for _, id := range ids {
+		if _, ok := s3.Get(k("e", "d", id)); ok {
+			hits++
+		}
+	}
+	if hits != s3.DiskLen() || hits == 0 {
+		t.Fatalf("%d survivors readable, DiskLen = %d", hits, s3.DiskLen())
+	}
+}
+
+// TestScanReclaimsOrphanedTempFiles: temp files left by an interrupted
+// spill are deleted at New, not silently retained outside the byte
+// accounting.
+func TestScanReclaimsOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := k("fig6", "cfg", "shard")
+	if err := s1.Put(key, []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(filepath.Dir(findOnly(t, dir)), ".tmp-12345")
+	if err := os.WriteFile(orphan, bytes.Repeat([]byte{1}, 512), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := os.Stat(orphan); !os.IsNotExist(statErr) {
+		t.Fatalf("orphaned temp file survived the scan: %v", statErr)
+	}
+	if got, ok := s2.Get(key); !ok || string(got) != "kept" {
+		t.Fatalf("real entry lost during temp cleanup: %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.DiskBytes != 4+41 {
+		t.Fatalf("disk accounting includes the orphan: %+v", st)
 	}
 }

@@ -24,12 +24,22 @@ const (
 	EventJobFailed EventType = "job_failed"
 )
 
+// EventSchemaVersion is the version stamped into every event's envelope
+// (the "v" field). It names the wire generation of the stream itself —
+// consumers reject streams from a different generation instead of
+// misreading them — and matches the HTTP API version the `/v1` routes and
+// the client package speak. Bump it together with any incompatible change
+// to Event's JSON shape.
+const EventSchemaVersion = 1
+
 // Event is one record of a job's machine-readable progress stream. Encoded
 // as JSON lines it is the service's wire format: `cdlab run -json` prints
-// it to stdout and `cdlab serve` streams it per job over HTTP. Every event
-// carries the type/job/experiment/seq/time envelope; the remaining fields
-// are type-specific and omitted elsewhere.
+// it to stdout and `cdlab serve` streams it per job over HTTP (the /v1
+// event endpoint). Every event carries the v/type/job/experiment/seq/time
+// envelope; the remaining fields are type-specific and omitted elsewhere.
 type Event struct {
+	// V is the envelope version, always EventSchemaVersion on emission.
+	V          int       `json:"v"`
 	Type       EventType `json:"type"`
 	Job        string    `json:"job"`
 	Experiment string    `json:"experiment"`
@@ -66,6 +76,9 @@ func (e Event) EncodeJSONL() []byte {
 // ValidateEvent checks one decoded event against the stream schema; the
 // CLI's -json self-check and CI's event-schema gate share it.
 func ValidateEvent(e Event) error {
+	if e.V != EventSchemaVersion {
+		return fmt.Errorf("event envelope version %d, want %d: %+v", e.V, EventSchemaVersion, e)
+	}
 	if e.Job == "" || e.Experiment == "" {
 		return fmt.Errorf("event missing job/experiment envelope: %+v", e)
 	}

@@ -5,54 +5,107 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"columndisturb/internal/experiments"
 )
 
-// Handler exposes the service over HTTP (`cdlab serve`):
+// Handler exposes the service over HTTP (`cdlab serve`). The versioned
+// /v1 prefix is the supported API — the one the client package
+// (RemoteRunner) speaks — and the bare legacy paths remain as aliases for
+// seed-era consumers:
 //
-//	GET    /experiments           list runnable experiments
-//	GET    /jobs                  list submitted jobs
-//	POST   /jobs                  submit {"experiment": "fig6", "full": false}
-//	GET    /jobs/<id>             one job's status
-//	DELETE /jobs/<id>             cancel the job
-//	GET    /jobs/<id>/events      stream the job's events as JSON lines
-//	GET    /jobs/<id>/report      fetch the finished report (?format=text)
+//	GET    /v1/experiments           list runnable experiments
+//	GET    /v1/profiles              list named configuration profiles
+//	GET    /v1/jobs                  list submitted jobs
+//	POST   /v1/jobs                  submit a JobSpec (experiment, profile, overrides, no_cache)
+//	GET    /v1/jobs/<id>             one job's status
+//	DELETE /v1/jobs/<id>             cancel the job
+//	GET    /v1/jobs/<id>/events      stream the job's events as JSON lines (?from=N resumes at Seq N)
+//	GET    /v1/jobs/<id>/report      fetch the finished report (?format=text)
 //
-// The events endpoint streams application/x-ndjson: the job's history
-// replays first, then live events follow until the terminal event closes
-// the stream — a front-end gets a complete, gap-free Seq sequence no
-// matter when it connects.
+// The events endpoint streams application/x-ndjson with the versioned
+// envelope (Event, "v":1): by default the job's history replays first and
+// live events follow until the terminal event closes the stream; with
+// ?from=N the replay starts at sequence N, so a consumer that lost its
+// connection resumes exactly where it stopped — a complete, gap-free Seq
+// sequence no matter when or how often it connects.
+//
+// The wire structs (JobSpec, JobStatus, ReportPayload, HTTPExperimentInfo,
+// HTTPProfileInfo, APIError) are shared with the client package: both ends
+// marshal the same types, so the codec cannot drift.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/experiments", s.handleExperiments)
-	mux.HandleFunc("/jobs", s.handleJobs)
-	mux.HandleFunc("/jobs/", s.handleJob)
+	for _, prefix := range []string{"", "/v1"} {
+		prefix := prefix
+		mux.HandleFunc(prefix+"/experiments", s.handleExperiments)
+		mux.HandleFunc(prefix+"/jobs", s.handleJobs)
+		mux.HandleFunc(prefix+"/jobs/", func(w http.ResponseWriter, r *http.Request) {
+			s.handleJob(w, r, prefix+"/jobs/")
+		})
+	}
+	mux.HandleFunc("/v1/profiles", s.handleProfiles)
 	return mux
 }
 
-// jobStatus is the JSON shape of one job in listings and status responses.
-type jobStatus struct {
-	ID         string  `json:"id"`
-	Experiment string  `json:"experiment"`
-	Full       bool    `json:"full"`
-	State      string  `json:"state"`
-	Done       int     `json:"done"`
-	Total      int     `json:"total"`
-	CacheHits  int     `json:"cache_hits"`
-	CacheMiss  int     `json:"cache_misses"`
-	ElapsedMs  float64 `json:"elapsed_ms"`
-	Error      string  `json:"error,omitempty"`
+// JobStatus is the JSON shape of one job in listings and status responses
+// (shared client/server wire type).
+type JobStatus struct {
+	ID         string            `json:"id"`
+	Experiment string            `json:"experiment"`
+	Profile    string            `json:"profile"`
+	Overrides  map[string]string `json:"overrides,omitempty"`
+	NoCache    bool              `json:"no_cache,omitempty"`
+	State      string            `json:"state"`
+	Done       int               `json:"done"`
+	Total      int               `json:"total"`
+	CacheHits  int               `json:"cache_hits"`
+	CacheMiss  int               `json:"cache_misses"`
+	ElapsedMs  float64           `json:"elapsed_ms"`
+	Error      string            `json:"error,omitempty"`
 }
 
-func statusOf(j *Job) jobStatus {
+// ReportPayload is the JSON encoding of a finished report (shared
+// client/server wire type). Text is the canonical rendering — the exact
+// bytes a local run's Result.String() produces, which is what makes a
+// remote report byte-comparable to a local one.
+type ReportPayload struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes"`
+	Text    string     `json:"text"`
+}
+
+// HTTPExperimentInfo is one entry of the /v1/experiments listing.
+type HTTPExperimentInfo struct {
+	ID    string `json:"id"`
+	Paper string `json:"paper"`
+	Title string `json:"title"`
+}
+
+// HTTPProfileInfo is one entry of the /v1/profiles listing.
+type HTTPProfileInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// APIError is the JSON body of every non-2xx response.
+type APIError struct {
+	Error string `json:"error"`
+}
+
+func statusOf(j *Job) JobStatus {
 	done, total := j.Progress()
 	hits, misses := j.CacheCounts()
-	st := jobStatus{
+	st := JobStatus{
 		ID:         j.ID(),
 		Experiment: j.Spec().Experiment,
-		Full:       j.Spec().Full,
+		Profile:    j.Profile(),
+		Overrides:  j.Spec().Overrides,
+		NoCache:    j.Spec().NoCache,
 		State:      string(j.State()),
 		Done:       done,
 		Total:      total,
@@ -77,7 +130,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, code, APIError{Error: fmt.Sprintf(format, args...)})
 }
 
 func (s *Service) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -85,10 +138,21 @@ func (s *Service) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	type info struct{ ID, Paper, Title string }
-	var out []info
+	out := []HTTPExperimentInfo{}
 	for _, e := range experiments.All() {
-		out = append(out, info{e.ID, e.Paper, e.Title})
+		out = append(out, HTTPExperimentInfo{ID: e.ID, Paper: e.Paper, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	out := []HTTPProfileInfo{}
+	for _, p := range experiments.Profiles() {
+		out = append(out, HTTPProfileInfo{Name: p.Name, Description: p.Description})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -96,7 +160,7 @@ func (s *Service) handleExperiments(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		out := []jobStatus{}
+		out := []JobStatus{}
 		for _, j := range s.Jobs() {
 			out = append(out, statusOf(j))
 		}
@@ -122,9 +186,9 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleJob routes /jobs/<id>[/events|/report].
-func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+// handleJob routes <prefix><id>[/events|/report].
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request, prefix string) {
+	rest := strings.TrimPrefix(r.URL.Path, prefix)
 	id, sub, _ := strings.Cut(rest, "/")
 	j, ok := s.Job(id)
 	if !ok {
@@ -160,10 +224,19 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	from := 0
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad from=%q: want a non-negative sequence number", raw)
+			return
+		}
+		from = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	for ev := range j.Events(r.Context()) {
+	for ev := range j.EventsFrom(r.Context(), from) {
 		if _, err := w.Write(ev.EncodeJSONL()); err != nil {
 			return
 		}
@@ -175,7 +248,7 @@ func (s *Service) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 
 func (s *Service) serveReport(w http.ResponseWriter, r *http.Request, j *Job) {
 	if !j.State().terminal() {
-		writeError(w, http.StatusConflict, "job %s still %s (stream /jobs/%s/events to follow it)", j.ID(), j.State(), j.ID())
+		writeError(w, http.StatusConflict, "job %s still %s (stream /v1/jobs/%s/events to follow it)", j.ID(), j.State(), j.ID())
 		return
 	}
 	res, err := j.Result()
@@ -188,12 +261,12 @@ func (s *Service) serveReport(w http.ResponseWriter, r *http.Request, j *Job) {
 		fmt.Fprint(w, res.String())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"id":      res.ID,
-		"title":   res.Title,
-		"headers": res.Headers,
-		"rows":    res.Rows,
-		"notes":   res.Notes,
-		"text":    res.String(),
+	writeJSON(w, http.StatusOK, ReportPayload{
+		ID:      res.ID,
+		Title:   res.Title,
+		Headers: res.Headers,
+		Rows:    res.Rows,
+		Notes:   res.Notes,
+		Text:    res.String(),
 	})
 }

@@ -14,7 +14,7 @@ import (
 	"columndisturb/internal/experiments"
 )
 
-func postJob(t *testing.T, base, id string) jobStatus {
+func postJob(t *testing.T, base, id string) JobStatus {
 	t.Helper()
 	body, _ := json.Marshal(JobSpec{Experiment: id})
 	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
@@ -25,7 +25,7 @@ func postJob(t *testing.T, base, id string) jobStatus {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("POST /jobs: %s", resp.Status)
 	}
-	var st jobStatus
+	var st JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestHTTPConcurrentSubmissions(t *testing.T) {
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
 
-	sts := []jobStatus{postJob(t, srv.URL, "fig6"), postJob(t, srv.URL, "table1")}
+	sts := []JobStatus{postJob(t, srv.URL, "fig6"), postJob(t, srv.URL, "table1")}
 	for _, st := range sts {
 		j, ok := svc.Job(st.ID)
 		if !ok {
@@ -142,7 +142,7 @@ func TestHTTPConcurrentSubmissions(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var list []jobStatus
+	var list []JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}
@@ -210,6 +210,137 @@ func TestHTTPErrors(t *testing.T) {
 	if j, _ := svc.Job(st.ID); j != nil {
 		if _, err := j.Wait(context.Background()); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestV1Routes covers the versioned API surface the client package speaks:
+// profile-carrying submission, the /v1 aliases, the profiles listing, and
+// event-stream resumption via ?from=N.
+func TestV1Routes(t *testing.T) {
+	svc := New(Options{Workers: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Submit through /v1 with a profile and an override.
+	body, _ := json.Marshal(JobSpec{Experiment: "table1", Profile: "small", Overrides: map[string]string{"seed": "9"}})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.Profile != "small" || st.Overrides["seed"] != "9" {
+		t.Fatalf("v1 submit: %s, status %+v", resp.Status, st)
+	}
+	j, _ := svc.Job(st.ID)
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The override reached the config resolution.
+	if got := j.Config().Seed; got != 9 {
+		t.Fatalf("job ran with seed %d, want 9", got)
+	}
+
+	// /v1/profiles lists at least the built-ins.
+	resp, err = http.Get(srv.URL + "/v1/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var profs []HTTPProfileInfo
+	if err := json.NewDecoder(resp.Body).Decode(&profs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	names := map[string]bool{}
+	for _, p := range profs {
+		names[p.Name] = true
+	}
+	if !names["small"] || !names["full"] {
+		t.Fatalf("profiles listing missing built-ins: %+v", profs)
+	}
+
+	// /v1/experiments uses the exported wire type.
+	resp, err = http.Get(srv.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exps []HTTPExperimentInfo
+	if err := json.NewDecoder(resp.Body).Decode(&exps); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(exps) < 20 || exps[0].ID == "" {
+		t.Fatalf("experiments listing: %d entries", len(exps))
+	}
+
+	// Event resumption: ?from=N replays exactly the suffix.
+	all := j.EventHistory()
+	from := len(all) - 3
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", srv.URL, st.ID, from))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev)
+	}
+	if len(got) != 3 || got[0].Seq != from || got[len(got)-1].Seq != len(all)-1 {
+		t.Fatalf("from=%d replayed %d events starting at seq %d", from, len(got), got[0].Seq)
+	}
+
+	// A from beyond the terminal event yields an empty, closed stream.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", srv.URL, st.ID, len(all)+5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := new(bytes.Buffer)
+	b.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if b.Len() != 0 {
+		t.Fatalf("past-the-end from streamed %q", b.String())
+	}
+
+	// Bad from is a 400.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=-2", srv.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("from=-2: %s, want 400", resp.Status)
+	}
+
+	// Bad profile and conflicting full+profile are rejected at submit.
+	for _, bad := range []string{
+		`{"experiment":"table1","profile":"nope"}`,
+		`{"experiment":"table1","full":true,"profile":"small"}`,
+		`{"experiment":"table1","overrides":{"bogus":"1"}}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var apiErr APIError
+		json.NewDecoder(resp.Body).Decode(&apiErr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || apiErr.Error == "" {
+			t.Fatalf("bad spec %s accepted: %s (%+v)", bad, resp.Status, apiErr)
 		}
 	}
 }

@@ -120,20 +120,56 @@ func (s *Service) Close() {
 	s.pool.Close()
 }
 
-// JobSpec names one experiment run.
+// JobSpec names one experiment run. It doubles as the request codec of the
+// /v1 HTTP API: the client package marshals it as the POST /v1/jobs body
+// and the server decodes the same struct, so both ends agree on the wire
+// shape by construction.
 type JobSpec struct {
 	// Experiment is the experiment ID (see experiments.All).
 	Experiment string `json:"experiment"`
 	// Full selects the paper-breadth configuration instead of the
 	// benchmark-scale one.
+	//
+	// Deprecated: set Profile to "full" instead. Full survives for old
+	// clients; it conflicts with any Profile other than "" or "full".
 	Full bool `json:"full,omitempty"`
+	// Profile names the base configuration ("" selects "small"; see
+	// experiments.Profiles).
+	Profile string `json:"profile,omitempty"`
+	// Overrides adjusts individual configuration fields on top of the
+	// profile (experiments.ApplyOverrides keys, e.g. "seed", "mixes").
+	Overrides map[string]string `json:"overrides,omitempty"`
+	// NoCache bypasses the shard-result cache for this job: nothing is
+	// read from or written to the store.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
-func (spec JobSpec) config() experiments.Config {
-	if spec.Full {
-		return experiments.Full()
+// profileName resolves the effective profile name, folding the deprecated
+// Full flag in.
+func (spec JobSpec) profileName() (string, error) {
+	if spec.Full && spec.Profile != "" && spec.Profile != "full" {
+		return "", fmt.Errorf("service: conflicting full=true and profile %q", spec.Profile)
 	}
-	return experiments.Small()
+	switch {
+	case spec.Profile != "":
+		return spec.Profile, nil
+	case spec.Full:
+		return "full", nil
+	default:
+		return "small", nil
+	}
+}
+
+// config resolves the spec into the effective experiment configuration
+// through the shared resolution path (experiments.ResolveConfig) — the
+// same one the local runner and the remote client rely on, so equal specs
+// always produce equal configs and therefore equal cache digests.
+func (spec JobSpec) config() (experiments.Config, error) {
+	name, err := spec.profileName()
+	if err != nil {
+		return experiments.Config{}, err
+	}
+	return experiments.ResolveConfig(name, spec.Overrides)
 }
 
 // JobState is a job's lifecycle phase.
@@ -154,12 +190,14 @@ func (st JobState) terminal() bool {
 
 // Job is one submitted experiment run.
 type Job struct {
-	id     string
-	spec   JobSpec
-	svc    *Service
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
+	id      string
+	spec    JobSpec
+	profile string             // resolved profile name ("small" when the spec left it empty)
+	cfg     experiments.Config // resolved at Submit; runJob never re-resolves
+	svc     *Service
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
 
 	// emitMu serializes whole event emissions (append + OnEvent callback)
 	// so observers see events in Seq order; mu guards the fields below and
@@ -179,11 +217,21 @@ type Job struct {
 	misses    int
 }
 
-// Submit validates the spec, queues a job and returns it. The job starts
-// as soon as the scheduler has capacity; events begin with job_queued.
+// Submit validates the spec — the experiment must exist and the
+// profile/override combination must resolve to a configuration — queues a
+// job and returns it. The job starts as soon as the scheduler has
+// capacity; events begin with job_queued.
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	if _, ok := experiments.ByID(spec.Experiment); !ok {
 		return nil, fmt.Errorf("service: unknown experiment %q", spec.Experiment)
+	}
+	profile, err := spec.profileName()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := spec.config()
+	if err != nil {
+		return nil, fmt.Errorf("service: %v", err)
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -193,14 +241,16 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	s.seq++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
-		id:     fmt.Sprintf("job-%d", s.seq),
-		spec:   spec,
-		svc:    s,
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
-		state:  JobQueued,
-		notify: make(chan struct{}),
+		id:      fmt.Sprintf("job-%d", s.seq),
+		spec:    spec,
+		profile: profile,
+		cfg:     cfg,
+		svc:     s,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   JobQueued,
+		notify:  make(chan struct{}),
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -263,7 +313,7 @@ func (s *Service) runJob(j *Job) {
 	defer s.jobSettled()
 
 	e, _ := experiments.ByID(j.spec.Experiment) // validated at Submit
-	cfg := j.spec.config()
+	cfg := j.cfg                                // resolved at Submit
 
 	j.mu.Lock()
 	j.started = time.Now()
@@ -340,14 +390,17 @@ func (j *Job) buildPlan(e experiments.Experiment, cfg experiments.Config) ([]eng
 }
 
 // wrapShard layers the result cache and event emission around one shard.
+// A NoCache job runs every shard and stores nothing — useful to force a
+// recomputation without retiring the store's existing entries.
 func (s *Service) wrapShard(j *Job, digest string, total int, sh engine.Shard) engine.Shard {
 	run := sh.Run
 	label := sh.Label
+	useCache := s.opts.Cache != nil && !j.spec.NoCache
 	key := cache.Key{Experiment: j.spec.Experiment, ConfigDigest: digest, Shard: label}
 	return engine.Shard{
 		Label: label,
 		Run: func(ctx context.Context) (any, error) {
-			if s.opts.Cache != nil {
+			if useCache {
 				if data, ok := s.opts.Cache.Get(key); ok {
 					if v, err := s.codec.Decode(data); err == nil {
 						j.shardDone(label, total, true)
@@ -361,7 +414,7 @@ func (s *Service) wrapShard(j *Job, digest string, total int, sh engine.Shard) e
 			if err != nil {
 				return nil, err
 			}
-			if s.opts.Cache != nil {
+			if useCache {
 				if data, err := s.codec.Encode(v); err == nil {
 					// Spill failures only cost future hits.
 					_ = s.opts.Cache.Put(key, data)
@@ -378,6 +431,13 @@ func (j *Job) ID() string { return j.id }
 
 // Spec returns the submitted spec.
 func (j *Job) Spec() JobSpec { return j.spec }
+
+// Profile returns the resolved profile name the job runs under ("small"
+// when the spec named none).
+func (j *Job) Profile() string { return j.profile }
+
+// Config returns the job's resolved experiment configuration.
+func (j *Job) Config() experiments.Config { return j.cfg }
 
 // State returns the job's current lifecycle phase.
 func (j *Job) State() JobState {
@@ -497,6 +557,7 @@ func (j *Job) emitState(ev Event, state JobState) { j.emitWith(ev, nil, state) }
 // fields and the event, and state ("" keeps it) transitions the lifecycle,
 // both inside the same critical section that orders and appends the event.
 func (j *Job) emitWith(ev Event, mutate func(*Event), state JobState) {
+	ev.V = EventSchemaVersion
 	ev.Job = j.id
 	ev.Experiment = j.spec.Experiment
 	ev.Time = time.Now()
@@ -523,15 +584,31 @@ func (j *Job) emitWith(ev Event, mutate func(*Event), state JobState) {
 // after the terminal event (or when ctx is cancelled). Every subscriber
 // sees the full sequence from Seq 0, so late consumers replay the history.
 func (j *Job) Events(ctx context.Context) <-chan Event {
+	return j.EventsFrom(ctx, 0)
+}
+
+// EventsFrom is Events starting at sequence number from instead of 0: the
+// replay skips events the consumer already holds, which is how a
+// disconnected follower (the remote client's event stream) resumes without
+// gaps or duplicates. A from beyond the current history simply waits for
+// the job to reach it; a from beyond the terminal event yields an empty,
+// immediately closed stream.
+func (j *Job) EventsFrom(ctx context.Context, from int) <-chan Event {
+	if from < 0 {
+		from = 0
+	}
 	ch := make(chan Event)
 	go func() {
 		defer close(ch)
-		next := 0
+		next := from
 		for {
 			j.mu.Lock()
-			batch := make([]Event, len(j.events)-next)
-			copy(batch, j.events[next:])
-			next = len(j.events)
+			var batch []Event
+			if next < len(j.events) {
+				batch = make([]Event, len(j.events)-next)
+				copy(batch, j.events[next:])
+				next = len(j.events)
+			}
 			terminal := j.state.terminal()
 			notify := j.notify
 			j.mu.Unlock()

@@ -128,7 +128,7 @@ func TestEventsReplayAndFollow(t *testing.T) {
 func TestWarmCacheRunIsByteIdenticalAndRecomputesNothing(t *testing.T) {
 	dir := t.TempDir()
 	run := func(id string) (string, *Job) {
-		store, err := cache.New(0, dir)
+		store, err := cache.New(cache.Options{Dir: dir})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +178,7 @@ func TestWarmCacheRunIsByteIdenticalAndRecomputesNothing(t *testing.T) {
 // TestConfigChangeMissesCache: the same experiment under a different
 // config must not reuse cached shards (the config digest keys them).
 func TestConfigChangeMissesCache(t *testing.T) {
-	store, err := cache.New(0, "")
+	store, err := cache.New(cache.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,5 +465,83 @@ func TestJobElapsedMeasuredOnce(t *testing.T) {
 	last := events[len(events)-1]
 	if last.ElapsedMs != float64(first)/float64(time.Millisecond) {
 		t.Fatalf("job_finished elapsed %vms != Elapsed %v", last.ElapsedMs, first)
+	}
+}
+
+// TestProfileFullEquivalence: the deprecated Full flag and Profile "full"
+// resolve identically, so they share cache entries; an override produces a
+// distinct digest and therefore a cold cache.
+func TestProfileFullEquivalence(t *testing.T) {
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Options{Workers: 2, Cache: store})
+	defer svc.Close()
+
+	j1, err := svc.Submit(JobSpec{Experiment: "table1", Full: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := svc.Submit(JobSpec{Experiment: "table1", Profile: "full"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := j2.CacheCounts(); misses != 0 {
+		t.Fatalf("profile=full recomputed %d shards after full=true warmed the cache", misses)
+	}
+	if j1.Config() != j2.Config() {
+		t.Fatalf("full=true and profile=full resolved differently: %+v vs %+v", j1.Config(), j2.Config())
+	}
+
+	j3, err := svc.Submit(JobSpec{Experiment: "table1", Profile: "full", Overrides: map[string]string{"seed": "2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j3.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := j3.CacheCounts(); hits != 0 {
+		t.Fatalf("seed-overridden run hit %d base-config cache entries", hits)
+	}
+}
+
+// TestNoCacheBypassesStore: a NoCache job neither reads nor writes the
+// shard cache.
+func TestNoCacheBypassesStore(t *testing.T) {
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Options{Workers: 2, Cache: store})
+	defer svc.Close()
+
+	warm, err := svc.Submit(JobSpec{Experiment: "table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	puts := store.Stats().Puts
+
+	j, err := svc.Submit(JobSpec{Experiment: "table1", NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := j.CacheCounts(); hits != 0 || misses == 0 {
+		t.Fatalf("NoCache job: hits=%d misses=%d", hits, misses)
+	}
+	if got := store.Stats().Puts; got != puts {
+		t.Fatalf("NoCache job stored %d entries", got-puts)
 	}
 }

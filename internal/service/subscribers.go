@@ -1,0 +1,46 @@
+package service
+
+import "sync"
+
+// Subscribers is a concurrency-safe set of event observers, shared by the
+// Runner implementations (the local runner's fan-out and the remote
+// client's stream relay) so subscription semantics cannot drift between
+// backends. The zero value is ready to use. Callbacks are invoked on the
+// emitter's goroutine; per-job ordering is whatever the emitter provides.
+type Subscribers struct {
+	mu   sync.Mutex
+	subs map[int]func(Event)
+	next int
+}
+
+// Add registers fn and returns its removal function.
+func (s *Subscribers) Add(fn func(Event)) (stop func()) {
+	s.mu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[int]func(Event))
+	}
+	id := s.next
+	s.next++
+	s.subs[id] = fn
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.subs, id)
+		s.mu.Unlock()
+	}
+}
+
+// Emit relays one event to every registered observer. The subscriber set
+// is snapshotted outside the callbacks, so observers may Add/stop from
+// within one without deadlocking.
+func (s *Subscribers) Emit(ev Event) {
+	s.mu.Lock()
+	fns := make([]func(Event), 0, len(s.subs))
+	for _, fn := range s.subs {
+		fns = append(fns, fn)
+	}
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+}

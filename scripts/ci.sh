@@ -50,4 +50,43 @@ echo "== cdlab smoke: JSONL event schema =="
 "$tmp/cdlab" run fig6 -json | go run ./scripts/eventcheck
 go run ./scripts/eventcheck < "$tmp/events-all.jsonl"
 
+echo "== cdlab smoke: unknown IDs rejected before any work =="
+rc=0
+"$tmp/cdlab" run fig6 no-such-experiment -o "$tmp/should-not-exist" 2> "$tmp/unknown-err.txt" || rc=$?
+[ "$rc" -eq 2 ] || { echo "unknown-ID exit status $rc, want 2" >&2; exit 1; }
+grep -q no-such-experiment "$tmp/unknown-err.txt"
+[ ! -e "$tmp/should-not-exist" ] || { echo "work started despite unknown ID" >&2; exit 1; }
+
+echo "== cdlab smoke: client-serve roundtrip =="
+port=18517
+"$tmp/cdlab" serve -addr "127.0.0.1:$port" -j 2 -cache-dir "$tmp/serve-cache" \
+    2> "$tmp/serve.log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then exec 3>&-; break; fi
+    sleep 0.1
+done
+
+# A remote run must render byte-identical reports to the same request run
+# locally (same profile and overrides resolve to the same config digest).
+"$tmp/cdlab" run fig6 table1 -remote "127.0.0.1:$port" -set seed=7 -o "$tmp/remote-out"
+"$tmp/cdlab" run fig6 table1 -set seed=7 -o "$tmp/local-out" -cache-dir "$tmp/local-cache" > /dev/null
+diff -r "$tmp/remote-out" "$tmp/local-out"
+
+# A repeat remote run is served entirely from the server's shard cache
+# (zero recomputation) and its /v1 event stream passes the schema gate.
+"$tmp/cdlab" run fig6 table1 -remote "127.0.0.1:$port" -set seed=7 -json -o "$tmp/remote-out2" \
+    > "$tmp/events-remote.jsonl" 2> /dev/null
+if grep -q '"cached":false' "$tmp/events-remote.jsonl"; then
+    echo "warm remote run recomputed shards:" >&2
+    grep '"cached":false' "$tmp/events-remote.jsonl" | head -5 >&2
+    exit 1
+fi
+grep -q '"cached":true' "$tmp/events-remote.jsonl"
+grep -q '"v":1' "$tmp/events-remote.jsonl"
+go run ./scripts/eventcheck < "$tmp/events-remote.jsonl"
+diff -r "$tmp/remote-out" "$tmp/remote-out2"
+kill "$serve_pid"
+
 echo "CI OK"

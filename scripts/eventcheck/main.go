@@ -1,13 +1,18 @@
 // Command eventcheck validates a cdlab JSONL event stream on stdin
-// against the service's event schema (CI's event-schema gate):
+// against the service's versioned event schema (CI's event-schema gate):
 //
 //	cdlab run fig6 -json | go run ./scripts/eventcheck
+//	cdlab run fig6 -remote 127.0.0.1:8080 -json | go run ./scripts/eventcheck
 //
-// Beyond per-event validation it checks stream-level invariants for every
-// job present in the input: the first event is job_queued, seq numbers are
-// gap-free from 0, shard_done progress is monotonic, and the stream ends
-// with exactly one terminal event per job. Exits non-zero with a line
-// number on the first violation.
+// The same envelope flows through every channel — `cdlab run -json`
+// locally, and the /v1 HTTP event streams a remote run relays — so one
+// checker gates both. Per-event validation enforces the /v1 envelope
+// ("v":1, service.EventSchemaVersion) and the type-specific fields;
+// stream-level checks cover every job present in the input: the first
+// event is job_queued, seq numbers are gap-free from 0 (also across the
+// client's ?from=N reconnect resumes), shard_done progress is monotonic,
+// and the stream ends with exactly one terminal event per job. Exits
+// non-zero with a line number on the first violation.
 package main
 
 import (
