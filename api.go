@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"columndisturb/internal/cache"
+	"columndisturb/internal/dispatch"
 	"columndisturb/internal/experiments"
 	"columndisturb/internal/service"
 )
@@ -183,10 +184,29 @@ type CacheStats struct {
 // LocalOptions configures a LocalRunner.
 type LocalOptions struct {
 	// Workers sizes the shared worker pool (<= 0 defers to the first
-	// request's Workers, then GOMAXPROCS).
+	// request's Workers, then GOMAXPROCS). With Dispatch it sizes the
+	// dispatcher's local executors instead.
 	Workers int
 	// MaxActiveJobs bounds how many jobs run concurrently (0 = unlimited).
 	MaxActiveJobs int
+	// Dispatch replaces the in-process pool with the distributed shard
+	// backend (internal/dispatch): Handler() additionally serves the /v1
+	// worker API, `cdlab worker -connect` processes attach to it, and every
+	// shard runs either on a local executor or on a leased worker —
+	// reassembled in canonical order, so reports stay byte-identical to a
+	// serial local run no matter where shards computed.
+	Dispatch bool
+	// NoLocalShards (with Dispatch) disables local shard execution: the
+	// process becomes a pure scheduler and every shard waits for a remote
+	// worker lease.
+	NoLocalShards bool
+	// LeaseTTL (with Dispatch) is the worker heartbeat deadline after which
+	// a silent worker is dropped and its shards requeued (0 selects 15s).
+	LeaseTTL time.Duration
+	// RetainJobs, when > 0, retires the oldest settled jobs — event
+	// history, report and ID — once more than this many have settled,
+	// bounding a long-lived server's job table (recent jobs keep replay).
+	RetainJobs int
 	// CacheDir enables the persistent shard-result cache in the given
 	// directory.
 	CacheDir string
@@ -248,9 +268,19 @@ func (r *LocalRunner) ensureService(reqWorkers int) (*service.Service, error) {
 		if workers <= 0 {
 			workers = reqWorkers
 		}
+		var d *dispatch.Dispatcher
+		if r.opts.Dispatch {
+			d = dispatch.New(dispatch.Options{
+				LocalWorkers: workers,
+				NoLocal:      r.opts.NoLocalShards,
+				LeaseTTL:     r.opts.LeaseTTL,
+			})
+		}
 		r.svc = service.New(service.Options{
 			Workers:       workers,
 			MaxActiveJobs: r.opts.MaxActiveJobs,
+			Dispatcher:    d,
+			RetainJobs:    r.opts.RetainJobs,
 			Cache:         r.store,
 			OnEvent:       r.subs.Emit,
 		})

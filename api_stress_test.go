@@ -1,0 +1,216 @@
+package columndisturb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"columndisturb/internal/experiments"
+)
+
+// Stress coverage for the shared-pool concurrency seams, meant to run
+// under -race (scripts/ci.sh does): the LocalRunner's Subscribe fan-out
+// with slow and self-removing subscribers, and many concurrent Run calls
+// interleaving on one pool. The synthetic experiment keeps shards cheap so
+// the scheduling machinery — not the workload — is what's exercised.
+
+var stressExpOnce sync.Once
+
+// registerStressExperiment installs one tiny 4-shard experiment shared by
+// the stress tests (the registry is global and rejects duplicates).
+func registerStressExperiment() {
+	stressExpOnce.Do(func() {
+		experiments.Register(experiments.Experiment{
+			ID:    "api-stress-sweep",
+			Paper: "test",
+			Title: "synthetic stress sweep",
+			Plan: func(cfg experiments.Config) (*experiments.Plan, error) {
+				plan := &experiments.Plan{}
+				for i := 0; i < 4; i++ {
+					i := i
+					plan.Shards = append(plan.Shards, experiments.Shard{
+						Label: fmt.Sprintf("stress shard %d", i),
+						Run:   func(context.Context) (any, error) { return []string{fmt.Sprint(i * i)}, nil },
+					})
+				}
+				plan.Merge = func(parts []any) (*experiments.Result, error) {
+					res := &experiments.Result{ID: "api-stress-sweep", Title: "stress", Headers: []string{"value"}}
+					for _, p := range parts {
+						res.AddRow(p.([]string)...)
+					}
+					return res, nil
+				}
+				return plan, nil
+			},
+		})
+	})
+}
+
+// TestSubscribeFanoutStress hammers the event fan-out from many
+// concurrent jobs into many subscribers: one deliberately slow consumer,
+// several that unsubscribe mid-stream (some from inside their own
+// callback), and churning subscribe/unsubscribe alongside. Every
+// subscriber must observe per-job Seq ordering, and nothing may deadlock
+// or race.
+func TestSubscribeFanoutStress(t *testing.T) {
+	registerStressExperiment()
+	r, err := NewLocalRunner(LocalOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const subscribers = 6
+	var received [subscribers]atomic.Int64
+	seqCheck := func(idx int) func(Event) {
+		var mu sync.Mutex
+		next := map[string]int{}
+		return func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			if want := next[ev.Job]; ev.Seq != want {
+				t.Errorf("subscriber %d: job %s seq %d, want %d", idx, ev.Job, ev.Seq, want)
+			}
+			next[ev.Job] = ev.Seq + 1
+			received[idx].Add(1)
+		}
+	}
+
+	var stops []func()
+	for i := 0; i < subscribers; i++ {
+		i := i
+		check := seqCheck(i)
+		switch {
+		case i == 0:
+			// The slow consumer: fan-out is synchronous, so this throttles
+			// emission without ever losing ordering.
+			stops = append(stops, r.Subscribe(func(ev Event) {
+				time.Sleep(200 * time.Microsecond)
+				check(ev)
+			}))
+		case i == 1:
+			// Unsubscribes itself from inside its own callback mid-stream —
+			// the re-entrancy case the fan-out snapshot must survive.
+			var stop func()
+			var n atomic.Int64
+			stop = r.Subscribe(func(ev Event) {
+				check(ev)
+				if n.Add(1) == 10 {
+					stop()
+				}
+			})
+			stops = append(stops, stop)
+		default:
+			stops = append(stops, r.Subscribe(check))
+		}
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	// Churn subscriptions while events flow.
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; i < 200; i++ {
+			stop := r.Subscribe(func(Event) {})
+			stop()
+		}
+	}()
+
+	const runs = 12
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.Run(context.Background(), Request{Experiments: []string{"api-stress-sweep"}})
+			if err != nil {
+				t.Errorf("run: %v", err)
+				return
+			}
+			if res.Reports[0] == nil {
+				t.Error("run produced no report")
+			}
+		}()
+	}
+	wg.Wait()
+	<-churnDone
+
+	// Every still-subscribed consumer saw every event of every job:
+	// 12 jobs x (queued + started + 4 shards + finished) = 84.
+	const wantEvents = runs * 7
+	for i := 0; i < subscribers; i++ {
+		if i == 1 {
+			continue // unsubscribed itself after 10
+		}
+		if got := received[i].Load(); got != wantEvents {
+			t.Errorf("subscriber %d received %d events, want %d", i, got, wantEvents)
+		}
+	}
+	// The self-unsubscriber saw its 10, plus at most the stragglers that
+	// were already snapshotted by concurrent emissions when stop ran —
+	// unsubscribing prevents future snapshots, it does not recall
+	// in-flight ones.
+	if got := received[1].Load(); got < 10 || got == wantEvents {
+		t.Errorf("self-unsubscribing consumer received %d events, want >= 10 and an early stop", got)
+	}
+}
+
+// TestConcurrentRunsSharedPoolStress drives many concurrent Run calls —
+// mixed single- and multi-experiment requests, some with overrides so
+// config resolution runs concurrently too — through ONE shared pool, and
+// checks every report against a serial reference run (the determinism
+// contract under contention).
+func TestConcurrentRunsSharedPoolStress(t *testing.T) {
+	registerStressExperiment()
+	ref, err := NewLocalRunner(LocalOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ref.Run(context.Background(), Request{Experiments: []string{"api-stress-sweep"}})
+	ref.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Reports[0].Text
+
+	r, err := NewLocalRunner(LocalOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const callers = 24
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := Request{Experiments: []string{"api-stress-sweep"}}
+			if i%3 == 0 {
+				req.Experiments = []string{"api-stress-sweep", "api-stress-sweep"}
+			}
+			if i%4 == 0 {
+				req.Overrides = map[string]string{"seed": "1"} // resolves to the same config
+			}
+			out, err := r.Run(context.Background(), req)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			for _, rep := range out.Reports {
+				if rep.Text != want {
+					t.Errorf("caller %d: report diverged under contention:\n%s", i, rep.Text)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -72,6 +72,20 @@ type Runner struct {
 
 var _ columndisturb.Runner = (*Runner)(nil)
 
+// normalizeAddr canonicalizes a server address ("host:port" or a full
+// http(s) URL) into a base URL; the job client and the worker loop share
+// it.
+func normalizeAddr(addr string) (string, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+		return "", fmt.Errorf("client: bad server address %q", addr)
+	}
+	return strings.TrimSuffix(u.String(), "/"), nil
+}
+
 // New creates a remote runner for the server at addr ("host:port" or a
 // full http(s) URL).
 func New(addr string, opts ...Options) (*Runner, error) {
@@ -79,12 +93,9 @@ func New(addr string, opts ...Options) (*Runner, error) {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	if !strings.Contains(addr, "://") {
-		addr = "http://" + addr
-	}
-	u, err := url.Parse(addr)
-	if err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
-		return nil, fmt.Errorf("client: bad server address %q", addr)
+	base, err := normalizeAddr(addr)
+	if err != nil {
+		return nil, err
 	}
 	hc := o.HTTPClient
 	if hc == nil {
@@ -99,7 +110,7 @@ func New(addr string, opts ...Options) (*Runner, error) {
 		backoff = 50 * time.Millisecond
 	}
 	return &Runner{
-		base:    strings.TrimSuffix(u.String(), "/"),
+		base:    base,
 		hc:      hc,
 		retries: retries,
 		backoff: backoff,
@@ -266,14 +277,12 @@ func (r *Runner) followJob(ctx context.Context, id string) (columndisturb.Event,
 		sc := bufio.NewScanner(resp.Body)
 		sc.Buffer(make([]byte, 1<<20), 1<<20)
 		for sc.Scan() {
-			var ev columndisturb.Event
-			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// DecodeEvent is the fuzz-hardened single decode path: JSON
+			// parse plus envelope/schema validation in one step.
+			ev, err := service.DecodeEvent(sc.Bytes())
+			if err != nil {
 				resp.Body.Close()
-				return fail(fmt.Errorf("bad event line %q: %w", sc.Text(), err))
-			}
-			if err := service.ValidateEvent(ev); err != nil {
-				resp.Body.Close()
-				return fail(err)
+				return fail(fmt.Errorf("event line %q: %w", sc.Text(), err))
 			}
 			if ev.Seq != next {
 				resp.Body.Close()

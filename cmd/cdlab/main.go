@@ -19,12 +19,23 @@
 //	cdlab profiles                            # named profiles + override keys
 //	cdlab run <id>...|all [flags]             # regenerate one or more artifacts
 //	cdlab serve -addr :8080 [flags]           # HTTP experiment service (/v1)
+//	cdlab worker -connect addr [flags]        # remote shard executor for a serve
 //
 // Run flags: -profile p, -set k=v (repeatable), -full (deprecated alias of
 // -profile full), -remote addr, -j N, -o dir, -progress, -json,
 // -cache-dir d, -cache-entries N, -cache-bytes N, -no-cache.
 // Serve flags: -addr, -j, -max-active, -cache-dir, -cache-entries,
-// -cache-bytes.
+// -cache-bytes, -no-local-shards, -lease-ttl, -retain.
+// Worker flags: -connect addr, -j N, -name s.
+//
+// A serve process is a distributed scheduler: any number of `cdlab worker
+// -connect` processes (same binary, any machine) register with it and
+// lease shards over the /v1 worker API; results are reassembled in
+// canonical shard order, so a distributed run's reports are byte-identical
+// to a serial local run. Workers that die mid-shard are detected by missed
+// heartbeats and their shards requeue transparently; the shard-result
+// cache stays server-side, so a warm re-run recomputes nothing no matter
+// where the cold run's shards executed.
 //
 // Exit status: 0 on success, 1 when any experiment fails (a multi-ID
 // sweep keeps going and reports every failure), 2 on usage errors —
@@ -39,11 +50,13 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"columndisturb"
@@ -73,6 +86,8 @@ func run(args []string) int {
 		return runExperiments(args[1:])
 	case "serve":
 		return serve(args[1:])
+	case "worker":
+		return worker(args[1:])
 	default:
 		usage()
 		return 2
@@ -87,7 +102,8 @@ func usage() {
                  [-progress] [-json] [-o dir] [-cache-dir d] [-cache-entries N]
                  [-cache-bytes N] [-no-cache]
        cdlab serve [-addr a] [-j N] [-max-active N] [-cache-dir d] [-cache-entries N]
-                 [-cache-bytes N]`)
+                 [-cache-bytes N] [-no-local-shards] [-lease-ttl d] [-retain N]
+       cdlab worker -connect addr [-j N] [-name s]`)
 }
 
 func catalog() {
@@ -363,20 +379,30 @@ func runExperiments(args []string) int {
 func serve(args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	workers := fs.Int("j", runtime.GOMAXPROCS(0), "worker bound for the shared experiment pool")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "worker bound for the shared experiment pool (local shard executors)")
 	maxActive := fs.Int("max-active", 0, "max concurrently running jobs (0 = unlimited)")
 	cacheDir := fs.String("cache-dir", "", "enable the shard-result cache, persisted in this directory")
 	cacheEntries := fs.Int("cache-entries", 0, "in-memory cache capacity in shard results (0 = default)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "per-level cache capacity in payload bytes (0 = unbounded)")
+	noLocal := fs.Bool("no-local-shards", false, "run no shards in-process; every shard waits for a `cdlab worker` lease")
+	leaseTTL := fs.Duration("lease-ttl", 0, "worker heartbeat deadline before its shards requeue (0 = 15s)")
+	retain := fs.Int("retain", 512, "settled jobs kept for event replay/report fetch; older ones are retired (0 = keep all; keep this well above the largest multi-ID batch clients submit)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
 	}
+	// A serve process is always dispatch-enabled: with no workers attached
+	// the dispatcher's local executors behave exactly like the plain pool,
+	// and any `cdlab worker -connect` extends capacity at runtime.
 	runner, err := columndisturb.NewLocalRunner(columndisturb.LocalOptions{
 		Workers:       *workers,
 		MaxActiveJobs: *maxActive,
+		Dispatch:      true,
+		NoLocalShards: *noLocal,
+		LeaseTTL:      *leaseTTL,
+		RetainJobs:    *retain,
 		CacheDir:      *cacheDir,
 		CacheEntries:  *cacheEntries,
 		CacheMaxBytes: *cacheBytes,
@@ -391,9 +417,49 @@ func serve(args []string) int {
 		fmt.Fprintln(os.Stderr, "cdlab:", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "cdlab: serving the /v1 experiment API on %s (cache=%s)\n",
-		*addr, orNA(*cacheDir))
+	fmt.Fprintf(os.Stderr, "cdlab: serving the /v1 experiment API on %s (cache=%s, local shards=%v)\n",
+		*addr, orNA(*cacheDir), !*noLocal)
 	if err := http.ListenAndServe(*addr, handler); err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
+		return 1
+	}
+	return 0
+}
+
+// worker attaches this process to a `cdlab serve` scheduler as a remote
+// shard executor: leased shards run here through the same experiment
+// registry the server uses, and results return gob-encoded. Runs until
+// interrupted; if the server drops us (restart, missed heartbeats) the
+// loop re-registers automatically.
+func worker(args []string) int {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	connect := fs.String("connect", "", "`cdlab serve` address to register with (required)")
+	capacity := fs.Int("j", runtime.GOMAXPROCS(0), "shards to execute concurrently")
+	name := fs.String("name", "", "worker label in the server's /v1/workers listing")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "cdlab: worker requires -connect <addr>")
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := client.RunWorker(ctx, *connect, client.WorkerOptions{
+		Name:     *name,
+		Capacity: *capacity,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "cdlab: worker: "+format+"\n", args...)
+		},
+	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "cdlab: worker: interrupted, deregistered")
+		return 0
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdlab:", err)
 		return 1
 	}

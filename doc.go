@@ -32,18 +32,23 @@
 //     shards interleave on ONE shared worker pool with optional two-level
 //     result caching — and the client package (columndisturb/client) is
 //     the same Runner interface speaking the /v1 HTTP API against a
-//     `cdlab serve` process, with byte-identical reports. Subscribe
-//     observes the per-job event stream (queued/started/shard_done with
-//     cache hit/miss, finished/failed). The deprecated
+//     `cdlab serve` process, with byte-identical reports. A serve process
+//     is also a distributed scheduler (DESIGN.md §10): `cdlab worker
+//     -connect` processes on any machine register over the /v1 worker API
+//     and lease shards from it, with heartbeat-deadline requeue making
+//     worker death invisible to results. Subscribe observes the per-job
+//     event stream (queued/started/shard_done with cache hit/miss and the
+//     executing worker, finished/failed). The deprecated
 //     RunExperiment/RunExperimentWith entry points delegate to this path.
 //   - Analyses: the §6 mitigation arithmetic and RAIDR sweeps
 //     (AnalyzeMitigations, RAIDRSweep).
 //
 // Experiments execute on the parallel experiment engine (internal/engine):
 // sweeps decompose into independent shards with per-shard keyed RNG
-// streams, run on a bounded worker pool and merge in canonical order — so
-// output is bit-identical for every worker count, every backend (local or
-// remote), and warm or cold caches.
+// streams, run on a bounded worker pool — or fan out to remote worker
+// processes through the dispatch backend — and merge in canonical order,
+// so output is bit-identical for every worker count, every placement
+// (local, distributed, mid-run worker loss), and warm or cold caches.
 //
 // Everything is deterministic for a fixed seed and runs on a laptop; see
 // EXPERIMENTS.md for measured-vs-paper results of every artifact.

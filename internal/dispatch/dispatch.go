@@ -1,0 +1,643 @@
+// Package dispatch is the distributed shard-execution backend: an
+// engine.Backend that routes every shard either to a local executor
+// goroutine or to a remote worker process (`cdlab worker`) leased over the
+// /v1 worker HTTP verbs (see wire.go for the protocol).
+//
+// The scheduling model is one pull-based task queue shared by every
+// placement. A Run call enqueues its shards as tasks; local executors and
+// remote lease polls both pop from the front, so placement is simply
+// whichever capacity frees up first — the queue never commits a shard to a
+// lost worker. Determinism survives distribution because placement only
+// decides WHERE a shard computes, never WHAT: results land in the task's
+// input slot and are collected in canonical order, and every shard is a
+// pure function of (experiment, config, shard key), so a distributed run's
+// merged report is byte-identical to a serial local one.
+//
+// Failure handling is lease-based. A worker proves liveness by
+// heartbeating (and by polling for leases); a worker silent for longer
+// than the lease TTL is dropped from the table and every task it held is
+// requeued at the front of the queue — a shard lost to a killed worker
+// re-executes elsewhere and, being deterministic, produces the identical
+// partial result. A task that repeatedly dies remotely is pinned local
+// (when local executors exist) so one poisonous worker loop cannot starve
+// a job forever. Genuine shard errors reported by a worker fail the job,
+// exactly as a local shard error would.
+//
+// Cancellation mirrors the engine contract: when a Run call's context dies
+// its queued tasks settle with ctx.Err(), in-flight local shards finish on
+// their executors, and late remote replies for settled tasks are
+// discarded. A cancelled Run leaves the dispatcher fully usable for other
+// callers.
+package dispatch
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"columndisturb/internal/engine"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrClosed reports a dispatcher that has been Closed.
+	ErrClosed = errors.New("dispatch: closed")
+	// ErrUnknownWorker reports a verb addressed to an unregistered (or
+	// expired) worker; the worker should re-register.
+	ErrUnknownWorker = errors.New("dispatch: unknown worker")
+	// ErrNoLease reports a completion for a task the worker no longer
+	// holds (typically requeued after the worker was presumed lost); the
+	// worker just moves on.
+	ErrNoLease = errors.New("dispatch: no such lease")
+)
+
+// Options configures a Dispatcher.
+type Options struct {
+	// LocalWorkers sizes the local executor set (<= 0 selects
+	// runtime.GOMAXPROCS(0)). Set NoLocal to run with none.
+	LocalWorkers int
+	// NoLocal disables local execution entirely: every shard waits for a
+	// remote worker lease. Jobs submitted with no worker attached wait in
+	// the queue until one attaches (or their context dies).
+	NoLocal bool
+	// LeaseTTL is the worker heartbeat deadline (<= 0 selects 15s): a
+	// worker silent for longer is dropped and its leases requeue.
+	LeaseTTL time.Duration
+	// MaxRemoteAttempts bounds how many times a task may be requeued off
+	// lost workers before it is pinned to local execution (<= 0 selects 3).
+	// The pin only applies when local executors exist.
+	MaxRemoteAttempts int
+}
+
+// Dispatcher is the distributed engine.Backend. It must be released with
+// Close; all methods are goroutine-safe.
+type Dispatcher struct {
+	opts  Options
+	local int // local executor count
+
+	mu        sync.Mutex
+	pending   *list.List // *task FIFO; front = next out
+	notify    chan struct{}
+	workers   map[string]*workerState
+	taskSeq   int
+	workerSeq int
+	closed    bool
+
+	closeCh   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+var _ engine.Backend = (*Dispatcher)(nil)
+
+type taskState int
+
+const (
+	taskPending taskState = iota // in the queue
+	taskLocal                    // claimed by a local executor
+	taskLeased                   // held by a remote worker
+	taskDone                     // settled
+)
+
+// task is one shard's lifecycle through the queue. doneCh closes exactly
+// once, when the task settles.
+type task struct {
+	id     string
+	ctx    context.Context
+	shard  engine.Shard
+	report func(label string)
+
+	mu             sync.Mutex
+	state          taskState
+	remoteAttempts int
+	localOnly      bool
+	result         any
+	err            error
+	doneCh         chan struct{}
+}
+
+// finishLocked settles the task. Caller holds t.mu and has checked the
+// state is not already taskDone.
+func (t *task) finishLocked(v any, err error) {
+	t.state = taskDone
+	t.result, t.err = v, err
+	close(t.doneCh)
+}
+
+// finish settles the task unless it already settled (late duplicate
+// results — a presumed-lost worker completing after requeue — are
+// discarded; first completion wins). ran selects progress reporting:
+// executed shards report, cancellation skips do not (the engine contract).
+// The report fires before doneCh closes so every OnProgress callback
+// happens-before its Run call returns, matching the engine pool.
+func (t *task) finish(v any, err error, ran bool) bool {
+	t.mu.Lock()
+	if t.state == taskDone {
+		t.mu.Unlock()
+		return false
+	}
+	t.state = taskDone
+	t.result, t.err = v, err
+	t.mu.Unlock()
+	if ran && t.report != nil {
+		t.report(t.shard.Label)
+	}
+	close(t.doneCh)
+	return true
+}
+
+type workerState struct {
+	id        string
+	name      string
+	capacity  int
+	lastSeen  time.Time
+	leases    map[string]*task // task ID → task
+	completed int64
+}
+
+// New starts a dispatcher: LocalWorkers executor goroutines (unless
+// NoLocal) plus the lease janitor.
+func New(opts Options) *Dispatcher {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 15 * time.Second
+	}
+	if opts.MaxRemoteAttempts <= 0 {
+		opts.MaxRemoteAttempts = 3
+	}
+	local := opts.LocalWorkers
+	if local <= 0 {
+		local = runtime.GOMAXPROCS(0)
+	}
+	if opts.NoLocal {
+		local = 0
+	}
+	d := &Dispatcher{
+		opts:    opts,
+		local:   local,
+		pending: list.New(),
+		notify:  make(chan struct{}),
+		workers: make(map[string]*workerState),
+		closeCh: make(chan struct{}),
+	}
+	d.wg.Add(local + 1)
+	for i := 0; i < local; i++ {
+		go d.localLoop()
+	}
+	go d.janitor()
+	return d
+}
+
+// Workers implements engine.Backend: the local parallelism bound. Remote
+// capacity attaches and detaches at runtime; see RemoteWorkers.
+func (d *Dispatcher) Workers() int { return d.local }
+
+// LeaseTTL returns the effective worker heartbeat deadline.
+func (d *Dispatcher) LeaseTTL() time.Duration { return d.opts.LeaseTTL }
+
+// Close stops the executors and the janitor and waits for them. It must
+// not be called concurrently with Run (settle or cancel jobs first — the
+// service does exactly that).
+func (d *Dispatcher) Close() {
+	d.closeOnce.Do(func() {
+		d.mu.Lock()
+		d.closed = true
+		d.mu.Unlock()
+		close(d.closeCh)
+	})
+	d.wg.Wait()
+}
+
+// wakeLocked signals every waiter (executors, lease long-polls) that the
+// queue changed. Caller holds d.mu.
+func (d *Dispatcher) wakeLocked() {
+	close(d.notify)
+	d.notify = make(chan struct{})
+}
+
+// Run implements engine.Backend with the package-level engine semantics:
+// results in input order, failures joined via engine.ShardError, and
+// cancellation reported as ctx.Err() while other callers keep running.
+// Concurrent Run calls interleave their tasks on the same queue.
+func (d *Dispatcher) Run(ctx context.Context, shards []engine.Shard, opts engine.Options) ([]any, error) {
+	if len(shards) == 0 {
+		return nil, ctx.Err()
+	}
+	report := engine.ProgressReporter(opts, len(shards))
+	tasks := make([]*task, len(shards))
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	for i, sh := range shards {
+		d.taskSeq++
+		tasks[i] = &task{
+			id:     fmt.Sprintf("t%d", d.taskSeq),
+			ctx:    ctx,
+			shard:  sh,
+			report: report,
+			doneCh: make(chan struct{}),
+		}
+		d.pending.PushBack(tasks[i])
+	}
+	d.wakeLocked()
+	d.mu.Unlock()
+
+	// The watcher unblocks this call promptly on cancellation: tasks still
+	// queued or leased settle with ctx.Err() (a lost lease's late reply is
+	// discarded); tasks running on a local executor finish there.
+	watchDone := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		select {
+		case <-ctx.Done():
+			for _, t := range tasks {
+				t.mu.Lock()
+				if t.state == taskPending || t.state == taskLeased {
+					t.finishLocked(nil, ctx.Err())
+				}
+				t.mu.Unlock()
+			}
+			// Drop the settled tasks from the queue now rather than waiting
+			// for the next pop to prune them lazily: on a pure scheduler
+			// with no worker attached nobody may pop for a long time, and a
+			// cancelled job's shard closures must not stay referenced until
+			// then.
+			d.pruneSettled()
+		case <-watchDone:
+		}
+	}()
+
+	out := make([]any, len(tasks))
+	errs := make([]error, len(tasks))
+	for i, t := range tasks {
+		<-t.doneCh
+		t.mu.Lock()
+		out[i], errs[i] = t.result, t.err
+		t.mu.Unlock()
+	}
+	close(watchDone)
+	watch.Wait()
+	return out, engine.JoinShardErrors(ctx, shards, errs)
+}
+
+// pruneSettled removes every settled task from the queue (cancellation
+// cleanup; pops prune lazily, but an idle queue has no pops).
+func (d *Dispatcher) pruneSettled() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for el := d.pending.Front(); el != nil; {
+		next := el.Next()
+		t := el.Value.(*task)
+		t.mu.Lock()
+		if t.state != taskPending {
+			d.pending.Remove(el)
+		}
+		t.mu.Unlock()
+		el = next
+	}
+}
+
+// popLocked removes and claims the next runnable task for the given
+// placement, pruning settled and cancelled entries as it scans. Caller
+// holds d.mu; nil means the queue holds nothing for this placement.
+func (d *Dispatcher) popLocked(remote bool) *task {
+	for el := d.pending.Front(); el != nil; {
+		next := el.Next()
+		t := el.Value.(*task)
+		t.mu.Lock()
+		switch {
+		case t.state != taskPending:
+			// Settled while queued (cancellation watcher); prune lazily.
+			d.pending.Remove(el)
+			t.mu.Unlock()
+		case t.ctx.Err() != nil:
+			// Don't start a shard whose job already died.
+			d.pending.Remove(el)
+			t.finishLocked(nil, t.ctx.Err())
+			t.mu.Unlock()
+		case remote && (t.localOnly || t.shard.Remote == nil):
+			// Not remote-eligible: leave it for a local executor.
+			t.mu.Unlock()
+		default:
+			d.pending.Remove(el)
+			if remote {
+				t.state = taskLeased
+			} else {
+				t.state = taskLocal
+			}
+			t.mu.Unlock()
+			return t
+		}
+		el = next
+	}
+	return nil
+}
+
+// requeueLocked pushes a lost worker's leased tasks back to the FRONT of
+// the queue (interrupted work outranks new work), counting the failed
+// attempt and pinning repeat offenders to local execution when local
+// executors exist. Caller holds d.mu.
+func (d *Dispatcher) requeueLocked(w *workerState) {
+	requeued := false
+	for _, t := range w.leases {
+		t.mu.Lock()
+		if t.state != taskLeased {
+			t.mu.Unlock()
+			continue
+		}
+		if err := t.ctx.Err(); err != nil {
+			t.finishLocked(nil, err)
+			t.mu.Unlock()
+			continue
+		}
+		t.remoteAttempts++
+		if t.remoteAttempts >= d.opts.MaxRemoteAttempts && d.local > 0 {
+			t.localOnly = true
+		}
+		t.state = taskPending
+		t.mu.Unlock()
+		d.pending.PushFront(t)
+		requeued = true
+	}
+	w.leases = map[string]*task{}
+	if requeued {
+		d.wakeLocked()
+	}
+}
+
+// localLoop is one local executor: it pulls runnable tasks until Close.
+func (d *Dispatcher) localLoop() {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return
+		}
+		t := d.popLocked(false)
+		notify := d.notify
+		d.mu.Unlock()
+		if t == nil {
+			select {
+			case <-notify:
+			case <-d.closeCh:
+				return
+			}
+			continue
+		}
+		v, err := engine.RunShard(t.ctx, t.shard)
+		t.finish(v, err, true)
+	}
+}
+
+// janitor periodically drops workers whose heartbeat deadline passed and
+// requeues their leases — the deadline-based recovery path for killed or
+// partitioned workers.
+func (d *Dispatcher) janitor() {
+	defer d.wg.Done()
+	tick := d.opts.LeaseTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.closeCh:
+			return
+		case <-ticker.C:
+			d.expire(time.Now())
+		}
+	}
+}
+
+// expire drops every worker silent past the lease TTL and requeues its
+// tasks.
+func (d *Dispatcher) expire(now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id, w := range d.workers {
+		if now.Sub(w.lastSeen) > d.opts.LeaseTTL {
+			delete(d.workers, id)
+			d.requeueLocked(w)
+		}
+	}
+}
+
+// Register adds a worker to the lease table and returns its identity and
+// heartbeat contract.
+func (d *Dispatcher) Register(name string, capacity int) (RegisterResponse, error) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return RegisterResponse{}, ErrClosed
+	}
+	d.workerSeq++
+	id := fmt.Sprintf("w%d", d.workerSeq)
+	if name == "" {
+		name = id
+	}
+	d.workers[id] = &workerState{
+		id:       id,
+		name:     name,
+		capacity: capacity,
+		lastSeen: time.Now(),
+		leases:   make(map[string]*task),
+	}
+	return RegisterResponse{
+		Protocol:   ProtocolVersion,
+		WorkerID:   id,
+		LeaseTTLMs: d.opts.LeaseTTL.Milliseconds(),
+	}, nil
+}
+
+// Heartbeat renews a worker's liveness deadline.
+func (d *Dispatcher) Heartbeat(workerID string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w := d.workers[workerID]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	return nil
+}
+
+// Deregister removes a worker immediately (graceful shutdown), requeueing
+// any leases it still holds.
+func (d *Dispatcher) Deregister(workerID string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w := d.workers[workerID]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	delete(d.workers, workerID)
+	d.requeueLocked(w)
+	return nil
+}
+
+// Lease hands the worker its next task, long-polling up to wait for one to
+// appear. A nil grant with nil error means the poll elapsed empty (HTTP
+// 204). Leasing also proves liveness, so a busy worker that polls needs no
+// separate heartbeat. Tasks whose server-side Probe (the shard cache)
+// already holds the result settle inline and are never shipped.
+func (d *Dispatcher) Lease(ctx context.Context, workerID string, wait time.Duration) (*LeaseGrant, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return nil, ErrClosed
+		}
+		w := d.workers[workerID]
+		if w == nil {
+			d.mu.Unlock()
+			return nil, ErrUnknownWorker
+		}
+		w.lastSeen = time.Now()
+		var t *task
+		if len(w.leases) < w.capacity {
+			t = d.popLocked(true)
+		}
+		notify := d.notify
+		if t != nil {
+			if probe := t.shard.Remote.Probe; probe != nil {
+				// Probe outside d.mu: it touches the result cache and emits
+				// events. The task is claimed (taskLeased), so no other
+				// placement can race for it.
+				d.mu.Unlock()
+				if v, ok := probe(); ok {
+					t.finish(v, nil, true)
+					continue
+				}
+				d.mu.Lock()
+				if d.workers[workerID] != w {
+					// The worker expired (or re-registered) while we probed:
+					// put the task back and report the stale identity.
+					t.mu.Lock()
+					if t.state == taskLeased {
+						t.state = taskPending
+						d.pending.PushFront(t)
+						d.wakeLocked()
+					}
+					t.mu.Unlock()
+					d.mu.Unlock()
+					return nil, ErrUnknownWorker
+				}
+			}
+			// The task may have settled while unlocked (its job cancelled
+			// during the probe): granting it would make a worker compute a
+			// whole shard only for Complete to discard the reply.
+			t.mu.Lock()
+			stillLeased := t.state == taskLeased
+			t.mu.Unlock()
+			if !stillLeased {
+				d.mu.Unlock()
+				continue
+			}
+			w.leases[t.id] = t
+			d.mu.Unlock()
+			return &LeaseGrant{TaskID: t.id, Spec: t.shard.Remote.Spec}, nil
+		}
+		d.mu.Unlock()
+
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, nil
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-notify:
+			timer.Stop()
+		case <-timer.C:
+			return nil, nil
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, nil
+		case <-d.closeCh:
+			timer.Stop()
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Complete settles a leased task with the worker's reply: a reported shard
+// error fails the task (and so the job), a successful reply flows through
+// the shard's Accept hook (decode, cache fill, events). Late completions
+// for tasks already settled elsewhere are discarded silently; a completion
+// for a lease this worker no longer holds returns ErrNoLease.
+func (d *Dispatcher) Complete(workerID, taskID string, result []byte, workerErr string) error {
+	d.mu.Lock()
+	w := d.workers[workerID]
+	if w == nil {
+		d.mu.Unlock()
+		return ErrUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	t := w.leases[taskID]
+	if t == nil {
+		d.mu.Unlock()
+		return ErrNoLease
+	}
+	delete(w.leases, taskID)
+	d.mu.Unlock()
+
+	if workerErr != "" {
+		t.finish(nil, fmt.Errorf("dispatch: worker %s: %s", workerID, workerErr), true)
+		return nil
+	}
+	t.mu.Lock()
+	settled := t.state == taskDone
+	t.mu.Unlock()
+	if settled {
+		// The task was settled while leased (job cancelled): drop the late
+		// reply without Accept side effects.
+		return nil
+	}
+	v, err := t.shard.Remote.Accept(workerID, result)
+	if err != nil {
+		t.finish(nil, fmt.Errorf("dispatch: worker %s reply for %s: %w", workerID, t.shard.Label, err), true)
+		return nil
+	}
+	if t.finish(v, nil, true) {
+		d.mu.Lock()
+		if cur := d.workers[workerID]; cur == w {
+			w.completed++
+		}
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// RemoteWorkers snapshots the lease table for listings and tests, sorted
+// by worker ID.
+func (d *Dispatcher) RemoteWorkers() []WorkerInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := time.Now()
+	out := make([]WorkerInfo, 0, len(d.workers))
+	for _, w := range d.workers {
+		out = append(out, WorkerInfo{
+			ID:         w.id,
+			Name:       w.name,
+			Capacity:   w.capacity,
+			Inflight:   len(w.leases),
+			LastSeenMs: now.Sub(w.lastSeen).Milliseconds(),
+			Completed:  w.completed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -57,6 +57,47 @@ type Shard struct {
 	Label string
 	// Run produces the shard's partial result.
 	Run func(ctx context.Context) (any, error)
+	// Remote, when non-nil, describes how a remote-capable Backend may
+	// execute this shard on a worker process instead of invoking Run
+	// in-process (see internal/dispatch). Backends without remote capacity
+	// — including Pool — ignore it, so attaching a RemoteSpec never changes
+	// local execution.
+	Remote *RemoteSpec
+}
+
+// RemoteSpec is the off-process execution contract of one shard. The
+// backend sends Spec's bytes to a worker, and the worker's reply must
+// yield — through Accept — exactly the value Run would have produced, so
+// placement (local worker goroutine vs remote process) never changes a
+// run's output.
+type RemoteSpec struct {
+	// Spec is the opaque task descriptor shipped to the worker (the
+	// dispatch wire format's TaskSpec, serialized).
+	Spec []byte
+	// Probe, when non-nil, is a server-side fast path the backend must
+	// consult before dispatching the shard remotely (the service's shard
+	// cache); a true return yields the shard's value with no remote work.
+	Probe func() (value any, ok bool)
+	// Accept ingests a worker's successful reply: it decodes the bytes and
+	// performs whatever bookkeeping Run would have done around the
+	// computation (cache fill, progress events), returning the shard's
+	// value. from names the worker that executed the shard.
+	Accept func(from string, reply []byte) (any, error)
+}
+
+// Backend is the shard-execution contract shared by the local Pool and
+// alternative schedulers (internal/dispatch routes shards to remote worker
+// processes). Run must honor the package contract: results in input order,
+// per-shard failures joined via *ShardError (see JoinShardErrors), and
+// cancellation reported as errors.Is(err, ctx.Err()) while leaving the
+// backend usable for concurrent callers.
+type Backend interface {
+	Run(ctx context.Context, shards []Shard, opts Options) ([]any, error)
+	// Workers reports the backend's local parallelism bound.
+	Workers() int
+	// Close releases the backend's resources; it must not be called
+	// concurrently with Run.
+	Close()
 }
 
 // Options tunes a Run call.
@@ -106,16 +147,16 @@ func Run(ctx context.Context, shards []Shard, opts Options) ([]any, error) {
 		// Serial reference path: input order, no goroutines.
 		out := make([]any, len(shards))
 		errs := make([]error, len(shards))
-		report := progressReporter(opts, len(shards))
+		report := ProgressReporter(opts, len(shards))
 		for i := range shards {
 			if err := ctx.Err(); err != nil {
 				errs[i] = err
 				continue
 			}
-			out[i], errs[i] = callShard(ctx, shards[i])
+			out[i], errs[i] = RunShard(ctx, shards[i])
 			report(shards[i].Label)
 		}
-		return out, joinShardErrors(ctx, shards, errs)
+		return out, JoinShardErrors(ctx, shards, errs)
 	}
 	p := NewPool(workers)
 	defer p.Close()
@@ -133,6 +174,8 @@ type Pool struct {
 	wg      sync.WaitGroup
 	once    sync.Once
 }
+
+var _ Backend = (*Pool)(nil)
 
 // NewPool starts a pool with the given number of workers (<= 0 selects
 // runtime.GOMAXPROCS(0)).
@@ -172,7 +215,7 @@ func (p *Pool) Close() {
 func (p *Pool) Run(ctx context.Context, shards []Shard, opts Options) ([]any, error) {
 	out := make([]any, len(shards))
 	errs := make([]error, len(shards))
-	report := progressReporter(opts, len(shards))
+	report := ProgressReporter(opts, len(shards))
 
 	var wg sync.WaitGroup
 submit:
@@ -191,7 +234,7 @@ submit:
 				errs[i] = err
 				return
 			}
-			out[i], errs[i] = callShard(ctx, shards[i])
+			out[i], errs[i] = RunShard(ctx, shards[i])
 			report(shards[i].Label)
 		}
 		select {
@@ -203,13 +246,16 @@ submit:
 		}
 	}
 	wg.Wait()
-	return out, joinShardErrors(ctx, shards, errs)
+	return out, JoinShardErrors(ctx, shards, errs)
 }
 
-// progressReporter serializes OnProgress callbacks: the counter increment
+// ProgressReporter serializes OnProgress callbacks: the counter increment
 // and the callback share one critical section so OnProgress observes a
-// strictly monotonic done sequence.
-func progressReporter(opts Options, total int) func(label string) {
+// strictly monotonic done sequence. Exported so alternative Backend
+// implementations (internal/dispatch) report progress with exactly the
+// Pool's semantics. The returned closure is always non-nil and safe to
+// call whether or not OnProgress is set.
+func ProgressReporter(opts Options, total int) func(label string) {
 	done := 0
 	var mu sync.Mutex
 	return func(label string) {
@@ -222,12 +268,13 @@ func progressReporter(opts Options, total int) func(label string) {
 	}
 }
 
-// joinShardErrors folds per-shard failures into one error. Shards that
+// JoinShardErrors folds per-shard failures into one error. Shards that
 // never ran because the context was cancelled are represented by a single
 // ctx.Err() (rather than one ShardError per skipped shard), so a cancelled
 // 1000-shard sweep reports "context canceled" once, alongside any genuine
-// shard failures.
-func joinShardErrors(ctx context.Context, shards []Shard, errs []error) error {
+// shard failures. Exported so alternative Backend implementations report
+// failures with exactly the Pool's semantics.
+func JoinShardErrors(ctx context.Context, shards []Shard, errs []error) error {
 	var joined []error
 	cancelled := false
 	for i, err := range errs {
@@ -246,9 +293,13 @@ func joinShardErrors(ctx context.Context, shards []Shard, errs []error) error {
 	return errors.Join(joined...)
 }
 
-// callShard runs one shard with panic isolation: a panicking shard yields
+// RunShard runs one shard with panic isolation: a panicking shard yields
 // an error carrying the panic value and stack instead of crashing the pool.
-func callShard(ctx context.Context, s Shard) (result any, err error) {
+// It is the single-shard execution primitive shared by the Pool's workers,
+// the dispatch backend's local executors, and the remote worker process —
+// a poisoned shard fails loudly wherever it runs, never tearing down the
+// process that hosts it.
+func RunShard(ctx context.Context, s Shard) (result any, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			buf := make([]byte, 16<<10)

@@ -231,6 +231,36 @@ func (e Experiment) RunWith(ctx context.Context, cfg Config, workers int, progre
 	return plan.Merge(parts)
 }
 
+// BuildShards decomposes an experiment into engine shards plus a merge
+// step, folding legacy serial runners into the sharded world: an
+// experiment without a Plan becomes a single pseudo-shard whose one part
+// is its whole *Result. This is THE decomposition path — the service's
+// scheduler and the remote worker process both call it, so a shard index
+// means the same unit of work on every machine (the distributed
+// determinism contract rests on it: plans are pure functions of (ID,
+// Config), so both sides enumerate identical shard lists).
+func BuildShards(e Experiment, cfg Config) ([]Shard, func(parts []any) (*Result, error), error) {
+	if e.Plan == nil {
+		shard := Shard{
+			Label: e.ID + " (serial)",
+			Run:   func(context.Context) (any, error) { return e.Run(cfg) },
+		}
+		merge := func(parts []any) (*Result, error) {
+			res, ok := parts[0].(*Result)
+			if !ok {
+				return nil, fmt.Errorf("experiments: %s: cached value has type %T, want *Result", e.ID, parts[0])
+			}
+			return res, nil
+		}
+		return []Shard{shard}, merge, nil
+	}
+	plan, err := e.Plan(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan.Shards, plan.Merge, nil
+}
+
 var registry = map[string]Experiment{}
 
 func register(e Experiment) {

@@ -55,6 +55,10 @@ type Event struct {
 	Done   int    `json:"done,omitempty"`
 	Total  int    `json:"total,omitempty"`
 	Cached *bool  `json:"cached,omitempty"`
+	// Worker names the remote worker that executed the shard (the
+	// dispatch backend); empty for shards computed in-process. Set on
+	// shard_done only.
+	Worker string `json:"worker,omitempty"`
 
 	// ElapsedMs is the job's wall time, measured once by the service from
 	// job start to report completion. Set on job_finished and job_failed.
@@ -71,6 +75,22 @@ func (e Event) EncodeJSONL() []byte {
 		panic("service: event encode: " + err.Error())
 	}
 	return append(b, '\n')
+}
+
+// DecodeEvent parses one JSONL event line and validates it against the
+// stream schema. It is the single decode path of every stream consumer —
+// the remote client's follower and CI's eventcheck gate — and it must
+// error (never panic) on malformed, truncated or wrong-version input, a
+// property the fuzz suite enforces.
+func DecodeEvent(line []byte) (Event, error) {
+	var ev Event
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return Event{}, fmt.Errorf("not a JSON event: %w", err)
+	}
+	if err := ValidateEvent(ev); err != nil {
+		return Event{}, err
+	}
+	return ev, nil
 }
 
 // ValidateEvent checks one decoded event against the stream schema; the

@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
+	"columndisturb/internal/dispatch"
 	"columndisturb/internal/experiments"
 )
 
@@ -24,6 +27,17 @@ import (
 //	DELETE /v1/jobs/<id>             cancel the job
 //	GET    /v1/jobs/<id>/events      stream the job's events as JSON lines (?from=N resumes at Seq N)
 //	GET    /v1/jobs/<id>/report      fetch the finished report (?format=text)
+//
+// When the service runs on the distributed dispatch backend (a
+// Dispatcher in Options), the worker protocol mounts alongside — these
+// are the verbs `cdlab worker` speaks (wire bodies in internal/dispatch):
+//
+//	GET    /v1/workers                     list attached workers
+//	POST   /v1/workers                     register (RegisterRequest → RegisterResponse)
+//	POST   /v1/workers/<id>/heartbeat      renew the liveness deadline
+//	DELETE /v1/workers/<id>                deregister, requeueing held leases
+//	POST   /v1/workers/<id>/lease          long-poll for a task (?wait_ms=N; 200 LeaseGrant or 204)
+//	POST   /v1/workers/<id>/tasks/<task>   complete a lease (CompleteRequest)
 //
 // The events endpoint streams application/x-ndjson with the versioned
 // envelope (Event, "v":1): by default the job's history replays first and
@@ -46,6 +60,10 @@ func (s *Service) Handler() http.Handler {
 		})
 	}
 	mux.HandleFunc("/v1/profiles", s.handleProfiles)
+	if s.opts.Dispatcher != nil {
+		mux.HandleFunc("/v1/workers", s.handleWorkers)
+		mux.HandleFunc("/v1/workers/", s.handleWorker)
+	}
 	return mux
 }
 
@@ -166,9 +184,14 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
-		var spec JobSpec
-		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read job spec: %v", err)
+			return
+		}
+		spec, err := DecodeJobSpec(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		j, err := s.Submit(spec)
@@ -243,6 +266,122 @@ func (s *Service) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+	}
+}
+
+// handleWorkers serves the /v1/workers collection: GET lists the attached
+// workers, POST registers a new one.
+func (s *Service) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	d := s.opts.Dispatcher
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, d.RemoteWorkers())
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<10))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read register request: %v", err)
+			return
+		}
+		var reg dispatch.RegisterRequest
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &reg); err != nil {
+				writeError(w, http.StatusBadRequest, "bad register request: %v", err)
+				return
+			}
+		}
+		resp, err := d.Register(reg.Name, reg.Capacity)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+// handleWorker routes /v1/workers/<id>[/heartbeat|/lease|/tasks/<task>].
+func (s *Service) handleWorker(w http.ResponseWriter, r *http.Request) {
+	d := s.opts.Dispatcher
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/workers/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		writeError(w, http.StatusNotFound, "missing worker ID")
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodDelete:
+		if err := d.Deregister(id); err != nil {
+			writeWorkerError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case sub == "heartbeat" && r.Method == http.MethodPost:
+		if err := d.Heartbeat(id); err != nil {
+			writeWorkerError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case sub == "lease" && r.Method == http.MethodPost:
+		wait := 1 * time.Second
+		if raw := r.URL.Query().Get("wait_ms"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "bad wait_ms=%q", raw)
+				return
+			}
+			wait = time.Duration(n) * time.Millisecond
+		}
+		// Cap the long-poll so a worker that asks for an hour still
+		// re-proves liveness at lease-TTL cadence.
+		if max := d.LeaseTTL() / 2; wait > max {
+			wait = max
+		}
+		grant, err := d.Lease(r.Context(), id, wait)
+		if err != nil {
+			writeWorkerError(w, err)
+			return
+		}
+		if grant == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, grant)
+	case strings.HasPrefix(sub, "tasks/") && r.Method == http.MethodPost:
+		taskID := strings.TrimPrefix(sub, "tasks/")
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read completion: %v", err)
+			return
+		}
+		var comp dispatch.CompleteRequest
+		if err := json.Unmarshal(body, &comp); err != nil {
+			writeError(w, http.StatusBadRequest, "bad completion: %v", err)
+			return
+		}
+		if err := d.Complete(id, taskID, comp.Result, comp.Error); err != nil {
+			writeWorkerError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeError(w, http.StatusNotFound, "unknown worker endpoint %q %s", sub, r.Method)
+	}
+}
+
+// writeWorkerError maps dispatch sentinels onto worker-protocol status
+// codes: 404 tells a worker to re-register, 410 tells it the lease moved
+// on, 503 tells it the server is shutting down.
+func writeWorkerError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, dispatch.ErrUnknownWorker):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, dispatch.ErrNoLease):
+		writeError(w, http.StatusGone, "%v", err)
+	case errors.Is(err, dispatch.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
 }
 

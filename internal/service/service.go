@@ -28,7 +28,9 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"columndisturb/internal/cache"
+	"columndisturb/internal/dispatch"
 	"columndisturb/internal/engine"
 	"columndisturb/internal/experiments"
 )
@@ -46,14 +49,38 @@ var ErrClosed = errors.New("service: closed")
 // Options configures a Service.
 type Options struct {
 	// Workers sizes the shared engine pool (<= 0 selects GOMAXPROCS).
+	// Ignored when Dispatcher is set (the dispatcher's own options size its
+	// local executors).
 	Workers int
 	// MaxActiveJobs bounds how many jobs run concurrently (0 = unlimited).
 	// Shard-level parallelism is always bounded by Workers; this knob only
 	// serializes whole jobs, e.g. to keep per-job latency predictable.
 	MaxActiveJobs int
+	// Dispatcher, when non-nil, replaces the in-process engine pool with
+	// the distributed shard backend: shards run on the dispatcher's local
+	// executors or on remote workers leased over the /v1 worker API (which
+	// Handler mounts exactly when this is set). The service takes ownership
+	// and Closes it.
+	Dispatcher *dispatch.Dispatcher
+	// RetainJobs, when > 0, bounds the in-memory job table: once more than
+	// this many jobs have settled, the oldest settled jobs are retired —
+	// their event history and report dropped, the ID forgotten (HTTP 404) —
+	// so a long-lived serve process stays bounded while recent jobs keep
+	// full replay. 0 retains everything. Retirement is purely count-based:
+	// size it comfortably above the largest burst of concurrently settled
+	// jobs whose reports are still being fetched (a remote client submits a
+	// batch up front and collects reports in submission order, so a bound
+	// below the batch size could retire a finished job's report before its
+	// own client reads it).
+	RetainJobs int
 	// Cache, when non-nil, enables shard-result caching.
 	Cache *cache.Store
 	// Codec encodes shard results for the cache (nil selects cache.Gob).
+	// With a Dispatcher it MUST be cache.Gob (or nil): worker replies
+	// travel in the wire gob encoding and are stored in the cache
+	// verbatim, so a different server-side codec could neither decode them
+	// nor share entries with locally computed shards (New panics on the
+	// combination).
 	Codec cache.Codec
 	// OnEvent, when non-nil, observes every event of every job as it is
 	// emitted (calls may arrive concurrently across jobs, serialized within
@@ -61,23 +88,25 @@ type Options struct {
 	OnEvent func(Event)
 }
 
-// Service owns the shared pool, the job table and the scheduler.
+// Service owns the shard backend (shared pool or dispatcher), the job
+// table and the scheduler.
 type Service struct {
-	opts  Options
-	pool  *engine.Pool
-	codec cache.Codec
+	opts    Options
+	backend engine.Backend
+	codec   cache.Codec
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu     sync.Mutex
-	seq    int
-	jobs   map[string]*Job
-	order  []string // job IDs in submission order
-	queue  []*Job   // submitted, not yet started
-	active int
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	seq     int
+	jobs    map[string]*Job
+	order   []string // job IDs in submission order
+	settled []string // settled job IDs in settle order (retention ring)
+	queue   []*Job   // submitted, not yet started
+	active  int
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 // New starts a service. Callers must release it with Close.
@@ -86,10 +115,22 @@ func New(opts Options) *Service {
 	if codec == nil {
 		codec = cache.Gob{}
 	}
+	var backend engine.Backend
+	if opts.Dispatcher != nil {
+		if _, ok := codec.(cache.Gob); !ok {
+			// Programmer error, caught at construction: remote workers
+			// always reply in the wire gob encoding (dispatch.ExecuteTask),
+			// which a foreign codec could not decode or cache-share.
+			panic("service: a Dispatcher requires the cache.Gob codec")
+		}
+		backend = opts.Dispatcher
+	} else {
+		backend = engine.NewPool(opts.Workers)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Service{
 		opts:       opts,
-		pool:       engine.NewPool(opts.Workers),
+		backend:    backend,
 		codec:      codec,
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -97,8 +138,12 @@ func New(opts Options) *Service {
 	}
 }
 
-// Workers returns the shared pool's size.
-func (s *Service) Workers() int { return s.pool.Workers() }
+// Workers returns the shard backend's local parallelism bound.
+func (s *Service) Workers() int { return s.backend.Workers() }
+
+// Dispatcher returns the distributed backend (nil when the service runs on
+// a plain in-process pool).
+func (s *Service) Dispatcher() *dispatch.Dispatcher { return s.opts.Dispatcher }
 
 // CacheStats returns the result cache's counters (zero Stats when caching
 // is disabled).
@@ -117,7 +162,7 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	s.baseCancel()
 	s.wg.Wait()
-	s.pool.Close()
+	s.backend.Close()
 }
 
 // JobSpec names one experiment run. It doubles as the request codec of the
@@ -142,6 +187,23 @@ type JobSpec struct {
 	// NoCache bypasses the shard-result cache for this job: nothing is
 	// read from or written to the store.
 	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// DecodeJobSpec parses one JSON job spec (the POST /v1/jobs body). It
+// tolerates unknown fields — newer clients may send more — but rejects
+// malformed JSON and trailing garbage, and must error (never panic) on any
+// input, a property the fuzz suite enforces. Semantic validation (known
+// experiment, resolvable profile/overrides) stays in Submit.
+func DecodeJobSpec(data []byte) (JobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		return JobSpec{}, fmt.Errorf("bad job spec: %w", err)
+	}
+	if dec.More() {
+		return JobSpec{}, fmt.Errorf("bad job spec: trailing data after JSON object")
+	}
+	return spec, nil
 }
 
 // profileName resolves the effective profile name, folding the deprecated
@@ -325,7 +387,7 @@ func (s *Service) runJob(j *Job) {
 		return
 	}
 
-	shards, merge, err := j.buildPlan(e, cfg)
+	shards, merge, err := experiments.BuildShards(e, cfg)
 	if err != nil {
 		j.finish(nil, err)
 		return
@@ -337,9 +399,9 @@ func (s *Service) runJob(j *Job) {
 	digest := cfg.Digest()
 	wrapped := make([]engine.Shard, len(shards))
 	for i, sh := range shards {
-		wrapped[i] = s.wrapShard(j, digest, len(shards), sh)
+		wrapped[i] = s.wrapShard(j, digest, i, len(shards), sh)
 	}
-	parts, err := s.pool.Run(j.ctx, wrapped, engine.Options{})
+	parts, err := s.backend.Run(j.ctx, wrapped, engine.Options{})
 	if err != nil {
 		j.finish(nil, fmt.Errorf("service: %s: %w", j.spec.Experiment, err))
 		return
@@ -363,52 +425,38 @@ func safeMerge(id string, merge func([]any) (*experiments.Result, error), parts 
 	return merge(parts)
 }
 
-// buildPlan decomposes the experiment into engine shards plus a merge. A
-// sharded experiment contributes its own Plan; a legacy serial runner
-// becomes a single pseudo-shard (so it, too, runs on the shared pool and
-// caches its whole *Result under its one shard key).
-func (j *Job) buildPlan(e experiments.Experiment, cfg experiments.Config) ([]engine.Shard, func([]any) (*experiments.Result, error), error) {
-	if e.Plan == nil {
-		shard := engine.Shard{
-			Label: e.ID + " (serial)",
-			Run:   func(context.Context) (any, error) { return e.Run(cfg) },
-		}
-		merge := func(parts []any) (*experiments.Result, error) {
-			res, ok := parts[0].(*experiments.Result)
-			if !ok {
-				return nil, fmt.Errorf("service: %s: cached value has type %T, want *Result", e.ID, parts[0])
-			}
-			return res, nil
-		}
-		return []engine.Shard{shard}, merge, nil
-	}
-	plan, err := e.Plan(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	return plan.Shards, plan.Merge, nil
-}
-
-// wrapShard layers the result cache and event emission around one shard.
-// A NoCache job runs every shard and stores nothing — useful to force a
-// recomputation without retiring the store's existing entries.
-func (s *Service) wrapShard(j *Job, digest string, total int, sh engine.Shard) engine.Shard {
+// wrapShard layers the result cache and event emission around one shard,
+// and attaches the remote-execution contract the dispatch backend needs:
+// a serialized task descriptor, a cache probe consulted before any remote
+// dispatch, and an Accept hook that ingests a worker's gob reply with the
+// same cache fill and event emission the local path performs. A plain
+// engine pool ignores the attachment, so one wrapping serves every
+// backend. A NoCache job runs every shard and stores nothing — useful to
+// force a recomputation without retiring the store's existing entries.
+func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.Shard) engine.Shard {
 	run := sh.Run
 	label := sh.Label
 	useCache := s.opts.Cache != nil && !j.spec.NoCache
 	key := cache.Key{Experiment: j.spec.Experiment, ConfigDigest: digest, Shard: label}
-	return engine.Shard{
+	probe := func() (any, bool) {
+		if !useCache {
+			return nil, false
+		}
+		if data, ok := s.opts.Cache.Get(key); ok {
+			if v, err := s.codec.Decode(data); err == nil {
+				return v, true
+			}
+			// Undecodable entry (e.g. the part type changed): treat as a
+			// miss and recompute; the Put after the run repairs it.
+		}
+		return nil, false
+	}
+	wrapped := engine.Shard{
 		Label: label,
 		Run: func(ctx context.Context) (any, error) {
-			if useCache {
-				if data, ok := s.opts.Cache.Get(key); ok {
-					if v, err := s.codec.Decode(data); err == nil {
-						j.shardDone(label, total, true)
-						return v, nil
-					}
-					// Undecodable entry (e.g. the part type changed):
-					// fall through and recompute; the Put below repairs it.
-				}
+			if v, ok := probe(); ok {
+				j.shardDone(label, total, true, "")
+				return v, nil
 			}
 			v, err := run(ctx)
 			if err != nil {
@@ -420,10 +468,44 @@ func (s *Service) wrapShard(j *Job, digest string, total int, sh engine.Shard) e
 					_ = s.opts.Cache.Put(key, data)
 				}
 			}
-			j.shardDone(label, total, false)
+			j.shardDone(label, total, false, "")
 			return v, nil
 		},
 	}
+	if s.opts.Dispatcher == nil {
+		// A plain pool would ignore the attachment; skip serializing a
+		// task descriptor nothing can read.
+		return wrapped
+	}
+	wrapped.Remote = &engine.RemoteSpec{
+		Spec: dispatch.EncodeTask(dispatch.TaskSpec{
+			Experiment: j.spec.Experiment,
+			Config:     j.cfg,
+			Shard:      index,
+			Label:      label,
+		}),
+		Probe: func() (any, bool) {
+			v, ok := probe()
+			if ok {
+				j.shardDone(label, total, true, "")
+			}
+			return v, ok
+		},
+		Accept: func(from string, reply []byte) (any, error) {
+			v, err := s.codec.Decode(reply)
+			if err != nil {
+				return nil, fmt.Errorf("service: %s: decode worker reply: %w", label, err)
+			}
+			if useCache {
+				// The reply IS the codec's encoding — store it verbatim,
+				// so local and remote fills are byte-identical entries.
+				_ = s.opts.Cache.Put(key, reply)
+			}
+			j.shardDone(label, total, false, from)
+			return v, nil
+		},
+	}
+	return wrapped
 }
 
 // ID returns the job's identifier.
@@ -501,13 +583,14 @@ func (j *Job) Result() (*experiments.Result, error) {
 	return j.result, j.err
 }
 
-// shardDone records one finished shard and emits its event. The counter
+// shardDone records one finished shard and emits its event, naming the
+// remote worker that computed it ("" for in-process shards). The counter
 // increment happens inside the emission's critical section: if it were a
 // separate step, two workers could swap between incrementing and emitting
 // and the stream would carry Done values out of order.
-func (j *Job) shardDone(label string, total int, cached bool) {
+func (j *Job) shardDone(label string, total int, cached bool, worker string) {
 	c := cached
-	j.emitWith(Event{Type: EventShardDone, Shard: label, Total: total, Cached: &c}, func(ev *Event) {
+	j.emitWith(Event{Type: EventShardDone, Shard: label, Total: total, Cached: &c, Worker: worker}, func(ev *Event) {
 		j.completed++
 		if cached {
 			j.hits++
@@ -544,6 +627,33 @@ func (j *Job) finish(res *experiments.Result, err error) {
 	// terminal event is not yet in the history.
 	j.emitState(ev, state)
 	close(j.done)
+	j.svc.noteSettled(j.id)
+}
+
+// noteSettled records a settled job for retention and retires the oldest
+// settled jobs beyond Options.RetainJobs: their Job records — event
+// buffers, reports, spec — leave the table entirely, so a serve process
+// accepting jobs for months holds a bounded history while the most recent
+// jobs keep full event replay. Retired IDs answer like unknown ones (HTTP
+// 404).
+func (s *Service) noteSettled(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.settled = append(s.settled, id)
+	if s.opts.RetainJobs <= 0 {
+		return
+	}
+	for len(s.settled) > s.opts.RetainJobs {
+		old := s.settled[0]
+		s.settled = s.settled[1:]
+		delete(s.jobs, old)
+		for i, oid := range s.order {
+			if oid == old {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // emit stamps the envelope, appends to the job's history and wakes every
@@ -563,6 +673,15 @@ func (j *Job) emitWith(ev Event, mutate func(*Event), state JobState) {
 	ev.Time = time.Now()
 	j.emitMu.Lock()
 	j.mu.Lock()
+	if j.state.terminal() {
+		// A late completion can trail a settled job (a presumed-lost remote
+		// worker replying after its shard was requeued and the job
+		// cancelled): drop it, preserving the invariant that the terminal
+		// event ends the stream.
+		j.mu.Unlock()
+		j.emitMu.Unlock()
+		return
+	}
 	if mutate != nil {
 		mutate(&ev)
 	}

@@ -89,4 +89,63 @@ go run ./scripts/eventcheck < "$tmp/events-remote.jsonl"
 diff -r "$tmp/remote-out" "$tmp/remote-out2"
 kill "$serve_pid"
 
+echo "== cdlab smoke: distributed dispatch (two workers, kill one mid-run) =="
+dport=18523
+# -no-local-shards makes the serve process a pure scheduler: every shard
+# MUST flow through a worker lease, so this smoke cannot silently pass on
+# local execution. The short lease TTL keeps the kill-recovery fast.
+"$tmp/cdlab" serve -addr "127.0.0.1:$dport" -j 2 -no-local-shards -lease-ttl 2s \
+    -cache-dir "$tmp/dist-cache" 2> "$tmp/dist-serve.log" &
+dist_pid=$!
+"$tmp/cdlab" worker -connect "127.0.0.1:$dport" -j 2 -name smoke-w1 2> "$tmp/dist-w1.log" &
+w1_pid=$!
+disown "$w1_pid" # silences bash's "Killed" report for the deliberate SIGKILL below
+"$tmp/cdlab" worker -connect "127.0.0.1:$dport" -j 2 -name smoke-w2 2> "$tmp/dist-w2.log" &
+w2_pid=$!
+trap 'kill "$serve_pid" "$dist_pid" "$w1_pid" "$w2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$dport") 2>/dev/null; then exec 3>&-; break; fi
+    sleep 0.1
+done
+
+# A sharded experiment fanned across two workers renders byte-identical
+# reports to a pure-local serial run, every shard event names its worker,
+# and the stream passes the schema gate.
+"$tmp/cdlab" run fig6 fig11 table1 -remote "127.0.0.1:$dport" -json -o "$tmp/dist-out" \
+    > "$tmp/events-dist.jsonl" 2> /dev/null
+"$tmp/cdlab" run fig6 fig11 table1 -j 1 -o "$tmp/dist-local-out" > /dev/null
+diff -r "$tmp/dist-out" "$tmp/dist-local-out"
+grep -q '"worker":"' "$tmp/events-dist.jsonl"
+if grep '"type":"shard_done"' "$tmp/events-dist.jsonl" | grep -v '"worker":"' | grep -q .; then
+    echo "shards executed without a worker attribution despite -no-local-shards:" >&2
+    grep '"type":"shard_done"' "$tmp/events-dist.jsonl" | grep -v '"worker":"' | head -3 >&2
+    exit 1
+fi
+go run ./scripts/eventcheck < "$tmp/events-dist.jsonl"
+
+# Kill one worker mid-run (SIGKILL: no dereg, the server must detect the
+# silence and requeue its leases). The run must still complete with
+# reports byte-identical to the earlier pure-local sweep. -no-cache keeps
+# every shard a real computation, and the kill waits until BOTH worker
+# identities have completed shards in this run's event stream — so the
+# SIGKILL provably lands on a participating worker, not an idle one.
+"$tmp/cdlab" run all -remote "127.0.0.1:$dport" -no-cache -json -o "$tmp/dist-out2" \
+    > "$tmp/events-dist2.jsonl" 2> "$tmp/dist-run2.log" &
+dist_run_pid=$!
+for _ in $(seq 1 300); do
+    if grep -q '"worker":"w1"' "$tmp/events-dist2.jsonl" 2>/dev/null \
+        && grep -q '"worker":"w2"' "$tmp/events-dist2.jsonl" 2>/dev/null; then break; fi
+    sleep 0.1
+done
+# Both dispatch identities must have completed shards: process→ID mapping
+# is a registration race, so only "both participated" guarantees the
+# SIGKILL below lands on a participating worker.
+{ grep -q '"worker":"w1"' "$tmp/events-dist2.jsonl" && grep -q '"worker":"w2"' "$tmp/events-dist2.jsonl"; } || {
+    echo "kill smoke: both workers never took shards; recovery path untested" >&2; exit 1; }
+kill -9 "$w1_pid" 2>/dev/null || true
+wait "$dist_run_pid"
+diff -r "$tmp/dist-out2" "$tmp/out1"
+go run ./scripts/eventcheck < "$tmp/events-dist2.jsonl"
+kill "$w2_pid" "$dist_pid" 2>/dev/null || true
+
 echo "CI OK"

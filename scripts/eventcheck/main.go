@@ -17,7 +17,6 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"os"
 
@@ -49,11 +48,8 @@ func check(in *os.File) error {
 		if len(sc.Bytes()) == 0 {
 			return fmt.Errorf("line %d: empty line in JSONL stream", line)
 		}
-		var ev service.Event
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return fmt.Errorf("line %d: not a JSON event: %v", line, err)
-		}
-		if err := service.ValidateEvent(ev); err != nil {
+		ev, err := service.DecodeEvent(sc.Bytes())
+		if err != nil {
 			return fmt.Errorf("line %d: %v", line, err)
 		}
 		j := jobs[ev.Job]
