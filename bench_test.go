@@ -29,7 +29,7 @@ func benchExperiment(b *testing.B, id string) {
 	cfg := experiments.Small()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := e.Run(cfg)
+		res, err := e.RunWith(context.Background(), cfg, 1, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,9 +63,72 @@ func BenchmarkFig21ECCChunks(b *testing.B)           { benchExperiment(b, "fig21
 func BenchmarkFig22RefreshOps(b *testing.B)          { benchExperiment(b, "fig22") }
 func BenchmarkFig23RAIDR(b *testing.B)               { benchExperiment(b, "fig23") }
 func BenchmarkSec61Mitigations(b *testing.B)         { benchExperiment(b, "sec61") }
+func BenchmarkTTFDistributions(b *testing.B)         { benchExperiment(b, "ttf") }
 func BenchmarkPRVRSimulation(b *testing.B)           { benchExperiment(b, "prvr-sim") }
 func BenchmarkAblationCouplingLaw(b *testing.B)      { benchExperiment(b, "ablation-f") }
 func BenchmarkAblationBitline(b *testing.B)          { benchExperiment(b, "ablation-bitline") }
+
+// --- Full-sweep benchmarks (the `run all` trajectory) ---
+
+// benchRunAll measures a whole-registry sweep through the public Runner
+// API — the same path `cdlab run all` takes. With the legacy serial Run
+// contract gone, every experiment is a multi-shard plan, so the parallel
+// variant scales the formerly-serial experiments (fig21–fig23, sec61, ttf,
+// the ablations) too, and the warm-cache variant replays the entire sweep
+// from the shard cache with zero recomputation.
+func benchRunAll(b *testing.B, workers int, warm bool) {
+	b.Helper()
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	opts := LocalOptions{Workers: workers}
+	if warm {
+		opts.CacheDir = b.TempDir()
+	}
+	r, err := NewLocalRunner(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	req := Request{Experiments: ids}
+	if warm {
+		// Prime the cache outside the timed region; the measured runs
+		// recompute zero shards.
+		if _, err := r.Run(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	primedMisses := r.CacheStats().Misses
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Reports) != len(ids) {
+			b.Fatalf("got %d reports, want %d", len(res.Reports), len(ids))
+		}
+	}
+	b.StopTimer()
+	if warm {
+		if grew := r.CacheStats().Misses - primedMisses; grew > 0 {
+			b.Fatalf("warm sweep recomputed %d shards, want 0", grew)
+		}
+	}
+}
+
+// BenchmarkRunAllSerial is the single-worker reference sweep.
+func BenchmarkRunAllSerial(b *testing.B) { benchRunAll(b, 1, false) }
+
+// BenchmarkRunAllParallel runs the sweep at GOMAXPROCS workers; the ratio
+// to BenchmarkRunAllSerial tracks how much of the registry actually
+// scales (every experiment shards, so the whole sweep does).
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0, false) }
+
+// BenchmarkRunAllWarmCache replays the sweep from a primed shard cache —
+// the floor of the perf trajectory (pure decode + merge, no simulation).
+func BenchmarkRunAllWarmCache(b *testing.B) { benchRunAll(b, 0, true) }
 
 // --- Parallel experiment engine ---
 

@@ -126,6 +126,99 @@ func TestDistributedRunByteIdentical(t *testing.T) {
 	}
 }
 
+// TestFormerlySerialExperimentsDistributed extends the distributed
+// determinism gate to the experiments that used to run through the legacy
+// serial Run path as one opaque pseudo-shard: with every experiment a real
+// multi-shard plan, their shards lease to remote workers like any other,
+// the two-worker report is byte-identical to a serial local run, and a
+// warm re-run against the server's shard cache recomputes nothing.
+func TestFormerlySerialExperimentsDistributed(t *testing.T) {
+	runner, err := columndisturb.NewLocalRunner(columndisturb.LocalOptions{
+		Workers:       2,
+		Dispatch:      true,
+		NoLocalShards: true,
+		LeaseTTL:      2 * time.Second,
+		CacheEntries:  4096, // server-side shard cache for the warm assertion
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, err := runner.Handler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	t.Cleanup(func() { ts.Close(); runner.Close() })
+	for i := 0; i < 2; i++ {
+		startWorker(t, ts.URL, WorkerOptions{Capacity: 2, PollWait: 100 * time.Millisecond, RetryBackoff: 20 * time.Millisecond})
+	}
+
+	remote, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The formerly-serial registry slice, scaled down so the three runs
+	// (distributed cold, distributed warm, serial local) stay fast.
+	req := columndisturb.Request{
+		Experiments: []string{"fig21", "fig22", "fig23", "sec61", "ttf", "ablation-f", "ablation-bitline"},
+		Overrides: map[string]string{
+			"mixes": "1", "measure-instr": "4000", "subarrays-per-module": "2",
+			"ttf-samples": "4", "cell-rows": "32", "cell-cols": "64",
+		},
+	}
+	var shardEvents, cachedEvents atomic.Int64
+	stop := remote.Subscribe(func(ev columndisturb.Event) {
+		if ev.Type == columndisturb.EventShardDone {
+			shardEvents.Add(1)
+			if ev.Cached != nil && *ev.Cached {
+				cachedEvents.Add(1)
+			}
+		}
+	})
+	defer stop()
+
+	res, err := remote.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shardEvents.Load(); got < int64(2*len(req.Experiments)) {
+		t.Fatalf("%d shard events for %d formerly-serial experiments — they no longer look multi-shard", got, len(req.Experiments))
+	}
+
+	local, err := columndisturb.NewLocalRunner(columndisturb.LocalOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	want, err := local.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range req.Experiments {
+		if res.Reports[i].Text != want.Reports[i].Text {
+			t.Fatalf("%s: two-worker distributed report differs from serial local run:\n--- remote ---\n%s--- local ---\n%s",
+				req.Experiments[i], res.Reports[i].Text, want.Reports[i].Text)
+		}
+	}
+
+	// Warm re-run: the server's shard cache settles every task at the
+	// probe, so nothing recomputes and the reports stay identical.
+	shardEvents.Store(0)
+	cachedEvents.Store(0)
+	again, err := remote.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, hits := shardEvents.Load(), cachedEvents.Load(); got == 0 || hits != got {
+		t.Fatalf("warm distributed re-run: %d of %d shard events cached, want all", hits, got)
+	}
+	for i := range req.Experiments {
+		if again.Reports[i].Text != res.Reports[i].Text {
+			t.Fatalf("%s: warm distributed report differs from cold", req.Experiments[i])
+		}
+	}
+}
+
 // gate instruments one synthetic experiment shard so a test can hold a
 // worker mid-shard and release it on demand.
 type gate struct {

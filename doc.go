@@ -43,12 +43,15 @@
 //   - Analyses: the §6 mitigation arithmetic and RAIDR sweeps
 //     (AnalyzeMitigations, RAIDRSweep).
 //
-// Experiments execute on the parallel experiment engine (internal/engine):
-// sweeps decompose into independent shards with per-shard keyed RNG
-// streams, run on a bounded worker pool — or fan out to remote worker
-// processes through the dispatch backend — and merge in canonical order,
-// so output is bit-identical for every worker count, every placement
-// (local, distributed, mid-run worker loss), and warm or cold caches.
+// Experiments execute on the parallel experiment engine (internal/engine)
+// under ONE contract (DESIGN.md §11): every experiment is a Plan — a list
+// of independent shards with per-shard keyed RNG streams plus a
+// canonical-order merge. Shards run on a bounded worker pool or fan out to
+// remote worker processes through the dispatch backend, and results cache
+// under (experiment, config digest, canonical shard label), so output is
+// bit-identical for every worker count, every placement (local,
+// distributed, mid-run worker loss), and warm or cold caches — there is no
+// serial special case.
 //
 // Everything is deterministic for a fixed seed and runs on a laptop; see
 // EXPERIMENTS.md for measured-vs-paper results of every artifact.

@@ -474,7 +474,12 @@ type Gob struct{}
 
 // RegisterType records a concrete shard-result type with the gob codec.
 // Call it from the experiment's init alongside registration; encoding an
-// unregistered type is an error surfaced by Encode.
+// unregistered type is an error surfaced by Encode. Every experiment's
+// parts must round-trip this codec — the cache, the remote worker reply
+// path and the merge all depend on it — and the registry-wide audit test
+// (TestShardPartsGobEncodable in internal/experiments) fails any plan
+// whose parts are unregistered, carry unexported fields, or decode into a
+// different report.
 func RegisterType(v any) { gob.Register(v) }
 
 // Encode serializes v (whose concrete type must be registered).

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"columndisturb/internal/chipdb"
 	"columndisturb/internal/core"
 	"columndisturb/internal/dram"
@@ -13,88 +16,149 @@ func init() {
 		ID:    "ablation-f",
 		Paper: "DESIGN.md §2 (model choice)",
 		Title: "Ablation: superlinear vs linear bitline coupling law",
-		Run:   runAblationF,
+		Plan:  planAblationF,
 	})
 	register(Experiment{
 		ID:    "ablation-bitline",
 		Paper: "DESIGN.md §7 (architecture choice)",
 		Title: "Ablation: open-bitline vs folded-bitline architecture",
-		Run:   runAblationBitline,
+		Plan:  planAblationBitline,
 	})
+	registerShardType(ablationFPart{})
+	registerShardType(ablationBitlinePart{})
 }
 
-// runAblationF shows why the coupling nonlinearity f(Δ) must be superlinear:
-// with a linear law the retention-vs-ColumnDisturb first-failure gap
-// collapses to 2x, contradicting the paper's measured 63.6 ms vs ≥512 ms
-// (8x) on the Micron F-die module.
-func runAblationF(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "ablation-f",
-		Title:   "Observable predictions under superlinear (α=4.3) vs linear coupling",
-		Headers: []string{"observable", "superlinear", "linear", "paper"},
-	}
+// ablationFPart is one coupling-law variant's predicted observables.
+type ablationFPart struct {
+	Law        string
+	CDms       float64 // expected time to first ColumnDisturb bitflip
+	RETms      float64 // expected time to first retention failure
+	Coupling05 float64 // f(0.5), the law's half-swing coupling factor
+}
+
+// planAblationF shards the coupling-law ablation by variant: the
+// superlinear (α=4.3) and linear laws each calibrate their own fault model
+// and predict the paper's two anchors (deterministic — no RNG). The
+// variant comparison that shows why the law must be superlinear happens in
+// the merge step.
+func planAblationF(cfg Config) (*Plan, error) {
 	m, _ := chipdb.ByID("M8")
-	g := m.Geometry()
-	pop := g.TotalCells()
+	pop := m.Geometry().TotalCells()
 
-	build := func(alpha float64) *faultmodel.Params {
-		p := faultmodel.Default()
-		p.Alpha = alpha
-		p.Calibrate(faultmodel.CalibrationTarget{
-			TimeToFirstCDms:  63.6,
-			TimeToFirstRETms: 512, // target — only reachable if the law allows it
-			PopulationCells:  pop,
-		})
-		return &p
+	variant := func(law string, alpha float64) Shard {
+		return Shard{
+			Label: shardLabel("ablation-f", "law", law),
+			Run: func(context.Context) (any, error) {
+				p := faultmodel.Default()
+				p.Alpha = alpha
+				p.Calibrate(faultmodel.CalibrationTarget{
+					TimeToFirstCDms:  63.6,
+					TimeToFirstRETms: 512, // target — only reachable if the law allows it
+					PopulationCells:  pop,
+				})
+				ttf := func(rho float64) float64 {
+					return core.NewRateModel(&p, 85, rho).ExpectedTTFms(pop)
+				}
+				return ablationFPart{
+					Law:        law,
+					CDms:       ttf(p.RhoHammer(70200, 14, 0)),
+					RETms:      ttf(p.RhoIdle()),
+					Coupling05: p.Coupling(0.5),
+				}, nil
+			},
+		}
 	}
-	super := build(4.3)
-	linear := build(1e-9) // f(Δ) → Δ in the α→0 limit
-
-	ttf := func(p *faultmodel.Params, rho float64) float64 {
-		return core.NewRateModel(p, 85, rho).ExpectedTTFms(pop)
+	shards := []Shard{
+		variant("superlinear", 4.3),
+		variant("linear", 1e-9), // f(Δ) → Δ in the α→0 limit
 	}
-	cdS := ttf(super, super.RhoHammer(70200, 14, 0))
-	cdL := ttf(linear, linear.RhoHammer(70200, 14, 0))
-	retS := ttf(super, super.RhoIdle())
-	retL := ttf(linear, linear.RhoIdle())
-	res.AddRow("CD first bitflip (ms)", fmtMs(cdS), fmtMs(cdL), "63.6")
-	res.AddRow("retention first failure (ms)", fmtMs(retS), fmtMs(retL), "≥512")
-	res.AddRow("RET/CD gap", fmtF(retS/cdS), fmtF(retL/cdL), "≈8x")
-	res.AddNote("a linear law caps the retention/CD gap at 1/f(0.5)=2x — the κ tail that flips at 63.6 ms "+
-		"pressed would fail retention by %.0f ms, contradicting the paper's ≥512 ms; "+
-		"the superlinear law (f(0.5)=%.3f) reproduces both anchors", retL, super.Coupling(0.5))
-	return res, nil
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "ablation-f",
+			Title:   "Observable predictions under superlinear (α=4.3) vs linear coupling",
+			Headers: []string{"observable", "superlinear", "linear", "paper"},
+		}
+		byLaw := map[string]ablationFPart{}
+		for _, raw := range parts {
+			part, ok := raw.(ablationFPart)
+			if !ok {
+				return nil, fmt.Errorf("ablation-f: part has type %T, want ablationFPart", raw)
+			}
+			byLaw[part.Law] = part
+		}
+		super, linear := byLaw["superlinear"], byLaw["linear"]
+		res.AddRow("CD first bitflip (ms)", fmtMs(super.CDms), fmtMs(linear.CDms), "63.6")
+		res.AddRow("retention first failure (ms)", fmtMs(super.RETms), fmtMs(linear.RETms), "≥512")
+		res.AddRow("RET/CD gap", fmtF(super.RETms/super.CDms), fmtF(linear.RETms/linear.CDms), "≈8x")
+		res.AddNote("a linear law caps the retention/CD gap at 1/f(0.5)=2x — the κ tail that flips at 63.6 ms "+
+			"pressed would fail retention by %.0f ms, contradicting the paper's ≥512 ms; "+
+			"the superlinear law (f(0.5)=%.3f) reproduces both anchors", linear.RETms, super.Coupling05)
+		return res, nil
+	}
+	return &Plan{Shards: shards, Merge: merge}, nil
 }
 
-// runAblationBitline shows the open-bitline architecture is what spreads
-// ColumnDisturb across three subarrays: folding the bitlines (no sharing
-// with neighbours) confines the damage to the aggressor's subarray.
-func runAblationBitline(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "ablation-bitline",
-		Title:   "Expected bitflips per subarray at 2 s under open vs folded bitlines",
-		Headers: []string{"subarray", "open-bitline", "folded-bitline"},
-	}
+// ablationBitlinePart is one column-class arm's expected bitflip count.
+type ablationBitlinePart struct {
+	Class string
+	Count float64
+}
+
+// planAblationBitline shards the bitline-architecture ablation by column
+// class: the aggressor-subarray, open-bitline-neighbour and retention-only
+// populations each compute their expected 2 s bitflip count independently
+// (deterministic — no RNG). The open-vs-folded table is assembled in the
+// merge step: folding the bitlines confines ColumnDisturb to the
+// aggressor's subarray, so the folded column reuses the aggressor and
+// retention arms.
+func planAblationBitline(cfg Config) (*Plan, error) {
 	m, _ := chipdb.ByID("S0")
 	p := m.BuildParams()
 	g := m.Geometry()
-	mk := func(classes []core.ColumnClass) float64 {
-		return core.ExpectedCount(core.SubarrayConfig{
-			Params: p, TempC: 85, DurationMs: 2000,
-			Rows: g.RowsPerSubarray, Cols: g.Cols, Classes: classes,
-		})
-	}
 	setup := worstCaseSetup()
-	aggOpen := mk(core.AggressorSubarrayClasses(p, setup))
-	nbrOpen := mk(core.UpperNeighborClasses(p, setup))
-	retOnly := mk(core.RetentionClasses(p, dram.PatFF))
-	// Folded bitlines: the aggressor still perturbs every column of its
-	// own subarray, but neighbours share nothing and see pure retention.
-	res.AddRow("aggressor", fmtF(aggOpen), fmtF(aggOpen))
-	res.AddRow("neighbour", fmtF(nbrOpen), fmtF(retOnly))
-	res.AddRow("non-adjacent", fmtF(retOnly), fmtF(retOnly))
-	res.AddNote("open-bitline sharing makes neighbours %.1fx worse than retention-only; "+
-		"folded bitlines would confine ColumnDisturb to one subarray (the paper's chips are open-bitline, Obs 4)",
-		stats.Ratio(nbrOpen, retOnly))
-	return res, nil
+	arm := func(class string, classes []core.ColumnClass) Shard {
+		return Shard{
+			Label: shardLabel("ablation-bitline", "class", class),
+			Run: func(context.Context) (any, error) {
+				return ablationBitlinePart{
+					Class: class,
+					Count: core.ExpectedCount(core.SubarrayConfig{
+						Params: p, TempC: 85, DurationMs: 2000,
+						Rows: g.RowsPerSubarray, Cols: g.Cols, Classes: classes,
+					}),
+				}, nil
+			},
+		}
+	}
+	shards := []Shard{
+		arm("aggressor", core.AggressorSubarrayClasses(p, setup)),
+		arm("neighbour", core.UpperNeighborClasses(p, setup)),
+		arm("retention", core.RetentionClasses(p, dram.PatFF)),
+	}
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "ablation-bitline",
+			Title:   "Expected bitflips per subarray at 2 s under open vs folded bitlines",
+			Headers: []string{"subarray", "open-bitline", "folded-bitline"},
+		}
+		byClass := map[string]float64{}
+		for _, raw := range parts {
+			part, ok := raw.(ablationBitlinePart)
+			if !ok {
+				return nil, fmt.Errorf("ablation-bitline: part has type %T, want ablationBitlinePart", raw)
+			}
+			byClass[part.Class] = part.Count
+		}
+		aggOpen, nbrOpen, retOnly := byClass["aggressor"], byClass["neighbour"], byClass["retention"]
+		// Folded bitlines: the aggressor still perturbs every column of its
+		// own subarray, but neighbours share nothing and see pure retention.
+		res.AddRow("aggressor", fmtF(aggOpen), fmtF(aggOpen))
+		res.AddRow("neighbour", fmtF(nbrOpen), fmtF(retOnly))
+		res.AddRow("non-adjacent", fmtF(retOnly), fmtF(retOnly))
+		res.AddNote("open-bitline sharing makes neighbours %.1fx worse than retention-only; "+
+			"folded bitlines would confine ColumnDisturb to one subarray (the paper's chips are open-bitline, Obs 4)",
+			stats.Ratio(nbrOpen, retOnly))
+		return res, nil
+	}
+	return &Plan{Shards: shards, Merge: merge}, nil
 }

@@ -6,38 +6,32 @@ import (
 	"testing"
 )
 
-// shardedIDs returns every registered experiment that carries a Plan.
-func shardedIDs(t *testing.T) []string {
-	t.Helper()
-	var ids []string
-	for _, e := range All() {
-		if e.Plan != nil {
-			ids = append(ids, e.ID)
+// TestEveryExperimentHasPlan pins the single-contract invariant: the
+// registry holds no Run-only experiments — every artifact decomposes into
+// shards (most into several; see TestShardLabelsCanonical for the label
+// contract).
+func TestEveryExperimentHasPlan(t *testing.T) {
+	all := All()
+	if len(all) < 20 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	for _, e := range all {
+		if e.Plan == nil {
+			t.Errorf("%s: registered without a Plan", e.ID)
 		}
 	}
-	if len(ids) < 15 {
-		t.Fatalf("only %d sharded experiments registered; the heavy sweeps must all have Plans: %v", len(ids), ids)
-	}
-	return ids
 }
 
 // TestSerialParallelBitIdentical is the engine's end-to-end determinism
-// regression: for representative sharded experiments (the light fig6 and
-// table1, the repo's widest grid fig15, and the memsim-backed prvr-sim),
-// the serial reference path (workers=1) and a 4-worker parallel run must
-// render byte-identical output.
+// regression: for every registered experiment, the serial reference path
+// (workers=1) and a 4-worker parallel run must render byte-identical
+// output. The formerly-serial experiments (fig21–fig23, sec61, ttf, the
+// ablations) are covered by the registry sweep like everything else.
 func TestSerialParallelBitIdentical(t *testing.T) {
 	cfg := Small()
-	for _, id := range []string{"fig6", "fig15", "table1", "prvr-sim"} {
-		id := id
-		t.Run(id, func(t *testing.T) {
-			e, ok := ByID(id)
-			if !ok {
-				t.Fatalf("experiment %s missing", id)
-			}
-			if e.Plan == nil {
-				t.Fatalf("experiment %s has no shard plan", id)
-			}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
 			serial, err := e.RunWith(context.Background(), cfg, 1, nil)
 			if err != nil {
 				t.Fatal(err)
@@ -47,63 +41,114 @@ func TestSerialParallelBitIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 			if s, p := serial.String(), parallel.String(); s != p {
-				t.Fatalf("serial and -j 4 output differ for %s:\n--- serial ---\n%s\n--- parallel ---\n%s", id, s, p)
+				t.Fatalf("serial and -j 4 output differ for %s:\n--- serial ---\n%s\n--- parallel ---\n%s", e.ID, s, p)
 			}
 		})
 	}
 }
 
-// TestLegacyRunMatchesEngine checks the registration-synthesized Run of a
-// sharded experiment is exactly the serial engine path, so callers using
-// the legacy Experiment.Run field keep deterministic output.
-func TestLegacyRunMatchesEngine(t *testing.T) {
+// TestShardLabelsCanonical pins the shard-label contract for the whole
+// registry: every label is "<id>/key=value[/key=value...]", unique within
+// its plan, and free of surrounding whitespace. Labels are cache-key and
+// dispatch-wire components, so a drifting or colliding label silently
+// aliases cache entries and breaks shard_done event attribution.
+func TestShardLabelsCanonical(t *testing.T) {
 	cfg := Small()
-	e, _ := ByID("fig7")
-	viaRun, err := e.Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaEngine, err := e.RunWith(context.Background(), cfg, 1, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if viaRun.String() != viaEngine.String() {
-		t.Fatal("Experiment.Run diverges from RunWith(workers=1)")
+	for _, e := range All() {
+		plan, err := e.Plan(cfg)
+		if err != nil {
+			t.Fatalf("%s: plan: %v", e.ID, err)
+		}
+		if len(plan.Shards) == 0 {
+			t.Fatalf("%s: empty shard list", e.ID)
+		}
+		if plan.Merge == nil {
+			t.Fatalf("%s: nil merge", e.ID)
+		}
+		seen := map[string]bool{}
+		for i, s := range plan.Shards {
+			if s.Run == nil {
+				t.Fatalf("%s: shard %d has no runner", e.ID, i)
+			}
+			label := s.Label
+			if label == "" {
+				t.Fatalf("%s: shard %d has no label", e.ID, i)
+			}
+			if seen[label] {
+				t.Fatalf("%s: duplicate shard label %q", e.ID, label)
+			}
+			seen[label] = true
+			if label != strings.TrimSpace(label) {
+				t.Errorf("%s: shard label %q has surrounding whitespace", e.ID, label)
+			}
+			if !strings.HasPrefix(label, e.ID+"/") {
+				t.Errorf("%s: shard label %q does not start with %q", e.ID, label, e.ID+"/")
+				continue
+			}
+			for _, coord := range strings.Split(strings.TrimPrefix(label, e.ID+"/"), "/") {
+				key, _, ok := strings.Cut(coord, "=")
+				if !ok || key == "" {
+					t.Errorf("%s: shard label %q coordinate %q is not key=value", e.ID, label, coord)
+				}
+			}
+		}
 	}
 }
 
-// TestShardPlansWellFormed sanity-checks every Plan: at least one shard,
-// non-empty unique-enough labels, and a merge that renders a full Result
-// when fed the shards' own outputs.
-func TestShardPlansWellFormed(t *testing.T) {
+// TestShardPlansStable verifies a plan is a pure function of (ID, Config):
+// two Plan calls enumerate identical shard lists (count and labels). The
+// distributed dispatch contract rests on this — the server and a remote
+// worker each call Plan and must address the same closure by index.
+func TestShardPlansStable(t *testing.T) {
 	cfg := Small()
-	for _, id := range shardedIDs(t) {
-		e, _ := ByID(id)
+	for _, e := range All() {
+		a, err := e.Plan(cfg)
+		if err != nil {
+			t.Fatalf("%s: plan: %v", e.ID, err)
+		}
+		b, err := e.Plan(cfg)
+		if err != nil {
+			t.Fatalf("%s: second plan: %v", e.ID, err)
+		}
+		if len(a.Shards) != len(b.Shards) {
+			t.Fatalf("%s: plan size changed between calls: %d vs %d", e.ID, len(a.Shards), len(b.Shards))
+		}
+		for i := range a.Shards {
+			if a.Shards[i].Label != b.Shards[i].Label {
+				t.Fatalf("%s: shard %d label changed between calls: %q vs %q",
+					e.ID, i, a.Shards[i].Label, b.Shards[i].Label)
+			}
+		}
+	}
+}
+
+// TestFormerlySerialExperimentsMultiShard pins the tentpole of the
+// Plan-everywhere refactor: the experiments that used to run through the
+// legacy serial Run path as one opaque pseudo-shard now decompose into
+// real multi-shard plans, so the engine, cache and dispatcher see them as
+// independently schedulable units.
+func TestFormerlySerialExperimentsMultiShard(t *testing.T) {
+	cfg := Small()
+	want := map[string]int{ // minimum shard counts
+		"fig21":            5, // 2 modules × 2 intervals + ECC
+		"fig22":            4, // strong-RT points
+		"fig23":            4, // Small().Mixes + markers
+		"sec61":            3, // mechanisms
+		"ttf":              6, // 3 mfrs × 2 temperatures
+		"ablation-f":       2, // coupling-law variants
+		"ablation-bitline": 3, // column classes
+	}
+	for id, min := range want {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
 		plan, err := e.Plan(cfg)
 		if err != nil {
 			t.Fatalf("%s: plan: %v", id, err)
 		}
-		if len(plan.Shards) == 0 {
-			t.Fatalf("%s: empty shard list", id)
-		}
-		if plan.Merge == nil {
-			t.Fatalf("%s: nil merge", id)
-		}
-		seen := map[string]bool{}
-		for i, s := range plan.Shards {
-			if s.Label == "" {
-				t.Fatalf("%s: shard %d has no label", id, i)
-			}
-			if !strings.HasPrefix(s.Label, id) {
-				t.Errorf("%s: shard label %q does not name its experiment", id, s.Label)
-			}
-			if seen[s.Label] {
-				t.Errorf("%s: duplicate shard label %q", id, s.Label)
-			}
-			seen[s.Label] = true
-			if s.Run == nil {
-				t.Fatalf("%s: shard %d has no runner", id, i)
-			}
+		if len(plan.Shards) < min {
+			t.Errorf("%s: %d shards, want at least %d", id, len(plan.Shards), min)
 		}
 	}
 }

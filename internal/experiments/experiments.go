@@ -81,7 +81,12 @@ func Full() Config {
 // gob silently decodes old bytes into new structs (missing fields zero),
 // so without this tag a warm -cache-dir would serve stale results across
 // binary versions.
-const resultSchemaVersion = "cd-shards/1"
+//
+// Generation 2: every experiment is a multi-shard Plan (the legacy whole-
+// *Result pseudo-shard entries of generation 1 no longer decode to any
+// registered part type) and shard labels moved to the canonical
+// "id/key=value" scheme.
+const resultSchemaVersion = "cd-shards/2"
 
 // Digest returns a stable content digest of the configuration, used as the
 // config component of shard cache keys (cache.Key.ConfigDigest). It hashes
@@ -193,33 +198,48 @@ type Plan struct {
 	Merge  func(parts []any) (*Result, error)
 }
 
-// Experiment couples a paper artifact with its runner. Experiments come in
-// two flavors: legacy serial runners (Run only) and sharded experiments
-// (Plan set), for which Run is synthesized at registration to execute the
-// plan serially. The heavy sweeps are sharded; future experiments should
-// implement Plan directly (see ROADMAP.md).
+// shardLabel renders the canonical shard label: the experiment ID followed
+// by /key=value coordinate pairs, e.g. "fig21/module=M8/iv=512ms". Labels
+// are load-bearing identifiers, not just display strings — they name the
+// shard in cache keys (cache.Key.Shard), shard_done events and the dispatch
+// wire's registry-skew guard — so they must be stable across builds, unique
+// within a plan (TestShardLabelsCanonical enforces both) and readable in
+// event streams.
+func shardLabel(id string, kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("experiments: shardLabel needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(id)
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte('/')
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	return b.String()
+}
+
+// Experiment couples a paper artifact with its sharded runner. Plan is the
+// ONE execution contract: every registered experiment decomposes into
+// independent shards with per-shard keyed RNG streams and a canonical-order
+// merge, so serial, `-j N` and distributed runs are byte-identical by
+// construction. (The legacy serial `Run func(Config)` contract and its
+// single-pseudo-shard fold are gone; see DESIGN.md §11.)
 type Experiment struct {
 	ID    string
 	Paper string // which table/figure this regenerates
 	Title string
-	Run   func(Config) (*Result, error)
 	Plan  func(Config) (*Plan, error)
 }
 
 // RunWith executes the experiment with the given worker bound (<=0 selects
-// GOMAXPROCS, 1 is the serial reference path). progress may be nil. For
-// sharded experiments, parallel output is bit-identical to serial output:
-// shards are keyed-RNG independent and merged in canonical order.
-// Cancelling ctx stops scheduling new shards and returns an error
-// satisfying errors.Is(err, ctx.Err()); legacy serial runners observe the
-// context only between experiments (they are checked once, up front).
+// GOMAXPROCS, 1 is the serial reference path). progress may be nil.
+// Parallel output is bit-identical to serial output: shards are keyed-RNG
+// independent and merged in canonical order. Cancelling ctx stops
+// scheduling new shards and returns an error satisfying
+// errors.Is(err, ctx.Err()).
 func (e Experiment) RunWith(ctx context.Context, cfg Config, workers int, progress func(done, total int, label string)) (*Result, error) {
-	if e.Plan == nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return e.Run(cfg)
-	}
 	plan, err := e.Plan(cfg)
 	if err != nil {
 		return nil, err
@@ -232,28 +252,12 @@ func (e Experiment) RunWith(ctx context.Context, cfg Config, workers int, progre
 }
 
 // BuildShards decomposes an experiment into engine shards plus a merge
-// step, folding legacy serial runners into the sharded world: an
-// experiment without a Plan becomes a single pseudo-shard whose one part
-// is its whole *Result. This is THE decomposition path — the service's
-// scheduler and the remote worker process both call it, so a shard index
-// means the same unit of work on every machine (the distributed
-// determinism contract rests on it: plans are pure functions of (ID,
-// Config), so both sides enumerate identical shard lists).
+// step. This is THE decomposition path — the service's scheduler and the
+// remote worker process both call it, so a shard index means the same unit
+// of work on every machine (the distributed determinism contract rests on
+// it: plans are pure functions of (ID, Config), so both sides enumerate
+// identical shard lists).
 func BuildShards(e Experiment, cfg Config) ([]Shard, func(parts []any) (*Result, error), error) {
-	if e.Plan == nil {
-		shard := Shard{
-			Label: e.ID + " (serial)",
-			Run:   func(context.Context) (any, error) { return e.Run(cfg) },
-		}
-		merge := func(parts []any) (*Result, error) {
-			res, ok := parts[0].(*Result)
-			if !ok {
-				return nil, fmt.Errorf("experiments: %s: cached value has type %T, want *Result", e.ID, parts[0])
-			}
-			return res, nil
-		}
-		return []Shard{shard}, merge, nil
-	}
 	plan, err := e.Plan(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -267,11 +271,8 @@ func register(e Experiment) {
 	if _, dup := registry[e.ID]; dup {
 		panic("experiments: duplicate ID " + e.ID)
 	}
-	if e.Run == nil {
-		if e.Plan == nil {
-			panic("experiments: " + e.ID + " registered with neither Run nor Plan")
-		}
-		e.Run = func(cfg Config) (*Result, error) { return e.RunWith(context.Background(), cfg, 1, nil) }
+	if e.Plan == nil {
+		panic("experiments: " + e.ID + " registered without a Plan (the legacy Run contract is gone)")
 	}
 	registry[e.ID] = e
 }
@@ -279,21 +280,25 @@ func register(e Experiment) {
 // Register adds an experiment to the registry. The paper's own artifacts
 // register themselves from init; this exported hook exists for extensions
 // and service tests that need synthetic experiments (e.g. a controllable
-// sweep for cancellation coverage). Duplicate IDs panic, as in init.
+// sweep for cancellation coverage). A nil Plan or duplicate ID panics, as
+// in init.
 func Register(e Experiment) { register(e) }
 
 // registerShardType records the concrete Go type an experiment's shards
 // return with the result cache's codec, giving the experiment an
-// encode/decode path for shard-level caching (see internal/cache). Every
-// sharded experiment registers its part type(s) in init, next to register.
+// encode/decode path for shard-level caching and remote dispatch (see
+// internal/cache). Every experiment registers its part type(s) in init,
+// next to register; part types must be exported-field structs (or plain
+// exported types) so gob can round-trip them — TestShardPartsGobEncodable
+// fails the registry otherwise.
 func registerShardType(v any) { cache.RegisterType(v) }
 
 func init() {
-	// Two shard-result shapes are shared across experiments: table1's plain
-	// string rows, and whole *Results (how the service caches legacy serial
-	// experiments, which run as a single pseudo-shard).
+	// One shard-result shape is shared across experiments: plain string
+	// rows ([]string), used by table1 and the service tests' synthetic
+	// experiments. (Whole *Results are no longer cached — the legacy
+	// single-pseudo-shard fold is gone.)
 	registerShardType([]string(nil))
-	registerShardType(&Result{})
 }
 
 // All returns every experiment sorted by ID.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,8 +10,8 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-		"fig19", "fig20", "fig21", "fig22", "fig23", "sec61", "prvr-sim",
-		"ablation-f", "ablation-bitline",
+		"fig19", "fig20", "fig21", "fig22", "fig23", "sec61", "ttf",
+		"prvr-sim", "ablation-f", "ablation-bitline",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -30,7 +31,7 @@ func TestAllExperimentsRunAtSmallScale(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			res, err := e.Run(cfg)
+			res, err := e.RunWith(context.Background(), cfg, 1, nil)
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}
@@ -55,11 +56,11 @@ func TestExperimentsDeterministic(t *testing.T) {
 	cfg := Small()
 	for _, id := range []string{"fig6", "fig11", "fig23"} {
 		e, _ := ByID(id)
-		a, err := e.Run(cfg)
+		a, err := e.RunWith(context.Background(), cfg, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := e.Run(cfg)
+		b, err := e.RunWith(context.Background(), cfg, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func TestHeadlineShapes(t *testing.T) {
 
 	t.Run("fig6-scaling", func(t *testing.T) {
 		e, _ := ByID("fig6")
-		res, err := e.Run(cfg)
+		res, err := e.RunWith(context.Background(), cfg, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func TestHeadlineShapes(t *testing.T) {
 
 	t.Run("sec61-anchors", func(t *testing.T) {
 		e, _ := ByID("sec61")
-		res, err := e.Run(cfg)
+		res, err := e.RunWith(context.Background(), cfg, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func TestHeadlineShapes(t *testing.T) {
 
 	t.Run("fig21-miscorrection", func(t *testing.T) {
 		e, _ := ByID("fig21")
-		res, err := e.Run(cfg)
+		res, err := e.RunWith(context.Background(), cfg, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -85,7 +85,7 @@ func planFig11(cfg Config) (*Plan, error) {
 		for ii, iv := range shortIntervalsMs() {
 			mi, ii, mfr, iv := mi, ii, mfr, iv
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig11 %s %.0fms", mfr, iv),
+				Label: shardLabel("fig11", "mfr", string(mfr), "iv", fmt.Sprintf("%.0fms", iv)),
 				Run: func(context.Context) (any, error) {
 					return sampleBlastCell(cfg, mfr, 65, iv, 11, uint64(mi), uint64(ii)), nil
 				},
@@ -156,7 +156,7 @@ func planFig12(cfg Config) (*Plan, error) {
 		for ii, iv := range ivs {
 			ci, ii, iv := ci, ii, iv
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig12 %s %.0fs", m.ID, iv/1000),
+				Label: shardLabel("fig12", "module", m.ID, "iv", fmt.Sprintf("%.0fs", iv/1000)),
 				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(12, uint64(ci), uint64(ii))
 					cd := sampleSubarrayCounts(m, cdCls, 85, iv, cfg.SubarraysPerModule, r)
@@ -220,7 +220,7 @@ func planFig13(cfg Config) (*Plan, error) {
 		for ti, tC := range temps {
 			mi, ti, mfr, tC := mi, ti, mfr, tC
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig13 %s %.0f°C", mfr, tC),
+				Label: shardLabel("fig13", "mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tC)),
 				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(13, uint64(mi), uint64(ti))
 					found, _ := mfrTTFs(mfr, setup, tC, cfg.SubarraysPerModule, r)
@@ -284,7 +284,7 @@ func planFig14(cfg Config) (*Plan, error) {
 		for _, tC := range temps {
 			mfr, tC := mfr, tC
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig14 %s %.0f°C", mfr, tC),
+				Label: shardLabel("fig14", "mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tC)),
 				Run: func(context.Context) (any, error) {
 					// Fraction-of-cells ratios at 512 ms reach below one
 					// bitflip per sampled subarray; expected fractions keep
@@ -351,7 +351,7 @@ func planFig15(cfg Config) (*Plan, error) {
 			for ii, iv := range shortIntervalsMs() {
 				mi, ti, ii, mfr, tC, iv := mi, ti, ii, mfr, tC, iv
 				shards = append(shards, Shard{
-					Label: fmt.Sprintf("fig15 %s %.0f°C %.0fms", mfr, tC, iv),
+					Label: shardLabel("fig15", "mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tC), "iv", fmt.Sprintf("%.0fms", iv)),
 					Run: func(context.Context) (any, error) {
 						return sampleBlastCell(cfg, mfr, tC, iv, 15,
 							uint64(mi), uint64(ti), uint64(ii)), nil

@@ -64,7 +64,7 @@ func planFig16(cfg Config) (*Plan, error) {
 		for oi, on := range tAggOns {
 			mi, oi, mfr, on := mi, oi, mfr, on
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig16 %s %s", mfr, on.label),
+				Label: shardLabel("fig16", "mfr", string(mfr), "on", on.label),
 				Run: func(context.Context) (any, error) {
 					setup := worstCaseSetup()
 					setup.TAggOnNs = on.ns
@@ -150,7 +150,7 @@ func planFig17(cfg Config) (*Plan, error) {
 		for vi, v := range variants {
 			mi, vi, mfr, v := mi, vi, mfr, v
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig17 %s %s", mfr, v.label),
+				Label: shardLabel("fig17", "mfr", string(mfr), "pattern", v.label),
 				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(17, uint64(mi), uint64(vi))
 					found, _ := mfrTTFs(mfr, v.s, 85, cfg.SubarraysPerModule, r)
@@ -186,7 +186,7 @@ func planFig18(cfg Config) (*Plan, error) {
 		for _, pat := range dram.StandardPatterns() {
 			mi, mfr, pat := mi, mfr, pat
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig18 %s 0x%02X", mfr, byte(pat)),
+				Label: shardLabel("fig18", "mfr", string(mfr), "dp", fmt.Sprintf("0x%02X", byte(pat))),
 				Run: func(context.Context) (any, error) {
 					setup := worstCaseSetup()
 					setup.AggPattern = pat
@@ -229,7 +229,7 @@ func planFig19(cfg Config) (*Plan, error) {
 		for pi, pat := range patterns {
 			mi, pi, pat := mi, pi, pat
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig19 %s 0x%02X", m.ID, byte(pat)),
+				Label: shardLabel("fig19", "module", m.ID, "dp", fmt.Sprintf("0x%02X", byte(pat))),
 				Run: func(context.Context) (any, error) {
 					setup := worstCaseSetup()
 					setup.AggPattern = pat
@@ -278,7 +278,7 @@ func planFig20(cfg Config) (*Plan, error) {
 		for li, loc := range locations {
 			mi, li, mfr, loc := mi, li, mfr, loc
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig20 %s %s", mfr, loc),
+				Label: shardLabel("fig20", "mfr", string(mfr), "loc", loc),
 				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(20, uint64(mi), uint64(li))
 					found, _ := mfrTTFs(mfr, worstCaseSetup(), 85, cfg.SubarraysPerModule, r)

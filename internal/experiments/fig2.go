@@ -60,7 +60,7 @@ func planFig2(cfg Config) (*Plan, error) {
 
 	press := func(arm string, tAggOnNs float64) Shard {
 		return Shard{
-			Label: "fig2 " + arm,
+			Label: shardLabel("fig2", "arm", arm),
 			Run: func(context.Context) (any, error) {
 				h, err := openHost()
 				if err != nil {
@@ -80,7 +80,7 @@ func planFig2(cfg Config) (*Plan, error) {
 		}
 	}
 	idle := Shard{
-		Label: "fig2 idle",
+		Label: shardLabel("fig2", "arm", "idle"),
 		Run: func(context.Context) (any, error) {
 			h, err := openHost()
 			if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"columndisturb/internal/chipdb"
@@ -15,13 +16,219 @@ func init() {
 		ID:    "fig23",
 		Paper: "Fig 23, Takeaway 12",
 		Title: "RAIDR speedup vs weak-row proportion (Bloom filter vs bitmap tracker)",
-		Run:   runFig23,
+		Plan:  planFig23,
 	})
+	registerShardType(fig23MixPart{})
+	registerShardType(fig23MarkersPart{})
+}
+
+// fig23Fractions is the swept weak-row proportion grid.
+var fig23Fractions = []float64{1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 2e-3, 3e-3, 4e-3,
+	5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.3, 0.5}
+
+// fig23Arm is one (tracker, weak fraction) curve point.
+type fig23Arm struct {
+	Tracker memsim.Tracker
+	W       float64
+}
+
+// fig23Arms enumerates the curve points in presentation order. The paper
+// sweeps the bloom variant only to 0.4% (it has saturated by then).
+func fig23Arms() []fig23Arm {
+	var arms []fig23Arm
+	for _, tracker := range []memsim.Tracker{memsim.TrackerBloom, memsim.TrackerBitmap} {
+		for _, w := range fig23Fractions {
+			if tracker == memsim.TrackerBloom && w > 4e-3 {
+				continue
+			}
+			arms = append(arms, fig23Arm{tracker, w})
+		}
+	}
+	return arms
+}
+
+// fig23MixPart is one workload mix's weighted-speedup measurements: the
+// no-refresh and 64 ms periodic baselines plus every (tracker, fraction)
+// curve point, all under this mix. The per-arm effective weak-row counts
+// are NOT carried here — they are mix-independent tracker geometry,
+// derived in the merge step (one source of truth, like fig22's refresh-op
+// pricing).
+type fig23MixPart struct {
+	Mix           int
+	WSNone, WSP64 float64
+	WS            []float64 // aligned with fig23Arms()
+}
+
+// fig23MarkersPart is the example Micron module's (M8) measured weak-row
+// proportions — the annotated markers.
+type fig23MarkersPart struct {
+	RetFrac, CDFrac float64
+}
+
+// planFig23 shards Fig 23 by workload mix: each shard runs its mix's solo
+// baselines and every refresh engine under that one mix, and the merge
+// averages across mixes in canonical order — the same summation order as
+// the old serial loop, so the rendered speedups are unchanged. The M8
+// weak-fraction markers are their own shard (the sweep's only sampled
+// quantity, on its own stream).
+func planFig23(cfg Config) (*Plan, error) {
+	sys := memsim.DefaultSystem()
+	sys.MeasureInstr = cfg.MeasureInstr
+	sys.WarmupInstr = cfg.MeasureInstr / 5
+	mixes := memsim.Mixes(cfg.Mixes)
+	seed := memsim.RunSeed(cfg.Seed, 23)
+	arms := fig23Arms()
+
+	shards := make([]Shard, 0, len(mixes)+1)
+	for i, mix := range mixes {
+		i, mix := i, mix
+		shards = append(shards, Shard{
+			Label: shardLabel("fig23", "mix", fmt.Sprintf("%d", i)),
+			Run: func(context.Context) (any, error) {
+				solos := make([]float64, len(mix))
+				for j, w := range mix {
+					ipc, err := memsim.SoloIPC(sys, w, seed)
+					if err != nil {
+						return nil, err
+					}
+					solos[j] = ipc
+				}
+				ws := func(eng memsim.RefreshEngine) (float64, error) {
+					v, _, err := memsim.WeightedSpeedup(sys, mix, eng, seed, solos)
+					return v, err
+				}
+				part := fig23MixPart{Mix: i}
+				var err error
+				if part.WSNone, err = ws(memsim.NoRefresh()); err != nil {
+					return nil, err
+				}
+				p64, err := memsim.PeriodicRefresh(sys, 64)
+				if err != nil {
+					return nil, err
+				}
+				if part.WSP64, err = ws(p64); err != nil {
+					return nil, err
+				}
+				part.WS = make([]float64, len(arms))
+				for ai, arm := range arms {
+					rc := memsim.DefaultRAIDR(arm.Tracker)
+					rc.WeakFraction = arm.W
+					eng, _, err := memsim.NewRAIDR(sys, rc)
+					if err != nil {
+						return nil, err
+					}
+					if part.WS[ai], err = ws(eng); err != nil {
+						return nil, err
+					}
+				}
+				return part, nil
+			},
+		})
+	}
+	shards = append(shards, Shard{
+		Label: shardLabel("fig23", "markers", "M8"),
+		Run: func(context.Context) (any, error) {
+			retFrac, cdFrac := m8WeakFractions(cfg)
+			return fig23MarkersPart{RetFrac: retFrac, CDFrac: cdFrac}, nil
+		},
+	})
+
+	merge := func(parts []any) (*Result, error) {
+		res := &Result{
+			ID:      "fig23",
+			Title:   "RAIDR weighted speedup normalized to No Refresh (and benefit over 64 ms periodic refresh)",
+			Headers: []string{"tracker", "weak fraction", "WS/WS(noref)", "benefit", "eff. weak frac"},
+		}
+		var markers fig23MarkersPart
+		var mixParts []fig23MixPart
+		for _, raw := range parts {
+			switch part := raw.(type) {
+			case fig23MixPart:
+				mixParts = append(mixParts, part)
+			case fig23MarkersPart:
+				markers = part
+			default:
+				return nil, fmt.Errorf("fig23: part has type %T", raw)
+			}
+		}
+		if len(mixParts) == 0 {
+			return nil, fmt.Errorf("fig23: no mix parts")
+		}
+		n := float64(len(mixParts))
+		avg := func(sel func(fig23MixPart) float64) float64 {
+			sum := 0.0
+			for _, p := range mixParts {
+				sum += sel(p)
+			}
+			return sum / n
+		}
+		wsNone := avg(func(p fig23MixPart) float64 { return p.WSNone })
+		wsP64 := avg(func(p fig23MixPart) float64 { return p.WSP64 })
+
+		type point struct{ norm, benefit float64 }
+		curves := map[memsim.Tracker]map[float64]point{
+			memsim.TrackerBloom:  {},
+			memsim.TrackerBitmap: {},
+		}
+		names := map[memsim.Tracker]string{memsim.TrackerBloom: "bloom-8Kb-6h", memsim.TrackerBitmap: "bitmap"}
+		for ai, arm := range arms {
+			ai := ai
+			ws := avg(func(p fig23MixPart) float64 { return p.WS[ai] })
+			pt := point{
+				norm:    ws / wsNone,
+				benefit: memsim.BenefitFraction(ws, wsP64, wsNone),
+			}
+			curves[arm.Tracker][arm.W] = pt
+			// The effective weak fraction is mix-independent tracker
+			// geometry: derive it here rather than shipping N identical
+			// copies in the mix parts.
+			rc := memsim.DefaultRAIDR(arm.Tracker)
+			rc.WeakFraction = arm.W
+			_, info, err := memsim.NewRAIDR(sys, rc)
+			if err != nil {
+				return nil, err
+			}
+			res.AddRow(names[arm.Tracker], fmt.Sprintf("%.2g", arm.W), fmtF(pt.norm), fmtF(pt.benefit),
+				fmt.Sprintf("%.4f", float64(info.EffectiveWeakRows)/float64(sys.TotalRows())))
+		}
+
+		res.AddNote("example Micron module M8: retention-weak fraction %.5f, ColumnDisturb-weak fraction %.4f (1024 ms, 65 °C)",
+			markers.RetFrac, markers.CDFrac)
+
+		nearest := func(tr memsim.Tracker, w float64) point {
+			bestD := -1.0
+			var best point
+			for f, p := range curves[tr] {
+				d := f - w
+				if d < 0 {
+					d = -d
+				}
+				if bestD < 0 || d < bestD {
+					bestD, best = d, p
+				}
+			}
+			return best
+		}
+		bloomRet := nearest(memsim.TrackerBloom, markers.RetFrac)
+		bloomCD := nearest(memsim.TrackerBloom, markers.CDFrac)
+		bmRet := nearest(memsim.TrackerBitmap, markers.RetFrac)
+		bmCD := nearest(memsim.TrackerBitmap, markers.CDFrac)
+		res.AddNote("bloom RAIDR benefit: %.0f%% → %.0f%% of the no-refresh headroom as M8's weak rows grow to ColumnDisturb levels (paper: 31 pp speedup reduction; saturated filter ⇒ ≈99 pp benefit loss)",
+			bloomRet.benefit*100, bloomCD.benefit*100)
+		res.AddNote("bitmap RAIDR benefit: %.0f%% → %.0f%% over the same growth (paper: 53 pp speedup reduction)",
+			bmRet.benefit*100, bmCD.benefit*100)
+		res.AddNote("Takeaway 12: ColumnDisturb can completely negate low-area (Bloom) retention-aware refresh and greatly reduce high-area (bitmap) variants")
+		return res, nil
+	}
+
+	return &Plan{Shards: shards, Merge: merge}, nil
 }
 
 // m8WeakFractions measures the example Micron module's (M8)
 // retention-weak and ColumnDisturb-weak row proportions at the RAIDR
-// strong-row retention time (1024 ms, 65 °C) — the annotated markers.
+// strong-row retention time (1024 ms, 65 °C) — the annotated markers. It
+// keeps the pre-shard stream key (Seed, 23) so the marker values are
+// unchanged.
 func m8WeakFractions(cfg Config) (retFrac, cdFrac float64) {
 	m, _ := chipdb.ByID("M8")
 	p := m.BuildParams()
@@ -38,118 +245,4 @@ func m8WeakFractions(cfg Config) (retFrac, cdFrac float64) {
 		cdVals = append(cdVals, float64(s.RowsWith)/rows)
 	}
 	return stats.Mean(retVals), stats.Mean(cdVals)
-}
-
-func runFig23(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:      "fig23",
-		Title:   "RAIDR weighted speedup normalized to No Refresh (and benefit over 64 ms periodic refresh)",
-		Headers: []string{"tracker", "weak fraction", "WS/WS(noref)", "benefit", "eff. weak frac"},
-	}
-	sys := memsim.DefaultSystem()
-	sys.MeasureInstr = cfg.MeasureInstr
-	sys.WarmupInstr = cfg.MeasureInstr / 5
-	mixes := memsim.Mixes(cfg.Mixes)
-	seed := memsim.RunSeed(cfg.Seed, 23)
-
-	// Solo baselines per mix (policy-independent).
-	solos := make([][]float64, len(mixes))
-	for i, mix := range mixes {
-		solos[i] = make([]float64, len(mix))
-		for j, w := range mix {
-			ipc, err := memsim.SoloIPC(sys, w, seed)
-			if err != nil {
-				return nil, err
-			}
-			solos[i][j] = ipc
-		}
-	}
-	avgWS := func(engine func() (memsim.RefreshEngine, error)) (float64, error) {
-		sum := 0.0
-		for i, mix := range mixes {
-			eng, err := engine()
-			if err != nil {
-				return 0, err
-			}
-			ws, _, err := memsim.WeightedSpeedup(sys, mix, eng, seed, solos[i])
-			if err != nil {
-				return 0, err
-			}
-			sum += ws
-		}
-		return sum / float64(len(mixes)), nil
-	}
-
-	wsNone, err := avgWS(func() (memsim.RefreshEngine, error) { return memsim.NoRefresh(), nil })
-	if err != nil {
-		return nil, err
-	}
-	wsP64, err := avgWS(func() (memsim.RefreshEngine, error) { return memsim.PeriodicRefresh(sys, 64) })
-	if err != nil {
-		return nil, err
-	}
-
-	fractions := []float64{1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 2e-3, 3e-3, 4e-3,
-		5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.3, 0.5}
-	type point struct{ norm, benefit float64 }
-	curves := map[memsim.Tracker]map[float64]point{
-		memsim.TrackerBloom:  {},
-		memsim.TrackerBitmap: {},
-	}
-	for _, tracker := range []memsim.Tracker{memsim.TrackerBloom, memsim.TrackerBitmap} {
-		name := map[memsim.Tracker]string{memsim.TrackerBloom: "bloom-8Kb-6h", memsim.TrackerBitmap: "bitmap"}[tracker]
-		for _, w := range fractions {
-			// The paper sweeps the bloom variant only to 0.4% (it has
-			// saturated by then).
-			if tracker == memsim.TrackerBloom && w > 4e-3 {
-				continue
-			}
-			rc := memsim.DefaultRAIDR(tracker)
-			rc.WeakFraction = w
-			var info memsim.RAIDRInfo
-			ws, err := avgWS(func() (memsim.RefreshEngine, error) {
-				eng, i, err := memsim.NewRAIDR(sys, rc)
-				info = i
-				return eng, err
-			})
-			if err != nil {
-				return nil, err
-			}
-			pt := point{
-				norm:    ws / wsNone,
-				benefit: memsim.BenefitFraction(ws, wsP64, wsNone),
-			}
-			curves[tracker][w] = pt
-			res.AddRow(name, fmt.Sprintf("%.2g", w), fmtF(pt.norm), fmtF(pt.benefit),
-				fmt.Sprintf("%.4f", float64(info.EffectiveWeakRows)/float64(sys.TotalRows())))
-		}
-	}
-
-	retFrac, cdFrac := m8WeakFractions(cfg)
-	res.AddNote("example Micron module M8: retention-weak fraction %.5f, ColumnDisturb-weak fraction %.4f (1024 ms, 65 °C)", retFrac, cdFrac)
-
-	nearest := func(tr memsim.Tracker, w float64) point {
-		bestD := -1.0
-		var best point
-		for f, p := range curves[tr] {
-			d := f - w
-			if d < 0 {
-				d = -d
-			}
-			if bestD < 0 || d < bestD {
-				bestD, best = d, p
-			}
-		}
-		return best
-	}
-	bloomRet := nearest(memsim.TrackerBloom, retFrac)
-	bloomCD := nearest(memsim.TrackerBloom, cdFrac)
-	bmRet := nearest(memsim.TrackerBitmap, retFrac)
-	bmCD := nearest(memsim.TrackerBitmap, cdFrac)
-	res.AddNote("bloom RAIDR benefit: %.0f%% → %.0f%% of the no-refresh headroom as M8's weak rows grow to ColumnDisturb levels (paper: 31 pp speedup reduction; saturated filter ⇒ ≈99 pp benefit loss)",
-		bloomRet.benefit*100, bloomCD.benefit*100)
-	res.AddNote("bitmap RAIDR benefit: %.0f%% → %.0f%% over the same growth (paper: 53 pp speedup reduction)",
-		bmRet.benefit*100, bmCD.benefit*100)
-	res.AddNote("Takeaway 12: ColumnDisturb can completely negate low-area (Bloom) retention-aware refresh and greatly reduce high-area (bitmap) variants")
-	return res, nil
 }

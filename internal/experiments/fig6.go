@@ -37,7 +37,7 @@ func planFig6(cfg Config) (*Plan, error) {
 	for gi, g := range groups {
 		gi, g := gi, g
 		shards[gi] = Shard{
-			Label: "fig6 " + g.Key,
+			Label: shardLabel("fig6", "group", g.Key),
 			Run: func(context.Context) (any, error) {
 				r := cfg.shardRand(6, uint64(gi))
 				found, notFound := groupTTFs(g, setup, 85, ttfCeilingMs, cfg.SubarraysPerModule, r)

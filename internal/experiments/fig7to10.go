@@ -59,7 +59,7 @@ func planFig7(cfg Config) (*Plan, error) {
 	for i, iv := range ivs {
 		i, iv := i, iv
 		shards[i] = Shard{
-			Label: fmt.Sprintf("fig7 %.0fs", iv/1000),
+			Label: shardLabel("fig7", "iv", fmt.Sprintf("%.0fs", iv/1000)),
 			Run: func(context.Context) (any, error) {
 				r := cfg.shardRand(7, uint64(i))
 				cd := sampleSubarrayCounts(s0, cdClasses, 85, iv, cfg.SubarraysPerModule, r)
@@ -120,7 +120,7 @@ func planFig8(cfg Config) (*Plan, error) {
 		for ii, iv := range standardIntervalsMs() {
 			mi, ii, iv := mi, ii, iv
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig8 %s %.0fs", m.ID, iv/1000),
+				Label: shardLabel("fig8", "module", m.ID, "iv", fmt.Sprintf("%.0fs", iv/1000)),
 				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(8, uint64(mi), uint64(ii))
 					f0, _, _ := fractionStats(sampleSubarrayCounts(m, cls0, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
@@ -177,7 +177,7 @@ func planFig9(cfg Config) (*Plan, error) {
 		for ii, iv := range standardIntervalsMs() {
 			mi, ii, iv := mi, ii, iv
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig9 %s %.0fs", m.ID, iv/1000),
+				Label: shardLabel("fig9", "module", m.ID, "iv", fmt.Sprintf("%.0fs", iv/1000)),
 				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(9, uint64(mi), uint64(ii))
 					fh, _, _ := fractionStats(sampleSubarrayCounts(m, clsH, 85, iv, cfg.SubarraysPerModule, r), g.Cols)
@@ -241,7 +241,7 @@ func planFig10(cfg Config) (*Plan, error) {
 				cls = core.DutyClasses(p, 2*v-1, 1)
 			}
 			shards = append(shards, Shard{
-				Label: fmt.Sprintf("fig10 %s v=%.3f", m.ID, v),
+				Label: shardLabel("fig10", "module", m.ID, "v", fmt.Sprintf("%.3f", v)),
 				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(10, uint64(mi), uint64(vi))
 					part := fig10Part{ModuleID: m.ID, Voltage: v,

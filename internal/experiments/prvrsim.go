@@ -44,7 +44,7 @@ func planPRVRSim(cfg Config) (*Plan, error) {
 	for i, mix := range mixes {
 		i, mix := i, mix
 		shards[i] = Shard{
-			Label: fmt.Sprintf("prvr-sim mix %d", i),
+			Label: shardLabel("prvr-sim", "mix", fmt.Sprintf("%d", i)),
 			Run: func(context.Context) (any, error) {
 				solos := make([]float64, len(mix))
 				for j, w := range mix {

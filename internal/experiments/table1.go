@@ -26,7 +26,7 @@ func planTable1(cfg Config) (*Plan, error) {
 	for _, g := range groups {
 		g := g
 		shards = append(shards, Shard{
-			Label: "table1 " + g.Key,
+			Label: shardLabel("table1", "group", g.Key),
 			Run: func(context.Context) (any, error) {
 				ids := ""
 				chips := 0
@@ -43,7 +43,7 @@ func planTable1(cfg Config) (*Plan, error) {
 		})
 	}
 	shards = append(shards, Shard{
-		Label: "table1 HBM2",
+		Label: shardLabel("table1", "group", "HBM2"),
 		Run: func(context.Context) (any, error) {
 			hbm := chipdb.HBM2Chips()
 			return []string{string(chipdb.Samsung) + " HBM2",

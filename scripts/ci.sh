@@ -146,6 +146,33 @@ kill -9 "$w1_pid" 2>/dev/null || true
 wait "$dist_run_pid"
 diff -r "$tmp/dist-out2" "$tmp/out1"
 go run ./scripts/eventcheck < "$tmp/events-dist2.jsonl"
+
+echo "== cdlab smoke: formerly-serial experiments are multi-shard + warm-distributed zero-recompute =="
+# These experiments used to run through the legacy serial Run path as one
+# opaque pseudo-shard. Now they are real plans: every shard leases to the
+# surviving worker, each experiment emits MULTIPLE shard events, and a
+# warm re-run against the server's shard cache recomputes zero shards
+# while writing byte-identical reports.
+formerly_serial="fig21 fig22 fig23 sec61 ttf ablation-f ablation-bitline"
+"$tmp/cdlab" run $formerly_serial -remote "127.0.0.1:$dport" -json -o "$tmp/fs-out1" \
+    > "$tmp/events-fs1.jsonl" 2> /dev/null
+for id in $formerly_serial; do
+    n=$(grep '"type":"shard_done"' "$tmp/events-fs1.jsonl" | grep -c "\"experiment\":\"$id\"" || true)
+    if [ "$n" -lt 2 ]; then
+        echo "$id emitted $n shard events; expected a multi-shard plan" >&2
+        exit 1
+    fi
+done
+"$tmp/cdlab" run $formerly_serial -remote "127.0.0.1:$dport" -json -o "$tmp/fs-out2" \
+    > "$tmp/events-fs2.jsonl" 2> /dev/null
+if grep -q '"cached":false' "$tmp/events-fs2.jsonl"; then
+    echo "warm distributed re-run recomputed formerly-serial shards:" >&2
+    grep '"cached":false' "$tmp/events-fs2.jsonl" | head -5 >&2
+    exit 1
+fi
+grep -q '"cached":true' "$tmp/events-fs2.jsonl"
+diff -r "$tmp/fs-out1" "$tmp/fs-out2"
+go run ./scripts/eventcheck < "$tmp/events-fs2.jsonl"
 kill "$w2_pid" "$dist_pid" 2>/dev/null || true
 
 echo "CI OK"
