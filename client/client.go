@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"columndisturb"
+	"columndisturb/internal/dispatch"
 	"columndisturb/internal/service"
 )
 
@@ -163,6 +164,18 @@ func (r *Runner) Experiments(ctx context.Context) ([]columndisturb.ExperimentInf
 	out := make([]columndisturb.ExperimentInfo, len(wire))
 	for i, e := range wire {
 		out[i] = columndisturb.ExperimentInfo{ID: e.ID, Paper: e.Paper, Title: e.Title}
+	}
+	return out, nil
+}
+
+// Workers lists the remote workers currently attached to the server's
+// dispatcher (GET /v1/workers), including the per-worker throughput
+// statistics the scheduler's affinity rule feeds on. An empty slice means
+// the server is running every shard in-process.
+func (r *Runner) Workers(ctx context.Context) ([]dispatch.WorkerInfo, error) {
+	var out []dispatch.WorkerInfo
+	if err := r.getJSON(ctx, "/v1/workers", &out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

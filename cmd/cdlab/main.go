@@ -20,6 +20,7 @@
 //	cdlab run <id>...|all [flags]             # regenerate one or more artifacts
 //	cdlab serve -addr :8080 [flags]           # HTTP experiment service (/v1)
 //	cdlab worker -connect addr [flags]        # remote shard executor for a serve
+//	cdlab workers -remote addr                # list a serve's attached workers
 //
 // Run flags: -profile p, -set k=v (repeatable), -full (deprecated alias of
 // -profile full), -remote addr, -j N, -o dir, -progress, -json,
@@ -88,6 +89,8 @@ func run(args []string) int {
 		return serve(args[1:])
 	case "worker":
 		return worker(args[1:])
+	case "workers":
+		return workers(args[1:])
 	default:
 		usage()
 		return 2
@@ -103,7 +106,8 @@ func usage() {
                  [-cache-bytes N] [-no-cache]
        cdlab serve [-addr a] [-j N] [-max-active N] [-cache-dir d] [-cache-entries N]
                  [-cache-bytes N] [-no-local-shards] [-lease-ttl d] [-retain N]
-       cdlab worker -connect addr [-j N] [-name s]`)
+       cdlab worker -connect addr [-j N] [-name s]
+       cdlab workers -remote addr`)
 }
 
 func catalog() {
@@ -372,6 +376,51 @@ func runExperiments(args []string) int {
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "cdlab: %d of %d experiments failed\n", failed, len(ids))
 		return 1
+	}
+	return 0
+}
+
+// workers lists the remote workers attached to a `cdlab serve` process,
+// with the throughput statistics the cost-weighted scheduler keys on.
+func workers(args []string) int {
+	fs := flag.NewFlagSet("workers", flag.ContinueOnError)
+	remote := fs.String("remote", "", "`cdlab serve` address to query (required)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *remote == "" {
+		fmt.Fprintln(os.Stderr, "cdlab: workers requires -remote <addr>")
+		return 2
+	}
+	r, err := client.New(*remote)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
+		return 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ws, err := r.Workers(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
+		return 1
+	}
+	if len(ws) == 0 {
+		fmt.Println("no workers attached (server runs shards in-process)")
+		return 0
+	}
+	fmt.Printf("%-14s %-12s %3s %8s %9s %9s %9s %11s\n",
+		"ID", "Name", "Cap", "Inflight", "LastSeen", "Done", "Busy", "Avg/Task")
+	for _, w := range ws {
+		avg := "-"
+		if w.Completed > 0 {
+			avg = fmt.Sprintf("%.1fms", w.AvgTaskMs)
+		}
+		fmt.Printf("%-14s %-12s %3d %8d %8dms %9d %7dms %11s\n",
+			w.ID, orNA(w.Name), w.Capacity, w.Inflight, w.LastSeenMs,
+			w.Completed, w.BusyMs, avg)
 	}
 	return 0
 }

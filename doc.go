@@ -51,7 +51,11 @@
 // under (experiment, config digest, canonical shard label), so output is
 // bit-identical for every worker count, every placement (local,
 // distributed, mid-run worker loss), and warm or cold caches — there is no
-// serial special case.
+// serial special case. Shards additionally carry cost estimates (static
+// plan hints, overridden by wall times the service learns from earlier
+// runs) that the dispatcher uses for largest-first lease ordering and
+// big-shard→fast-worker affinity (DESIGN.md §12); costs steer scheduling
+// only and never change results.
 //
 // Everything is deterministic for a fixed seed and runs on a laptop; see
 // EXPERIMENTS.md for measured-vs-paper results of every artifact.

@@ -7,11 +7,19 @@
 // placement. A Run call enqueues its shards as tasks; local executors and
 // remote lease polls both pop from the front, so placement is simply
 // whichever capacity frees up first — the queue never commits a shard to a
-// lost worker. Determinism survives distribution because placement only
-// decides WHERE a shard computes, never WHAT: results land in the task's
-// input slot and are collected in canonical order, and every shard is a
-// pure function of (experiment, config, shard key), so a distributed run's
-// merged report is byte-identical to a serial local one.
+// lost worker. The queue is cost-ordered, not FIFO: tasks carry the
+// shard's Cost hint and the most expensive pending task sits at the front,
+// so the shards that dominate a sweep's critical path start earliest
+// (costless tasks degrade to exact FIFO). Remote leasing adds a soft
+// big-shard→big-worker affinity: a worker may defer a task far costlier
+// than the runner-up when a strictly stronger worker (capacity × observed
+// completion throughput) has a free slot, bounded by a per-task skip
+// budget so nothing starves. Determinism survives distribution because
+// placement only decides WHERE and WHEN a shard computes, never WHAT:
+// results land in the task's input slot and are collected in canonical
+// order, and every shard is a pure function of (experiment, config, shard
+// key), so a distributed run's merged report is byte-identical to a serial
+// local one.
 //
 // Failure handling is lease-based. A worker proves liveness by
 // heartbeating (and by polling for leases); a worker silent for longer
@@ -81,7 +89,7 @@ type Dispatcher struct {
 	local int // local executor count
 
 	mu        sync.Mutex
-	pending   *list.List // *task FIFO; front = next out
+	pending   *list.List // *task, cost-ordered; front = next out (see enqueueLocked)
 	notify    chan struct{}
 	workers   map[string]*workerState
 	taskSeq   int
@@ -104,6 +112,11 @@ const (
 	taskDone                     // settled
 )
 
+// maxAffinitySkips bounds how many times the affinity rule may pass over
+// a big task in favor of a stronger worker before any worker gets it —
+// affinity is an optimization, never a reason to starve.
+const maxAffinitySkips = 3
+
 // task is one shard's lifecycle through the queue. doneCh closes exactly
 // once, when the task settles.
 type task struct {
@@ -111,6 +124,13 @@ type task struct {
 	ctx    context.Context
 	shard  engine.Shard
 	report func(label string)
+	cost   float64 // shard.Cost, immutable scheduling weight
+
+	// boost and skips are queue-scheduling state guarded by the
+	// dispatcher's mu (not t.mu): boost marks requeued interrupted work,
+	// which outranks any cost; skips counts affinity deferrals.
+	boost bool
+	skips int
 
 	mu             sync.Mutex
 	state          taskState
@@ -151,13 +171,31 @@ func (t *task) finish(v any, err error, ran bool) bool {
 	return true
 }
 
+// leaseEntry is one outstanding lease: the task plus its grant time, the
+// anchor of the lease→complete wall-time measurement.
+type leaseEntry struct {
+	t         *task
+	grantedAt time.Time
+}
+
 type workerState struct {
 	id        string
 	name      string
 	capacity  int
 	lastSeen  time.Time
-	leases    map[string]*task // task ID → task
+	leases    map[string]*leaseEntry // task ID → lease
 	completed int64
+	busyNs    int64   // summed lease→complete wall time of completed tasks
+	costDone  float64 // summed cost weight of completed tasks (min 1 each)
+}
+
+// rate is the worker's observed completion throughput in cost units per
+// busy second; 0 until the worker has completed something.
+func (w *workerState) rate() float64 {
+	if w.busyNs <= 0 || w.costDone <= 0 {
+		return 0
+	}
+	return w.costDone / (float64(w.busyNs) / 1e9)
 }
 
 // New starts a dispatcher: LocalWorkers executor goroutines (unless
@@ -241,9 +279,10 @@ func (d *Dispatcher) Run(ctx context.Context, shards []engine.Shard, opts engine
 			ctx:    ctx,
 			shard:  sh,
 			report: report,
+			cost:   sh.Cost,
 			doneCh: make(chan struct{}),
 		}
-		d.pending.PushBack(tasks[i])
+		d.enqueueLocked(tasks[i])
 	}
 	d.wakeLocked()
 	d.mu.Unlock()
@@ -305,49 +344,137 @@ func (d *Dispatcher) pruneSettled() {
 	}
 }
 
-// popLocked removes and claims the next runnable task for the given
-// placement, pruning settled and cancelled entries as it scans. Caller
-// holds d.mu; nil means the queue holds nothing for this placement.
-func (d *Dispatcher) popLocked(remote bool) *task {
-	for el := d.pending.Front(); el != nil; {
-		next := el.Next()
-		t := el.Value.(*task)
-		t.mu.Lock()
-		switch {
-		case t.state != taskPending:
-			// Settled while queued (cancellation watcher); prune lazily.
-			d.pending.Remove(el)
-			t.mu.Unlock()
-		case t.ctx.Err() != nil:
-			// Don't start a shard whose job already died.
-			d.pending.Remove(el)
-			t.finishLocked(nil, t.ctx.Err())
-			t.mu.Unlock()
-		case remote && (t.localOnly || t.shard.Remote == nil):
-			// Not remote-eligible: leave it for a local executor.
-			t.mu.Unlock()
-		default:
-			d.pending.Remove(el)
-			if remote {
-				t.state = taskLeased
-			} else {
-				t.state = taskLocal
-			}
-			t.mu.Unlock()
-			return t
-		}
-		el = next
+// moreUrgent orders the pending queue: requeued interrupted work first
+// (boost), then largest declared cost. Equal urgency preserves insertion
+// order, so an all-zero-cost queue behaves exactly like the old FIFO.
+// Caller holds d.mu (boost is d.mu-guarded).
+func moreUrgent(a, b *task) bool {
+	if a.boost != b.boost {
+		return a.boost
 	}
-	return nil
+	return a.cost > b.cost
 }
 
-// requeueLocked pushes a lost worker's leased tasks back to the FRONT of
-// the queue (interrupted work outranks new work), counting the failed
-// attempt and pinning repeat offenders to local execution when local
-// executors exist. Caller holds d.mu.
+// enqueueLocked inserts the task in urgency order: in front of the first
+// queued task it outranks, at the back among equals. O(queue) per insert,
+// which is fine at plan scale and keeps the list structure (and its lazy
+// pruning) that every other queue operation relies on. Caller holds d.mu.
+func (d *Dispatcher) enqueueLocked(t *task) {
+	for el := d.pending.Front(); el != nil; el = el.Next() {
+		if moreUrgent(t, el.Value.(*task)) {
+			d.pending.InsertBefore(t, el)
+			return
+		}
+	}
+	d.pending.PushBack(t)
+}
+
+// popLocked removes and claims the next runnable task for the given
+// placement (w == nil means a local executor), pruning settled and
+// cancelled entries as it scans. The queue is cost-ordered, so the first
+// eligible task is the most urgent; a remote pop may defer a task far
+// costlier than the runner-up to a strictly stronger worker with a free
+// slot (the affinity rule), bounded by the task's skip budget. Caller
+// holds d.mu; nil means the queue holds nothing for this placement.
+func (d *Dispatcher) popLocked(w *workerState) *task {
+	remote := w != nil
+rescan:
+	for {
+		// Collect the first two eligible entries (pruning dead ones on the
+		// way): the head is the default grant, the runner-up is what the
+		// affinity rule would hand out instead.
+		var elig []*list.Element
+		for el := d.pending.Front(); el != nil && len(elig) < 2; {
+			next := el.Next()
+			t := el.Value.(*task)
+			t.mu.Lock()
+			switch {
+			case t.state != taskPending:
+				// Settled while queued (cancellation watcher); prune lazily.
+				d.pending.Remove(el)
+			case t.ctx.Err() != nil:
+				// Don't start a shard whose job already died.
+				d.pending.Remove(el)
+				t.finishLocked(nil, t.ctx.Err())
+			case remote && (t.localOnly || t.shard.Remote == nil):
+				// Not remote-eligible: leave it for a local executor.
+			default:
+				elig = append(elig, el)
+			}
+			t.mu.Unlock()
+			el = next
+		}
+		if len(elig) == 0 {
+			return nil
+		}
+		grant := elig[0]
+		if remote && len(elig) == 2 {
+			head, alt := grant.Value.(*task), elig[1].Value.(*task)
+			if head.cost > 0 && head.cost >= 2*alt.cost &&
+				head.skips < maxAffinitySkips && d.strongerFreeWorkerLocked(w) {
+				head.skips++
+				grant = elig[1]
+			}
+		}
+		t := grant.Value.(*task)
+		d.pending.Remove(grant)
+		t.mu.Lock()
+		if t.state != taskPending {
+			// Settled between the eligibility scan and the claim (the
+			// cancellation watcher holds only t.mu): rescan.
+			t.mu.Unlock()
+			continue rescan
+		}
+		if remote {
+			t.state = taskLeased
+		} else {
+			t.state = taskLocal
+		}
+		t.mu.Unlock()
+		return t
+	}
+}
+
+// strengthLocked scores a worker for the affinity rule: declared capacity
+// scaled by observed throughput relative to the fleet mean. A worker with
+// no completions yet scores on capacity alone, so affinity works from the
+// first grant and measurements only refine it. Caller holds d.mu.
+func (d *Dispatcher) strengthLocked(w *workerState) float64 {
+	factor := 1.0
+	if r := w.rate(); r > 0 {
+		var sum float64
+		n := 0
+		for _, o := range d.workers {
+			if or := o.rate(); or > 0 {
+				sum += or
+				n++
+			}
+		}
+		factor = r * float64(n) / sum
+	}
+	return float64(w.capacity) * factor
+}
+
+// strongerFreeWorkerLocked reports whether any other registered worker
+// with a free lease slot is strictly stronger than w. Caller holds d.mu.
+func (d *Dispatcher) strongerFreeWorkerLocked(w *workerState) bool {
+	ws := d.strengthLocked(w)
+	for _, o := range d.workers {
+		if o != w && len(o.leases) < o.capacity && d.strengthLocked(o) > ws {
+			return true
+		}
+	}
+	return false
+}
+
+// requeueLocked pushes a lost worker's leased tasks back into the queue
+// with the boost flag set (interrupted work outranks new work, whatever
+// its cost), counting the failed attempt and pinning repeat offenders to
+// local execution when local executors exist. Caller holds d.mu.
 func (d *Dispatcher) requeueLocked(w *workerState) {
 	requeued := false
-	for _, t := range w.leases {
+	for _, le := range w.leases {
+		t := le.t
 		t.mu.Lock()
 		if t.state != taskLeased {
 			t.mu.Unlock()
@@ -364,10 +491,11 @@ func (d *Dispatcher) requeueLocked(w *workerState) {
 		}
 		t.state = taskPending
 		t.mu.Unlock()
-		d.pending.PushFront(t)
+		t.boost = true
+		d.enqueueLocked(t)
 		requeued = true
 	}
-	w.leases = map[string]*task{}
+	w.leases = map[string]*leaseEntry{}
 	if requeued {
 		d.wakeLocked()
 	}
@@ -382,7 +510,7 @@ func (d *Dispatcher) localLoop() {
 			d.mu.Unlock()
 			return
 		}
-		t := d.popLocked(false)
+		t := d.popLocked(nil)
 		notify := d.notify
 		d.mu.Unlock()
 		if t == nil {
@@ -453,7 +581,7 @@ func (d *Dispatcher) Register(name string, capacity int) (RegisterResponse, erro
 		name:     name,
 		capacity: capacity,
 		lastSeen: time.Now(),
-		leases:   make(map[string]*task),
+		leases:   make(map[string]*leaseEntry),
 	}
 	return RegisterResponse{
 		Protocol:   ProtocolVersion,
@@ -490,10 +618,20 @@ func (d *Dispatcher) Deregister(workerID string) error {
 
 // Lease hands the worker its next task, long-polling up to wait for one to
 // appear. A nil grant with nil error means the poll elapsed empty (HTTP
-// 204). Leasing also proves liveness, so a busy worker that polls needs no
-// separate heartbeat. Tasks whose server-side Probe (the shard cache)
-// already holds the result settle inline and are never shipped.
+// 204); a dead ctx returns ctx.Err(), so a severed caller is never mistaken
+// for a healthy empty poll. Leasing also proves liveness, so a busy worker
+// that polls needs no separate heartbeat. Tasks whose server-side Probe
+// (the shard cache) already holds the result settle inline and are never
+// shipped.
 func (d *Dispatcher) Lease(ctx context.Context, workerID string, wait time.Duration) (*LeaseGrant, error) {
+	// Cap the poll at half the lease TTL inside the dispatcher itself, not
+	// just in the HTTP layer: lastSeen renews only when the loop re-enters,
+	// so a caller parked in the select below proves no liveness — no single
+	// park may outlast the heartbeat deadline, or a direct-backend caller
+	// asking for a generous wait would be evicted mid-poll by the janitor.
+	if max := d.opts.LeaseTTL / 2; wait > max {
+		wait = max
+	}
 	deadline := time.Now().Add(wait)
 	for {
 		d.mu.Lock()
@@ -509,7 +647,7 @@ func (d *Dispatcher) Lease(ctx context.Context, workerID string, wait time.Durat
 		w.lastSeen = time.Now()
 		var t *task
 		if len(w.leases) < w.capacity {
-			t = d.popLocked(true)
+			t = d.popLocked(w)
 		}
 		notify := d.notify
 		if t != nil {
@@ -529,10 +667,12 @@ func (d *Dispatcher) Lease(ctx context.Context, workerID string, wait time.Durat
 					t.mu.Lock()
 					if t.state == taskLeased {
 						t.state = taskPending
-						d.pending.PushFront(t)
+						t.mu.Unlock()
+						d.enqueueLocked(t)
 						d.wakeLocked()
+					} else {
+						t.mu.Unlock()
 					}
-					t.mu.Unlock()
 					d.mu.Unlock()
 					return nil, ErrUnknownWorker
 				}
@@ -547,7 +687,7 @@ func (d *Dispatcher) Lease(ctx context.Context, workerID string, wait time.Durat
 				d.mu.Unlock()
 				continue
 			}
-			w.leases[t.id] = t
+			w.leases[t.id] = &leaseEntry{t: t, grantedAt: time.Now()}
 			d.mu.Unlock()
 			return &LeaseGrant{TaskID: t.id, Spec: t.shard.Remote.Spec}, nil
 		}
@@ -564,8 +704,11 @@ func (d *Dispatcher) Lease(ctx context.Context, workerID string, wait time.Durat
 		case <-timer.C:
 			return nil, nil
 		case <-ctx.Done():
+			// A dead caller context is a severed connection, not an empty
+			// poll: surface it so the HTTP layer can drop the response
+			// instead of sending a 204 nobody will read.
 			timer.Stop()
-			return nil, nil
+			return nil, ctx.Err()
 		case <-d.closeCh:
 			timer.Stop()
 			return nil, ErrClosed
@@ -575,9 +718,10 @@ func (d *Dispatcher) Lease(ctx context.Context, workerID string, wait time.Durat
 
 // Complete settles a leased task with the worker's reply: a reported shard
 // error fails the task (and so the job), a successful reply flows through
-// the shard's Accept hook (decode, cache fill, events). Late completions
-// for tasks already settled elsewhere are discarded silently; a completion
-// for a lease this worker no longer holds returns ErrNoLease.
+// the shard's Accept hook (decode, cache fill, events) with the observed
+// lease→complete wall time. Late completions — success OR error — for
+// tasks already settled elsewhere are discarded silently; a completion for
+// a lease this worker no longer holds returns ErrNoLease.
 func (d *Dispatcher) Complete(workerID, taskID string, result []byte, workerErr string) error {
 	d.mu.Lock()
 	w := d.workers[workerID]
@@ -586,15 +730,33 @@ func (d *Dispatcher) Complete(workerID, taskID string, result []byte, workerErr 
 		return ErrUnknownWorker
 	}
 	w.lastSeen = time.Now()
-	t := w.leases[taskID]
-	if t == nil {
+	le := w.leases[taskID]
+	if le == nil {
 		d.mu.Unlock()
 		return ErrNoLease
 	}
 	delete(w.leases, taskID)
 	d.mu.Unlock()
+	t := le.t
+	elapsed := time.Since(le.grantedAt)
 
 	if workerErr != "" {
+		// Mirror the success path's settled check: a late error reply for a
+		// task the cancel path already settled must drop silently instead
+		// of racing it with a report nobody should see.
+		t.mu.Lock()
+		if t.state == taskDone {
+			t.mu.Unlock()
+			return nil
+		}
+		if err := t.ctx.Err(); err != nil {
+			// The job died while the worker computed; settle as a
+			// cancellation skip (no report), exactly as the watcher would.
+			t.finishLocked(nil, err)
+			t.mu.Unlock()
+			return nil
+		}
+		t.mu.Unlock()
 		t.finish(nil, fmt.Errorf("dispatch: worker %s: %s", workerID, workerErr), true)
 		return nil
 	}
@@ -606,7 +768,7 @@ func (d *Dispatcher) Complete(workerID, taskID string, result []byte, workerErr 
 		// reply without Accept side effects.
 		return nil
 	}
-	v, err := t.shard.Remote.Accept(workerID, result)
+	v, err := t.shard.Remote.Accept(workerID, elapsed, result)
 	if err != nil {
 		t.finish(nil, fmt.Errorf("dispatch: worker %s reply for %s: %w", workerID, t.shard.Label, err), true)
 		return nil
@@ -615,6 +777,12 @@ func (d *Dispatcher) Complete(workerID, taskID string, result []byte, workerErr 
 		d.mu.Lock()
 		if cur := d.workers[workerID]; cur == w {
 			w.completed++
+			w.busyNs += int64(elapsed)
+			weight := t.cost
+			if weight < 1 {
+				weight = 1
+			}
+			w.costDone += weight
 		}
 		d.mu.Unlock()
 	}
@@ -629,14 +797,19 @@ func (d *Dispatcher) RemoteWorkers() []WorkerInfo {
 	now := time.Now()
 	out := make([]WorkerInfo, 0, len(d.workers))
 	for _, w := range d.workers {
-		out = append(out, WorkerInfo{
+		info := WorkerInfo{
 			ID:         w.id,
 			Name:       w.name,
 			Capacity:   w.capacity,
 			Inflight:   len(w.leases),
 			LastSeenMs: now.Sub(w.lastSeen).Milliseconds(),
 			Completed:  w.completed,
-		})
+			BusyMs:     w.busyNs / 1e6,
+		}
+		if w.completed > 0 {
+			info.AvgTaskMs = float64(w.busyNs) / 1e6 / float64(w.completed)
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -42,7 +43,7 @@ func remoteShard(label string, v string) engine.Shard {
 		Run:   func(context.Context) (any, error) { return v, nil },
 		Remote: &engine.RemoteSpec{
 			Spec:   []byte(label),
-			Accept: func(from string, reply []byte) (any, error) { return string(reply), nil },
+			Accept: func(from string, elapsed time.Duration, reply []byte) (any, error) { return string(reply), nil },
 		},
 	}
 }
@@ -308,7 +309,7 @@ func TestDispatcherProbeShortCircuit(t *testing.T) {
 		Remote: &engine.RemoteSpec{
 			Spec:  []byte("cached"),
 			Probe: func() (any, bool) { return "hit", true },
-			Accept: func(string, []byte) (any, error) {
+			Accept: func(string, time.Duration, []byte) (any, error) {
 				t.Error("Accept must not execute for a probe hit")
 				return nil, nil
 			},
@@ -408,6 +409,247 @@ func TestDispatcherConcurrentRunsInterleave(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// costShard is remoteShard with a declared scheduling cost.
+func costShard(label string, cost float64) engine.Shard {
+	sh := remoteShard(label, "v-"+label)
+	sh.Cost = cost
+	return sh
+}
+
+// TestDispatcherLongLeasePollSurvivesJanitor: a worker parked in lease
+// long-polls far longer than the TTL must never be evicted — the
+// dispatcher caps each park at TTL/2 and renews liveness on every loop
+// re-entry, so even a direct-backend caller (no HTTP layer capping for
+// it) keeps proving liveness across janitor ticks.
+func TestDispatcherLongLeasePollSurvivesJanitor(t *testing.T) {
+	const ttl = 120 * time.Millisecond // janitor ticks every ttl/4 = 30ms
+	d := New(Options{NoLocal: true, LeaseTTL: ttl})
+	defer d.Close()
+	reg, err := d.Register("patient", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * ttl)
+	for time.Now().Before(deadline) {
+		g, err := d.Lease(context.Background(), reg.WorkerID, time.Hour)
+		if err != nil {
+			t.Fatalf("worker evicted mid-poll: %v", err)
+		}
+		if g != nil {
+			t.Fatalf("unexpected grant on an empty queue: %+v", g)
+		}
+	}
+	if ws := d.RemoteWorkers(); len(ws) != 1 {
+		t.Fatalf("worker table %+v, want the polling worker still alive", ws)
+	}
+}
+
+// TestDispatcherLeaseCtxDoneReportsError: a severed caller context must
+// surface as ctx.Err(), never as the (nil, nil) of a healthy empty poll.
+func TestDispatcherLeaseCtxDoneReportsError(t *testing.T) {
+	d := New(Options{NoLocal: true, LeaseTTL: time.Minute})
+	defer d.Close()
+	reg, _ := d.Register("severed", 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	g, err := d.Lease(ctx, reg.WorkerID, 10*time.Second)
+	if g != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("lease after severed ctx returned (%+v, %v), want (nil, context.Canceled)", g, err)
+	}
+}
+
+// TestDispatcherCostOrderedLeasing: the queue hands out the most expensive
+// pending shard first regardless of submission position, and FIFO order
+// survives among equal costs.
+func TestDispatcherCostOrderedLeasing(t *testing.T) {
+	d := New(Options{NoLocal: true, LeaseTTL: time.Second})
+	defer d.Close()
+	shards := []engine.Shard{
+		costShard("small-a", 1),
+		costShard("big", 100),
+		costShard("small-b", 1),
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Run(context.Background(), shards, engine.Options{})
+		done <- err
+	}()
+	reg, _ := d.Register("solo", 1)
+	var order []string
+	for len(order) < 3 {
+		g, err := d.Lease(context.Background(), reg.WorkerID, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g == nil {
+			continue
+		}
+		order = append(order, string(g.Spec))
+		if err := d.Complete(reg.WorkerID, g.TaskID, []byte("v"), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"big", "small-a", "small-b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("lease order %v, want %v (largest first, FIFO among equals)", order, want)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDispatcherBigShardAffinity is the acceptance scenario: a 1-big +
+// N-small plan and two unequal workers. Even when the weak worker polls
+// first, the big shard must land on the higher-capacity worker — the weak
+// worker defers it (affinity) and takes a small shard instead.
+func TestDispatcherBigShardAffinity(t *testing.T) {
+	d := New(Options{NoLocal: true, LeaseTTL: time.Second})
+	defer d.Close()
+	weak, _ := d.Register("weak", 1)
+	strong, _ := d.Register("strong", 4)
+	shards := []engine.Shard{
+		costShard("big", 100),
+		costShard("s1", 1), costShard("s2", 1), costShard("s3", 1), costShard("s4", 1),
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Run(context.Background(), shards, engine.Options{})
+		done <- err
+	}()
+	waitFor(t, 2*time.Second, func() bool {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.pending.Len() == len(shards)
+	}, "plan enqueued")
+
+	// The weak worker polls first: the big shard sits at the queue head,
+	// but a strictly stronger worker has free slots, so the weak worker
+	// must be handed a small shard instead.
+	gw, err := d.Lease(context.Background(), weak.WorkerID, 100*time.Millisecond)
+	if err != nil || gw == nil {
+		t.Fatalf("weak lease: %+v, %v", gw, err)
+	}
+	if string(gw.Spec) == "big" {
+		t.Fatal("big shard leased to the weak worker despite a free stronger worker")
+	}
+	gs, err := d.Lease(context.Background(), strong.WorkerID, 100*time.Millisecond)
+	if err != nil || gs == nil {
+		t.Fatalf("strong lease: %+v, %v", gs, err)
+	}
+	if string(gs.Spec) != "big" {
+		t.Fatalf("strong worker leased %q, want the big shard", gs.Spec)
+	}
+
+	// Drain: complete the two grants, then the rest through the strong
+	// worker.
+	for _, c := range []struct {
+		id string
+		g  *LeaseGrant
+	}{{weak.WorkerID, gw}, {strong.WorkerID, gs}} {
+		if err := d.Complete(c.id, c.g.TaskID, []byte("v"), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for remaining := 3; remaining > 0; {
+		g, err := d.Lease(context.Background(), strong.WorkerID, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g == nil {
+			continue
+		}
+		if err := d.Complete(strong.WorkerID, g.TaskID, []byte("v"), ""); err != nil {
+			t.Fatal(err)
+		}
+		remaining--
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The stats that feed the affinity weighting moved: both workers
+	// completed work and report busy time.
+	for _, w := range d.RemoteWorkers() {
+		if w.Completed == 0 || w.BusyMs < 0 || w.AvgTaskMs < 0 {
+			t.Fatalf("worker stats not tracked: %+v", w)
+		}
+	}
+}
+
+// TestDispatcherAffinitySkipBudget: with no small shard to fall back on,
+// the weak worker still gets the big shard — affinity may defer, never
+// starve.
+func TestDispatcherAffinitySkipBudget(t *testing.T) {
+	d := New(Options{NoLocal: true, LeaseTTL: time.Second})
+	defer d.Close()
+	weak, _ := d.Register("weak", 1)
+	d.Register("strong", 4) // stronger and free, but never polls
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Run(context.Background(), []engine.Shard{costShard("big", 100)}, engine.Options{})
+		done <- err
+	}()
+	var g *LeaseGrant
+	waitFor(t, 2*time.Second, func() bool {
+		var err error
+		g, err = d.Lease(context.Background(), weak.WorkerID, 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g != nil
+	}, "solitary big shard leased to the only polling worker")
+	if string(g.Spec) != "big" {
+		t.Fatalf("leased %q, want big", g.Spec)
+	}
+	if err := d.Complete(weak.WorkerID, g.TaskID, []byte("v"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDispatcherLateErrorAfterCancelNoEvent: an error reply arriving after
+// the job was cancelled and settled must drop silently — no progress
+// report, no error — exactly like a late success reply.
+func TestDispatcherLateErrorAfterCancelNoEvent(t *testing.T) {
+	d := New(Options{NoLocal: true, LeaseTTL: time.Minute})
+	defer d.Close()
+	reg, _ := d.Register("tester", 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var reports atomic.Int32
+	opts := engine.Options{OnProgress: func(done, total int, label string) { reports.Add(1) }}
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Run(ctx, []engine.Shard{remoteShard("x", "vx")}, opts)
+		done <- err
+	}()
+	var g *LeaseGrant
+	waitFor(t, 2*time.Second, func() bool {
+		var err error
+		g, err = d.Lease(context.Background(), reg.WorkerID, 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g != nil
+	}, "lease")
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("run error %v, want context.Canceled", err)
+	}
+	// The worker finally reports a shard error for the settled task.
+	if err := d.Complete(reg.WorkerID, g.TaskID, nil, "exploded late"); err != nil {
+		t.Fatalf("late error completion returned %v, want silent nil", err)
+	}
+	if n := reports.Load(); n != 0 {
+		t.Fatalf("late error reply fired %d progress reports, want 0", n)
+	}
 }
 
 func TestDispatcherUnknownWorkerVerbs(t *testing.T) {

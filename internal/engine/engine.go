@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Shard is one independent unit of work. Run must be safe to call from any
@@ -63,6 +64,13 @@ type Shard struct {
 	// — including Pool — ignore it, so attaching a RemoteSpec never changes
 	// local execution.
 	Remote *RemoteSpec
+	// Cost is an optional scheduling hint: the shard's expected wall time in
+	// abstract units roughly comparable to milliseconds (0 = unknown).
+	// Cost-aware backends lease expensive shards first so one big shard
+	// cannot dominate a sweep's critical path; Pool and the serial path
+	// ignore it. Cost influences only WHERE and WHEN a shard runs, never its
+	// result, and it must not enter any result digest.
+	Cost float64
 }
 
 // RemoteSpec is the off-process execution contract of one shard. The
@@ -81,8 +89,11 @@ type RemoteSpec struct {
 	// Accept ingests a worker's successful reply: it decodes the bytes and
 	// performs whatever bookkeeping Run would have done around the
 	// computation (cache fill, progress events), returning the shard's
-	// value. from names the worker that executed the shard.
-	Accept func(from string, reply []byte) (any, error)
+	// value. from names the worker that executed the shard; elapsed is the
+	// lease→complete wall time the backend observed, which cost-learning
+	// callers may record (it includes queueing on the worker and transport,
+	// making it exactly the latency a scheduler wants to predict).
+	Accept func(from string, elapsed time.Duration, reply []byte) (any, error)
 }
 
 // Backend is the shard-execution contract shared by the local Pool and

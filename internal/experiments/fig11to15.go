@@ -78,6 +78,14 @@ func sampleBlastCell(cfg Config, mfr chipdb.Manufacturer, tempC, iv float64,
 		CD: stats.Summarize(cdVals), Ret: stats.Summarize(retVals)}
 }
 
+// blastCellCost estimates a sampleBlastCell shard's weight: two class
+// sweeps (CD + retention) over every module of the manufacturer, each
+// drawing SubarraysPerModule subarrays. Abstract units on the scale of
+// expected milliseconds — a scheduling hint only, never part of a result.
+func blastCellCost(cfg Config, mfr chipdb.Manufacturer) float64 {
+	return 2 * float64(len(chipdb.ByManufacturer(mfr))) * float64(cfg.SubarraysPerModule)
+}
+
 // planFig11 shards Fig 11 by (manufacturer × interval) at 65 °C.
 func planFig11(cfg Config) (*Plan, error) {
 	var shards []Shard
@@ -86,6 +94,7 @@ func planFig11(cfg Config) (*Plan, error) {
 			mi, ii, mfr, iv := mi, ii, mfr, iv
 			shards = append(shards, Shard{
 				Label: shardLabel("fig11", "mfr", string(mfr), "iv", fmt.Sprintf("%.0fms", iv)),
+				Cost:  blastCellCost(cfg, mfr),
 				Run: func(context.Context) (any, error) {
 					return sampleBlastCell(cfg, mfr, 65, iv, 11, uint64(mi), uint64(ii)), nil
 				},
@@ -157,6 +166,9 @@ func planFig12(cfg Config) (*Plan, error) {
 			ci, ii, iv := ci, ii, iv
 			shards = append(shards, Shard{
 				Label: shardLabel("fig12", "module", m.ID, "iv", fmt.Sprintf("%.0fs", iv/1000)),
+				// One chip, two sampled class sweeps plus four deterministic
+				// expected-count evaluations.
+				Cost: 2*float64(cfg.SubarraysPerModule) + 4,
 				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(12, uint64(ci), uint64(ii))
 					cd := sampleSubarrayCounts(m, cdCls, 85, iv, cfg.SubarraysPerModule, r)
@@ -221,6 +233,9 @@ func planFig13(cfg Config) (*Plan, error) {
 			mi, ti, mfr, tC := mi, ti, mfr, tC
 			shards = append(shards, Shard{
 				Label: shardLabel("fig13", "mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tC)),
+				// TTF sampling iterates candidate intervals per subarray,
+				// several times the work of a plain blast-cell sweep.
+				Cost: 4 * float64(len(chipdb.ByManufacturer(mfr))) * float64(cfg.SubarraysPerModule),
 				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(13, uint64(mi), uint64(ti))
 					found, _ := mfrTTFs(mfr, setup, tC, cfg.SubarraysPerModule, r)
@@ -285,6 +300,8 @@ func planFig14(cfg Config) (*Plan, error) {
 			mfr, tC := mfr, tC
 			shards = append(shards, Shard{
 				Label: shardLabel("fig14", "mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tC)),
+				// Deterministic expected fractions: no sampling, near-free.
+				Cost: 1,
 				Run: func(context.Context) (any, error) {
 					// Fraction-of-cells ratios at 512 ms reach below one
 					// bitflip per sampled subarray; expected fractions keep
@@ -352,6 +369,7 @@ func planFig15(cfg Config) (*Plan, error) {
 				mi, ti, ii, mfr, tC, iv := mi, ti, ii, mfr, tC, iv
 				shards = append(shards, Shard{
 					Label: shardLabel("fig15", "mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tC), "iv", fmt.Sprintf("%.0fms", iv)),
+					Cost:  blastCellCost(cfg, mfr),
 					Run: func(context.Context) (any, error) {
 						return sampleBlastCell(cfg, mfr, tC, iv, 15,
 							uint64(mi), uint64(ti), uint64(ii)), nil

@@ -84,6 +84,10 @@ func planFig23(cfg Config) (*Plan, error) {
 		i, mix := i, mix
 		shards = append(shards, Shard{
 			Label: shardLabel("fig23", "mix", fmt.Sprintf("%d", i)),
+			// Each mix shard simulates len(mix) solo runs, two baselines and
+			// every curve arm, each a MeasureInstr-scale simulation — the
+			// heaviest shards in the registry by a wide margin.
+			Cost: float64(len(arms)+6) * float64(cfg.MeasureInstr) / 1000,
 			Run: func(context.Context) (any, error) {
 				solos := make([]float64, len(mix))
 				for j, w := range mix {
@@ -127,6 +131,8 @@ func planFig23(cfg Config) (*Plan, error) {
 	}
 	shards = append(shards, Shard{
 		Label: shardLabel("fig23", "markers", "M8"),
+		// Two sampled sweeps over one module: tiny next to the mix shards.
+		Cost: 2 * float64(cfg.SubarraysPerModule),
 		Run: func(context.Context) (any, error) {
 			retFrac, cdFrac := m8WeakFractions(cfg)
 			return fig23MarkersPart{RetFrac: retFrac, CDFrac: cdFrac}, nil

@@ -108,6 +108,8 @@ func planTTF(cfg Config) (*Plan, error) {
 			mi, ti, mfr, tempC := mi, ti, mfr, tempC
 			shards = append(shards, Shard{
 				Label: shardLabel("ttf", "mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tempC)),
+				// TTFSamples draws per module of the manufacturer.
+				Cost: float64(len(chipdb.ByManufacturer(mfr))) * float64(cfg.TTFSamples),
 				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(24, uint64(mi), uint64(ti))
 					part := ttfDistPart{Mfr: mfr, TempC: tempC}

@@ -1,0 +1,48 @@
+package service
+
+import "sync"
+
+// costModel is the service's learned shard-cost table: observed wall times
+// in milliseconds keyed by canonical shard label (the same stable
+// identifier the cache and the wire protocol use). Plans ship static Cost
+// estimates for known-skewed shards; once a shard has actually run, its
+// measured time overrides the estimate, so a warm rerun schedules on
+// evidence instead of guesses. Labels are config-agnostic on purpose: a
+// profile switch rescales every shard of a plan roughly proportionally,
+// which preserves the relative ordering the scheduler cares about.
+//
+// The table is in-memory and per-Service — it lives exactly as long as the
+// serve process whose reruns it accelerates, and an empty table degrades
+// to the static estimates. Observations overwrite (last measurement wins):
+// shard runtimes are stable per (label, config), so smoothing would only
+// slow the model's reaction to a profile change.
+type costModel struct {
+	mu sync.Mutex
+	ms map[string]float64
+}
+
+// observe records one measured shard wall time. Non-positive measurements
+// (cache hits report 0) are ignored — they say nothing about compute cost.
+func (m *costModel) observe(label string, elapsedMs float64) {
+	if elapsedMs <= 0 {
+		return
+	}
+	m.mu.Lock()
+	if m.ms == nil {
+		m.ms = make(map[string]float64)
+	}
+	m.ms[label] = elapsedMs
+	m.mu.Unlock()
+}
+
+// costFor resolves a shard's scheduling cost: the learned wall time when
+// one exists, the plan's static estimate otherwise.
+func (m *costModel) costFor(label string, static float64) float64 {
+	m.mu.Lock()
+	v, ok := m.ms[label]
+	m.mu.Unlock()
+	if ok {
+		return v
+	}
+	return static
+}

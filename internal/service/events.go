@@ -60,8 +60,12 @@ type Event struct {
 	// shard_done only.
 	Worker string `json:"worker,omitempty"`
 
-	// ElapsedMs is the job's wall time, measured once by the service from
-	// job start to report completion. Set on job_finished and job_failed.
+	// ElapsedMs is a wall-time measurement. On job_finished and job_failed
+	// it is the job's total wall time, measured once by the service from
+	// job start to report completion. On shard_done it is the shard's own
+	// compute time — in-process run time, or lease→complete latency for a
+	// remotely executed shard — and 0 for cache hits, which compute
+	// nothing.
 	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
 	// Error is the failure cause. Set on job_failed only.
 	Error string `json:"error,omitempty"`

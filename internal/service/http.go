@@ -332,13 +332,17 @@ func (s *Service) handleWorker(w http.ResponseWriter, r *http.Request) {
 			}
 			wait = time.Duration(n) * time.Millisecond
 		}
-		// Cap the long-poll so a worker that asks for an hour still
-		// re-proves liveness at lease-TTL cadence.
-		if max := d.LeaseTTL() / 2; wait > max {
-			wait = max
-		}
+		// The dispatcher caps the long-poll at half the lease TTL itself,
+		// so a worker that asks for an hour still re-proves liveness at
+		// lease-TTL cadence.
 		grant, err := d.Lease(r.Context(), id, wait)
 		if err != nil {
+			if r.Context().Err() != nil {
+				// The client severed the connection mid-poll: nobody is
+				// reading, so write nothing (in particular not a 204 that
+				// would mislead connection-reuse middleboxes).
+				return
+			}
 			writeWorkerError(w, err)
 			return
 		}

@@ -94,6 +94,7 @@ type Service struct {
 	opts    Options
 	backend engine.Backend
 	codec   cache.Codec
+	costs   costModel // learned shard wall times, keyed by shard label
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -453,22 +454,30 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 	}
 	wrapped := engine.Shard{
 		Label: label,
+		// The plan's static estimate, overridden by the learned wall time
+		// once this label has run anywhere — a warm rerun reorders its
+		// queue on evidence. Cost is a hint to cost-aware backends only; it
+		// never reaches the result or its digest.
+		Cost: s.costs.costFor(label, sh.Cost),
 		Run: func(ctx context.Context) (any, error) {
 			if v, ok := probe(); ok {
-				j.shardDone(label, total, true, "")
+				j.shardDone(label, total, true, "", 0)
 				return v, nil
 			}
+			start := time.Now()
 			v, err := run(ctx)
 			if err != nil {
 				return nil, err
 			}
+			elapsedMs := float64(time.Since(start)) / float64(time.Millisecond)
+			s.costs.observe(label, elapsedMs)
 			if useCache {
 				if data, err := s.codec.Encode(v); err == nil {
 					// Spill failures only cost future hits.
 					_ = s.opts.Cache.Put(key, data)
 				}
 			}
-			j.shardDone(label, total, false, "")
+			j.shardDone(label, total, false, "", elapsedMs)
 			return v, nil
 		},
 	}
@@ -487,21 +496,27 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 		Probe: func() (any, bool) {
 			v, ok := probe()
 			if ok {
-				j.shardDone(label, total, true, "")
+				j.shardDone(label, total, true, "", 0)
 			}
 			return v, ok
 		},
-		Accept: func(from string, reply []byte) (any, error) {
+		Accept: func(from string, elapsed time.Duration, reply []byte) (any, error) {
 			v, err := s.codec.Decode(reply)
 			if err != nil {
 				return nil, fmt.Errorf("service: %s: decode worker reply: %w", label, err)
 			}
+			// The dispatcher's lease→complete measurement includes transport
+			// and worker-side queueing — exactly the latency a scheduler
+			// wants to predict, so it feeds the same learned-cost table as
+			// local runs.
+			elapsedMs := float64(elapsed) / float64(time.Millisecond)
+			s.costs.observe(label, elapsedMs)
 			if useCache {
 				// The reply IS the codec's encoding — store it verbatim,
 				// so local and remote fills are byte-identical entries.
 				_ = s.opts.Cache.Put(key, reply)
 			}
-			j.shardDone(label, total, false, from)
+			j.shardDone(label, total, false, from, elapsedMs)
 			return v, nil
 		},
 	}
@@ -584,13 +599,15 @@ func (j *Job) Result() (*experiments.Result, error) {
 }
 
 // shardDone records one finished shard and emits its event, naming the
-// remote worker that computed it ("" for in-process shards). The counter
-// increment happens inside the emission's critical section: if it were a
-// separate step, two workers could swap between incrementing and emitting
-// and the stream would carry Done values out of order.
-func (j *Job) shardDone(label string, total int, cached bool, worker string) {
+// remote worker that computed it ("" for in-process shards) and carrying
+// the shard's measured wall time (0 for cache hits — nothing was
+// computed). The counter increment happens inside the emission's critical
+// section: if it were a separate step, two workers could swap between
+// incrementing and emitting and the stream would carry Done values out of
+// order.
+func (j *Job) shardDone(label string, total int, cached bool, worker string, elapsedMs float64) {
 	c := cached
-	j.emitWith(Event{Type: EventShardDone, Shard: label, Total: total, Cached: &c, Worker: worker}, func(ev *Event) {
+	j.emitWith(Event{Type: EventShardDone, Shard: label, Total: total, Cached: &c, Worker: worker, ElapsedMs: elapsedMs}, func(ev *Event) {
 		j.completed++
 		if cached {
 			j.hits++

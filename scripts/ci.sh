@@ -27,6 +27,15 @@ go test -race "$@" ./...
 echo "== benchmarks (1 iteration) =="
 go test -run xxx -bench . -benchtime 1x "$@" ./...
 
+echo "== benchjson: perf-trajectory snapshot =="
+# Every revision can emit a parseable BENCH_<rev>.json; the check gate
+# fails if a trajectory benchmark (RunAll{Serial,Parallel,WarmCache})
+# stops emitting. Commit the snapshot on tentpole PRs to grow the
+# tracked perf history.
+rev=$(git rev-parse --short HEAD)
+go run ./scripts/benchjson -out "BENCH_${rev}.json"
+go run ./scripts/benchjson -check "BENCH_${rev}.json"
+
 echo "== cdlab smoke: shared pool + shard cache =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -122,6 +131,12 @@ if grep '"type":"shard_done"' "$tmp/events-dist.jsonl" | grep -v '"worker":"' | 
     exit 1
 fi
 go run ./scripts/eventcheck < "$tmp/events-dist.jsonl"
+
+# The workers listing sees both attached workers, with completion stats
+# from the sweep that just ran.
+"$tmp/cdlab" workers -remote "127.0.0.1:$dport" > "$tmp/workers.txt"
+grep -q smoke-w1 "$tmp/workers.txt"
+grep -q smoke-w2 "$tmp/workers.txt"
 
 # Kill one worker mid-run (SIGKILL: no dereg, the server must detect the
 # silence and requeue its leases). The run must still complete with
