@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"columndisturb/internal/cache"
 	"columndisturb/internal/dispatch"
 	"columndisturb/internal/experiments"
+	"columndisturb/internal/obs"
 	"columndisturb/internal/service"
 )
 
@@ -217,6 +219,10 @@ type LocalOptions struct {
 	// CacheMaxBytes bounds each cache level by payload bytes
 	// (0 = unbounded).
 	CacheMaxBytes int64
+	// Logger receives the serve plane's structured logs (job lifecycle,
+	// worker lifecycle, lease recovery). Nil discards them; `cdlab serve`
+	// points it at stderr at the -log-level threshold.
+	Logger *slog.Logger
 }
 
 // LocalRunner executes requests in-process through the experiment service:
@@ -268,12 +274,18 @@ func (r *LocalRunner) ensureService(reqWorkers int) (*service.Service, error) {
 		if workers <= 0 {
 			workers = reqWorkers
 		}
+		// One registry spans the whole serve plane — dispatcher queue/lease
+		// metrics and service job/shard/cache metrics export together at
+		// GET /v1/metrics.
+		reg := obs.NewRegistry()
 		var d *dispatch.Dispatcher
 		if r.opts.Dispatch {
 			d = dispatch.New(dispatch.Options{
 				LocalWorkers: workers,
 				NoLocal:      r.opts.NoLocalShards,
 				LeaseTTL:     r.opts.LeaseTTL,
+				Metrics:      reg,
+				Logger:       r.opts.Logger,
 			})
 		}
 		r.svc = service.New(service.Options{
@@ -283,6 +295,8 @@ func (r *LocalRunner) ensureService(reqWorkers int) (*service.Service, error) {
 			RetainJobs:    r.opts.RetainJobs,
 			Cache:         r.store,
 			OnEvent:       r.subs.Emit,
+			Metrics:       reg,
+			Logger:        r.opts.Logger,
 		})
 	}
 	return r.svc, nil

@@ -42,6 +42,7 @@ import (
 
 	"columndisturb"
 	"columndisturb/internal/dispatch"
+	"columndisturb/internal/obs"
 	"columndisturb/internal/service"
 )
 
@@ -178,6 +179,33 @@ func (r *Runner) Workers(ctx context.Context) ([]dispatch.WorkerInfo, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Trace fetches one job's span set (GET /v1/jobs/<id>/trace) and validates
+// the artifact's envelope and timestamp monotonicity. `cdlab trace` renders
+// the returned record with obs.RenderTrace.
+func (r *Runner) Trace(ctx context.Context, jobID string) (obs.TraceRecord, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/jobs/"+jobID+"/trace", nil)
+	if err != nil {
+		return obs.TraceRecord{}, fmt.Errorf("client: %w", err)
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return obs.TraceRecord{}, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.TraceRecord{}, apiError(resp)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return obs.TraceRecord{}, fmt.Errorf("client: read trace: %w", err)
+	}
+	rec, err := obs.DecodeTrace(body)
+	if err != nil {
+		return obs.TraceRecord{}, fmt.Errorf("client: job %s: %w", jobID, err)
+	}
+	return rec, nil
 }
 
 // Profiles implements columndisturb.Runner against the server's registry.

@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
 	"columndisturb/internal/dispatch"
+	"columndisturb/internal/obs"
 )
 
 // errProtocolMismatch marks a server speaking a different worker-protocol
@@ -47,8 +49,13 @@ type WorkerOptions struct {
 	// RetryBackoff is the delay between reconnect/re-register attempts
 	// (<= 0 selects 500ms).
 	RetryBackoff time.Duration
-	// Logf, when non-nil, receives one line per lifecycle step (register,
-	// lease errors, shutdown) — `cdlab worker` wires it to stderr.
+	// Logger receives structured lifecycle and task logs — `cdlab worker`
+	// wires it to stderr at the -log-level threshold. Nil falls back to the
+	// Logf bridge, and to a no-op logger when that is nil too.
+	Logger *slog.Logger
+	// Logf is the legacy printf-style log hook, kept for embedders. Used
+	// only when Logger is nil: each record is rendered to one line and
+	// delivered through it.
 	Logf func(format string, args ...any)
 }
 
@@ -62,9 +69,16 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 	if err != nil {
 		return err
 	}
-	w := &worker{base: base, opts: opts, hc: opts.HTTPClient}
+	w := &worker{base: base, opts: opts, hc: opts.HTTPClient, log: opts.Logger}
 	if w.hc == nil {
 		w.hc = http.DefaultClient
+	}
+	if w.log == nil {
+		if opts.Logf != nil {
+			w.log = obs.NewCallbackLogger(slog.LevelDebug, opts.Logf)
+		} else {
+			w.log = obs.NopLogger()
+		}
 	}
 	if w.opts.Capacity <= 0 {
 		w.opts.Capacity = runtime.GOMAXPROCS(0)
@@ -89,19 +103,29 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 				// exchange work instead of hot-looping on registration.
 				return err
 			}
-			w.logf("register against %s failed (%v), retrying", w.base, err)
+			w.log.Warn("register failed, retrying", "server", w.base, "error", err)
 			if !sleepCtx(ctx, w.opts.RetryBackoff) {
 				return ctx.Err()
 			}
 			continue
 		}
-		w.logf("registered as %s (capacity %d, lease TTL %dms)", reg.WorkerID, w.opts.Capacity, reg.LeaseTTLMs)
+		// A recorded eviction means the previous identity was dropped by the
+		// server (missed heartbeats, restart): surface the blackout window so
+		// operators can correlate it with requeue storms in the server log.
+		if evictedID, evictedAt := w.takeEviction(); evictedID != "" {
+			w.log.Warn("re-registered after server-side eviction",
+				"worker", reg.WorkerID, "previous_worker", evictedID,
+				"gap_ms", time.Since(evictedAt).Milliseconds())
+		} else {
+			w.log.Info("registered as "+reg.WorkerID,
+				"worker", reg.WorkerID, "capacity", w.opts.Capacity, "lease_ttl_ms", reg.LeaseTTLMs)
+		}
 		w.session(ctx, reg)
 		if ctx.Err() != nil {
 			w.deregister(reg.WorkerID)
 			return ctx.Err()
 		}
-		w.logf("session %s ended, re-registering", reg.WorkerID)
+		w.log.Info("session ended, re-registering", "worker", reg.WorkerID)
 		if !sleepCtx(ctx, w.opts.RetryBackoff) {
 			return ctx.Err()
 		}
@@ -112,12 +136,33 @@ type worker struct {
 	base string
 	opts WorkerOptions
 	hc   *http.Client
+	log  *slog.Logger
+
+	mu        sync.Mutex
+	evictedID string    // identity the server last dropped (404 on a live session)
+	evictedAt time.Time // when that drop was observed
 }
 
-func (w *worker) logf(format string, args ...any) {
-	if w.opts.Logf != nil {
-		w.opts.Logf(format, args...)
+// markEvicted records that the server forgot identity id while the session
+// believed itself alive — the 404 paths call it so the next successful
+// register can report the eviction-to-reregister gap. First observation
+// wins; a session's heartbeat and lease loops may race to notice.
+func (w *worker) markEvicted(id string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.evictedID == "" {
+		w.evictedID = id
+		w.evictedAt = time.Now()
 	}
+}
+
+// takeEviction consumes the recorded eviction, if any.
+func (w *worker) takeEviction() (string, time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id, at := w.evictedID, w.evictedAt
+	w.evictedID, w.evictedAt = "", time.Time{}
+	return id, at
 }
 
 // post sends one protocol verb and returns the response; the caller owns
@@ -216,6 +261,8 @@ func (w *worker) heartbeatLoop(ctx context.Context, stale context.CancelFunc, re
 		code := resp.StatusCode
 		resp.Body.Close()
 		if code == http.StatusNotFound {
+			w.log.Warn("heartbeat rejected: server evicted this worker", "worker", reg.WorkerID)
+			w.markEvicted(reg.WorkerID)
 			stale()
 			return
 		}
@@ -245,13 +292,14 @@ func (w *worker) leaseLoop(ctx context.Context, stale context.CancelFunc, id str
 			continue
 		case http.StatusNotFound:
 			resp.Body.Close()
+			w.markEvicted(id)
 			stale()
 			return
 		case http.StatusOK:
 		default:
 			err := apiError(resp)
 			resp.Body.Close()
-			w.logf("lease: %v", err)
+			w.log.Warn("lease poll failed", "worker", id, "error", err)
 			if !sleepCtx(ctx, w.opts.RetryBackoff) {
 				return
 			}
@@ -261,8 +309,18 @@ func (w *worker) leaseLoop(ctx context.Context, stale context.CancelFunc, id str
 		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&grant)
 		resp.Body.Close()
 		if err != nil || grant.TaskID == "" {
-			w.logf("bad lease grant: %v", err)
+			w.log.Warn("bad lease grant", "worker", id, "error", err)
 			continue
+		}
+
+		// Peek at the spec for log attribution and the trace-ID echo; a
+		// malformed spec is ExecuteTask's error to report, not ours.
+		var traceID string
+		if spec, err := dispatch.DecodeTask(grant.Spec); err == nil {
+			traceID = spec.TraceID
+			w.log.Debug("task leased",
+				"worker", id, "task", grant.TaskID, "experiment", spec.Experiment,
+				"shard", spec.Shard, "trace_id", traceID)
 		}
 
 		// Execute the shard. A task failure (unknown experiment, shard
@@ -270,13 +328,20 @@ func (w *worker) leaseLoop(ctx context.Context, stale context.CancelFunc, id str
 		// shards are deterministic, so the job must see the error. Only a
 		// lost worker warrants re-execution, and that is the server's
 		// requeue path, triggered by our silence.
+		start := time.Now()
 		reply, execErr := dispatch.ExecuteTask(ctx, grant.Spec)
-		comp := dispatch.CompleteRequest{Result: reply}
+		comp := dispatch.CompleteRequest{Result: reply, TraceID: traceID}
 		if execErr != nil {
 			if ctx.Err() != nil {
 				return // dying mid-shard: stay silent, the server requeues
 			}
-			comp = dispatch.CompleteRequest{Error: execErr.Error()}
+			comp = dispatch.CompleteRequest{Error: execErr.Error(), TraceID: traceID}
+			w.log.Warn("task failed",
+				"worker", id, "task", grant.TaskID, "trace_id", traceID, "error", execErr)
+		} else {
+			w.log.Debug("task executed",
+				"worker", id, "task", grant.TaskID, "trace_id", traceID,
+				"elapsed_ms", time.Since(start).Milliseconds())
 		}
 		w.complete(ctx, stale, id, grant.TaskID, comp)
 	}
@@ -295,7 +360,7 @@ func (w *worker) complete(ctx context.Context, stale context.CancelFunc, id, tas
 	if err != nil {
 		// Cannot happen (flat struct), but if it ever does the result is
 		// undeliverable: abandon the identity so the shard requeues.
-		w.logf("encode completion for %s: %v; abandoning session", taskID, err)
+		w.log.Error("encode completion failed, abandoning session", "task", taskID, "error", err)
 		stale()
 		return
 	}
@@ -310,7 +375,7 @@ func (w *worker) complete(ctx context.Context, stale context.CancelFunc, id, tas
 				return
 			}
 			if attempt%10 == 0 {
-				w.logf("complete %s: still retrying after %d attempts (%v)", taskID, attempt, err)
+				w.log.Warn("completion delivery still retrying", "task", taskID, "attempts", attempt, "error", err)
 			}
 			continue
 		}
@@ -325,6 +390,7 @@ func (w *worker) complete(ctx context.Context, stale context.CancelFunc, id, tas
 			// produces the same bytes. Move on.
 			return
 		case http.StatusNotFound:
+			w.markEvicted(id)
 			stale()
 			return
 		default:
@@ -332,7 +398,8 @@ func (w *worker) complete(ctx context.Context, stale context.CancelFunc, id, tas
 			// oversized body). Retrying the same bytes cannot succeed, and
 			// staying alive would pin the lease — abandon the session so
 			// the shard requeues elsewhere.
-			w.logf("complete %s: server returned %d; abandoning session so the shard requeues", taskID, code)
+			w.log.Warn("completion rejected, abandoning session so the shard requeues",
+				"task", taskID, "status", code)
 			stale()
 			return
 		}

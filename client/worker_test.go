@@ -414,13 +414,22 @@ func TestWorkerReRegistersAfterDrop(t *testing.T) {
 	_, ts := newDispatchServer(t, 150*time.Millisecond)
 
 	var registrations atomic.Int64
+	var mu sync.Mutex
+	var lines []string
 	startWorker(t, ts.URL, WorkerOptions{
 		Name:         "flappy",
 		Capacity:     1,
 		PollWait:     20 * time.Millisecond,
 		RetryBackoff: 400 * time.Millisecond,
 		Logf: func(format string, args ...any) {
-			if strings.HasPrefix(fmt.Sprintf(format, args...), "registered as") {
+			line := fmt.Sprintf(format, args...)
+			mu.Lock()
+			lines = append(lines, line)
+			mu.Unlock()
+			// A fresh identity logs "registered as <id>"; an identity taken
+			// after a server-side drop logs the eviction-gap warning instead.
+			if strings.Contains(line, "registered as") ||
+				strings.Contains(line, "re-registered after server-side eviction") {
 				registrations.Add(1)
 			}
 		},
@@ -442,6 +451,21 @@ func TestWorkerReRegistersAfterDrop(t *testing.T) {
 		}
 	}
 	waitForCond(t, 10*time.Second, func() bool { return registrations.Load() >= 2 }, "re-registration after eviction")
+
+	// The re-register after an eviction must warn with the blackout window
+	// (the eviction-to-reregister gap), so operators can see how long the
+	// fleet ran a worker short.
+	waitForCond(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, line := range lines {
+			if strings.Contains(line, "re-registered after server-side eviction") &&
+				strings.Contains(line, "gap_ms=") {
+				return true
+			}
+		}
+		return false
+	}, "eviction-gap warning with gap_ms")
 }
 
 func waitForCond(t *testing.T, d time.Duration, cond func() bool, what string) {

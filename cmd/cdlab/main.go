@@ -21,13 +21,21 @@
 //	cdlab serve -addr :8080 [flags]           # HTTP experiment service (/v1)
 //	cdlab worker -connect addr [flags]        # remote shard executor for a serve
 //	cdlab workers -remote addr                # list a serve's attached workers
+//	cdlab trace <job> -remote addr            # shard-span timeline of one job
 //
 // Run flags: -profile p, -set k=v (repeatable), -full (deprecated alias of
 // -profile full), -remote addr, -j N, -o dir, -progress, -json,
 // -cache-dir d, -cache-entries N, -cache-bytes N, -no-cache.
 // Serve flags: -addr, -j, -max-active, -cache-dir, -cache-entries,
-// -cache-bytes, -no-local-shards, -lease-ttl, -retain.
-// Worker flags: -connect addr, -j N, -name s.
+// -cache-bytes, -no-local-shards, -lease-ttl, -retain, -log-level, -pprof.
+// Worker flags: -connect addr, -j N, -name s, -log-level.
+//
+// Observability: a serve process exports Prometheus-text metrics at
+// GET /v1/metrics, per-job span records at GET /v1/jobs/<id>/trace (the
+// artifact `cdlab trace` renders, with per-worker utilization and the
+// job's critical path), and — with -pprof — the net/http/pprof profiles
+// under /debug/pprof/. Serve and worker log structured lines (log/slog)
+// to stderr at the -log-level threshold.
 //
 // A serve process is a distributed scheduler: any number of `cdlab worker
 // -connect` processes (same binary, any machine) register with it and
@@ -50,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -62,6 +71,8 @@ import (
 
 	"columndisturb"
 	"columndisturb/client"
+	"columndisturb/internal/obs"
+	"columndisturb/internal/service"
 )
 
 func main() {
@@ -91,6 +102,8 @@ func run(args []string) int {
 		return worker(args[1:])
 	case "workers":
 		return workers(args[1:])
+	case "trace":
+		return trace(args[1:])
 	default:
 		usage()
 		return 2
@@ -106,8 +119,10 @@ func usage() {
                  [-cache-bytes N] [-no-cache]
        cdlab serve [-addr a] [-j N] [-max-active N] [-cache-dir d] [-cache-entries N]
                  [-cache-bytes N] [-no-local-shards] [-lease-ttl d] [-retain N]
-       cdlab worker -connect addr [-j N] [-name s]
-       cdlab workers -remote addr`)
+                 [-log-level l] [-pprof]
+       cdlab worker -connect addr [-j N] [-name s] [-log-level l]
+       cdlab workers -remote addr
+       cdlab trace <job> -remote addr`)
 }
 
 func catalog() {
@@ -436,10 +451,17 @@ func serve(args []string) int {
 	noLocal := fs.Bool("no-local-shards", false, "run no shards in-process; every shard waits for a `cdlab worker` lease")
 	leaseTTL := fs.Duration("lease-ttl", 0, "worker heartbeat deadline before its shards requeue (0 = 15s)")
 	retain := fs.Int("retain", 512, "settled jobs kept for event replay/report fetch; older ones are retired (0 = keep all; keep this well above the largest multi-ID batch clients submit)")
+	logLevel := fs.String("log-level", "info", "structured-log threshold on stderr: debug, info, warn or error")
+	pprofOn := fs.Bool("pprof", false, "also serve the net/http/pprof profiles under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
 		return 2
 	}
 	// A serve process is always dispatch-enabled: with no workers attached
@@ -455,6 +477,7 @@ func serve(args []string) int {
 		CacheDir:      *cacheDir,
 		CacheEntries:  *cacheEntries,
 		CacheMaxBytes: *cacheBytes,
+		Logger:        obs.NewTextLogger(os.Stderr, level),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdlab:", err)
@@ -466,10 +489,72 @@ func serve(args []string) int {
 		fmt.Fprintln(os.Stderr, "cdlab:", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "cdlab: serving the /v1 experiment API on %s (cache=%s, local shards=%v)\n",
-		*addr, orNA(*cacheDir), !*noLocal)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	// The /v1 API handler stays self-contained; the pprof routes mount on a
+	// wrapper mux only when asked for, so a production serve exposes no
+	// profiling surface by default.
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	fmt.Fprintf(os.Stderr, "cdlab: serving the /v1 experiment API on %s (cache=%s, local shards=%v, pprof=%v)\n",
+		*addr, orNA(*cacheDir), !*noLocal, *pprofOn)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fmt.Fprintln(os.Stderr, "cdlab:", err)
+		return 1
+	}
+	return 0
+}
+
+// trace fetches one job's span record from a `cdlab serve` process and
+// renders its shard timeline: queued→leased→executing→completed transitions
+// per shard with worker attribution, the job's critical path, and
+// per-worker utilization. Exits non-zero if a settled job has spans that
+// never closed — the observable symptom of a stranded shard.
+func trace(args []string) int {
+	// Leading non-flag argument is the job ID: `cdlab trace j17 -remote addr`.
+	var jobID string
+	rest := args
+	if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		jobID = rest[0]
+		rest = rest[1:]
+	}
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	remote := fs.String("remote", "", "`cdlab serve` address to query (required)")
+	if err := fs.Parse(rest); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if jobID == "" && fs.NArg() > 0 {
+		jobID = fs.Arg(0)
+	}
+	if jobID == "" || *remote == "" {
+		fmt.Fprintln(os.Stderr, "cdlab: trace requires a job ID and -remote <addr>")
+		return 2
+	}
+	r, err := client.New(*remote)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
+		return 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rec, err := r.Trace(ctx, jobID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
+		return 1
+	}
+	os.Stdout.WriteString(obs.RenderTrace(rec))
+	settled := rec.State != string(service.JobQueued) && rec.State != string(service.JobRunning)
+	if open := rec.Incomplete(); settled && len(open) > 0 {
+		fmt.Fprintf(os.Stderr, "cdlab: job %s settled as %s with %d unclosed span(s): %s\n",
+			jobID, rec.State, len(open), strings.Join(open, ", "))
 		return 1
 	}
 	return 0
@@ -485,6 +570,7 @@ func worker(args []string) int {
 	connect := fs.String("connect", "", "`cdlab serve` address to register with (required)")
 	capacity := fs.Int("j", runtime.GOMAXPROCS(0), "shards to execute concurrently")
 	name := fs.String("name", "", "worker label in the server's /v1/workers listing")
+	logLevel := fs.String("log-level", "info", "structured-log threshold on stderr: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -495,14 +581,17 @@ func worker(args []string) int {
 		fmt.Fprintln(os.Stderr, "cdlab: worker requires -connect <addr>")
 		return 2
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdlab:", err)
+		return 2
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := client.RunWorker(ctx, *connect, client.WorkerOptions{
+	err = client.RunWorker(ctx, *connect, client.WorkerOptions{
 		Name:     *name,
 		Capacity: *capacity,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "cdlab: worker: "+format+"\n", args...)
-		},
+		Logger:   obs.NewTextLogger(os.Stderr, level),
 	})
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "cdlab: worker: interrupted, deregistered")

@@ -43,12 +43,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"columndisturb/internal/engine"
+	"columndisturb/internal/obs"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -80,6 +83,13 @@ type Options struct {
 	// lost workers before it is pinned to local execution (<= 0 selects 3).
 	// The pin only applies when local executors exist.
 	MaxRemoteAttempts int
+	// Metrics, when non-nil, receives the dispatcher's queue/lease metrics
+	// (nil creates a private registry, so recording sites never nil-check).
+	// Share one registry with the service to export everything at /v1/metrics.
+	Metrics *obs.Registry
+	// Logger receives structured scheduling logs (worker lifecycle, lease
+	// recovery). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Dispatcher is the distributed engine.Backend. It must be released with
@@ -87,6 +97,14 @@ type Options struct {
 type Dispatcher struct {
 	opts  Options
 	local int // local executor count
+	log   *slog.Logger
+
+	// Observability (side channels only — never consulted for scheduling).
+	busyLocal     atomic.Int64 // local executors currently inside a shard
+	leaseWait     *obs.Histogram
+	leaseComplete *obs.Histogram
+	requeues      *obs.Counter
+	workerTasks   *obs.CounterVec
 
 	mu        sync.Mutex
 	pending   *list.List // *task, cost-ordered; front = next out (see enqueueLocked)
@@ -126,11 +144,13 @@ type task struct {
 	report func(label string)
 	cost   float64 // shard.Cost, immutable scheduling weight
 
-	// boost and skips are queue-scheduling state guarded by the
+	// boost, skips and enqueuedAt are queue-scheduling state guarded by the
 	// dispatcher's mu (not t.mu): boost marks requeued interrupted work,
-	// which outranks any cost; skips counts affinity deferrals.
-	boost bool
-	skips int
+	// which outranks any cost; skips counts affinity deferrals; enqueuedAt
+	// anchors the queue-wait latency metric.
+	boost      bool
+	skips      int
+	enqueuedAt time.Time
 
 	mu             sync.Mutex
 	state          taskState
@@ -214,14 +234,43 @@ func New(opts Options) *Dispatcher {
 	if opts.NoLocal {
 		local = 0
 	}
+	log := opts.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	d := &Dispatcher{
 		opts:    opts,
 		local:   local,
+		log:     log,
 		pending: list.New(),
 		notify:  make(chan struct{}),
 		workers: make(map[string]*workerState),
 		closeCh: make(chan struct{}),
 	}
+	d.leaseWait = reg.Histogram("cdlab_lease_wait_ms",
+		"Queue wait from task enqueue to claim by any placement, in milliseconds.", nil)
+	d.leaseComplete = reg.Histogram("cdlab_lease_to_complete_ms",
+		"Remote lease grant to completion wall time, in milliseconds.", nil)
+	d.requeues = reg.Counter("cdlab_dispatch_requeues_total",
+		"Tasks requeued off lost workers.")
+	d.workerTasks = reg.CounterVec("cdlab_worker_tasks_total",
+		"Tasks completed per remote worker.", "worker")
+	reg.GaugeFunc("cdlab_dispatch_queue_depth",
+		"Pending tasks in the dispatch queue (settled entries pruned lazily).", func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(d.pending.Len())
+		})
+	reg.GaugeFunc("cdlab_dispatch_workers",
+		"Remote workers currently registered.", func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(len(d.workers))
+		})
 	d.wg.Add(local + 1)
 	for i := 0; i < local; i++ {
 		go d.localLoop()
@@ -236,6 +285,19 @@ func (d *Dispatcher) Workers() int { return d.local }
 
 // LeaseTTL returns the effective worker heartbeat deadline.
 func (d *Dispatcher) LeaseTTL() time.Duration { return d.opts.LeaseTTL }
+
+// Busy reports the dispatcher's in-flight shard count: local executors
+// inside a shard plus outstanding remote leases. An instantaneous
+// utilization reading for metrics exporters.
+func (d *Dispatcher) Busy() int {
+	n := int(d.busyLocal.Load())
+	d.mu.Lock()
+	for _, w := range d.workers {
+		n += len(w.leases)
+	}
+	d.mu.Unlock()
+	return n
+}
 
 // Close stops the executors and the janitor and waits for them. It must
 // not be called concurrently with Run (settle or cancel jobs first — the
@@ -360,6 +422,7 @@ func moreUrgent(a, b *task) bool {
 // which is fine at plan scale and keeps the list structure (and its lazy
 // pruning) that every other queue operation relies on. Caller holds d.mu.
 func (d *Dispatcher) enqueueLocked(t *task) {
+	t.enqueuedAt = time.Now()
 	for el := d.pending.Front(); el != nil; el = el.Next() {
 		if moreUrgent(t, el.Value.(*task)) {
 			d.pending.InsertBefore(t, el)
@@ -431,6 +494,7 @@ rescan:
 			t.state = taskLocal
 		}
 		t.mu.Unlock()
+		d.leaseWait.Observe(float64(time.Since(t.enqueuedAt)) / float64(time.Millisecond))
 		return t
 	}
 }
@@ -491,6 +555,10 @@ func (d *Dispatcher) requeueLocked(w *workerState) {
 		}
 		t.state = taskPending
 		t.mu.Unlock()
+		t.shard.Span.Record(obs.SpanRequeued, w.id)
+		d.requeues.Inc()
+		d.log.Warn("worker lost, requeueing task",
+			"worker", w.id, "worker_name", w.name, "task", t.id, "shard", t.shard.Label)
 		t.boost = true
 		d.enqueueLocked(t)
 		requeued = true
@@ -521,7 +589,9 @@ func (d *Dispatcher) localLoop() {
 			}
 			continue
 		}
+		d.busyLocal.Add(1)
 		v, err := engine.RunShard(t.ctx, t.shard)
+		d.busyLocal.Add(-1)
 		t.finish(v, err, true)
 	}
 }
@@ -555,6 +625,10 @@ func (d *Dispatcher) expire(now time.Time) {
 	for id, w := range d.workers {
 		if now.Sub(w.lastSeen) > d.opts.LeaseTTL {
 			delete(d.workers, id)
+			d.log.Warn("worker heartbeat deadline passed, evicting",
+				"worker", id, "worker_name", w.name,
+				"silent_ms", now.Sub(w.lastSeen).Milliseconds(),
+				"leases", len(w.leases))
 			d.requeueLocked(w)
 		}
 	}
@@ -583,6 +657,7 @@ func (d *Dispatcher) Register(name string, capacity int) (RegisterResponse, erro
 		lastSeen: time.Now(),
 		leases:   make(map[string]*leaseEntry),
 	}
+	d.log.Info("worker registered", "worker", id, "worker_name", name, "capacity", capacity)
 	return RegisterResponse{
 		Protocol:   ProtocolVersion,
 		WorkerID:   id,
@@ -612,6 +687,7 @@ func (d *Dispatcher) Deregister(workerID string) error {
 		return ErrUnknownWorker
 	}
 	delete(d.workers, workerID)
+	d.log.Info("worker deregistered", "worker", workerID, "worker_name", w.name, "completed", w.completed)
 	d.requeueLocked(w)
 	return nil
 }
@@ -689,6 +765,8 @@ func (d *Dispatcher) Lease(ctx context.Context, workerID string, wait time.Durat
 			}
 			w.leases[t.id] = &leaseEntry{t: t, grantedAt: time.Now()}
 			d.mu.Unlock()
+			t.shard.Span.Record(obs.SpanLeased, workerID)
+			d.log.Debug("lease granted", "worker", workerID, "task", t.id, "shard", t.shard.Label)
 			return &LeaseGrant{TaskID: t.id, Spec: t.shard.Remote.Spec}, nil
 		}
 		d.mu.Unlock()
@@ -757,6 +835,8 @@ func (d *Dispatcher) Complete(workerID, taskID string, result []byte, workerErr 
 			return nil
 		}
 		t.mu.Unlock()
+		d.log.Warn("worker reported shard error",
+			"worker", workerID, "task", taskID, "shard", t.shard.Label, "error", workerErr)
 		t.finish(nil, fmt.Errorf("dispatch: worker %s: %s", workerID, workerErr), true)
 		return nil
 	}
@@ -774,6 +854,11 @@ func (d *Dispatcher) Complete(workerID, taskID string, result []byte, workerErr 
 		return nil
 	}
 	if t.finish(v, nil, true) {
+		d.leaseComplete.Observe(float64(elapsed) / float64(time.Millisecond))
+		d.workerTasks.With(w.name).Inc()
+		d.log.Debug("task completed",
+			"worker", workerID, "task", taskID, "shard", t.shard.Label,
+			"elapsed_ms", elapsed.Milliseconds())
 		d.mu.Lock()
 		if cur := d.workers[workerID]; cur == w {
 			w.completed++

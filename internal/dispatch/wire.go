@@ -38,6 +38,11 @@ type TaskSpec struct {
 	// Label is the canonical label of that shard; a mismatch with the
 	// worker's own plan fails the task instead of computing the wrong unit.
 	Label string `json:"label"`
+	// TraceID is the job's observability trace identifier, propagated so
+	// worker-side logs correlate with the server's span records. A pure side
+	// channel: it never influences execution or the reply bytes, and an
+	// empty value is fine (JSON-additive, so ProtocolVersion is unchanged).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // EncodeTask serializes a task spec for a lease grant.
@@ -153,6 +158,10 @@ type CompleteRequest struct {
 	// Error reports a shard failure (the job fails; lost-worker requeue is
 	// the server's business, not an error report).
 	Error string `json:"error,omitempty"`
+	// TraceID echoes the leased TaskSpec's trace identifier so server-side
+	// logs can correlate a completion with its job trace. Informational
+	// only; the server never keys anything on it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // WorkerInfo is one entry of the GET /v1/workers listing.

@@ -46,7 +46,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"columndisturb/internal/obs"
 )
 
 // Shard is one independent unit of work. Run must be safe to call from any
@@ -71,6 +74,12 @@ type Shard struct {
 	// ignore it. Cost influences only WHERE and WHEN a shard runs, never its
 	// result, and it must not enter any result digest.
 	Cost float64
+	// Span, when non-nil, is the shard's observability span (internal/obs).
+	// Backends that move the shard through scheduling states (lease,
+	// requeue) record those transitions on it; the shard's own Run closure
+	// records execution and completion. Spans are a pure side channel —
+	// nil-safe, never consulted for scheduling, and never part of results.
+	Span *obs.Span
 }
 
 // RemoteSpec is the off-process execution contract of one shard. The
@@ -184,6 +193,7 @@ type Pool struct {
 	tasks   chan func()
 	wg      sync.WaitGroup
 	once    sync.Once
+	busy    atomic.Int64
 }
 
 var _ Backend = (*Pool)(nil)
@@ -200,7 +210,9 @@ func NewPool(workers int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for task := range p.tasks {
+				p.busy.Add(1)
 				task()
+				p.busy.Add(-1)
 			}
 		}()
 	}
@@ -209,6 +221,10 @@ func NewPool(workers int) *Pool {
 
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
+
+// Busy reports how many workers are currently executing a task — an
+// instantaneous utilization reading for metrics exporters.
+func (p *Pool) Busy() int { return int(p.busy.Load()) }
 
 // Close stops accepting work and waits for the workers to drain. It is
 // safe to call more than once, but not concurrently with Run.

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderTrace formats a trace artifact as a human-readable text report:
+// a per-shard timeline, the critical path (the span chain that determined
+// the job's wall time), and per-worker utilization. Pure function of the
+// record — `cdlab trace` pipes it straight to stdout.
+func RenderTrace(rec TraceRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  job %s  experiment %s  state %s\n",
+		orDash(rec.TraceID), orDash(rec.Job), orDash(rec.Experiment), orDash(rec.State))
+
+	if len(rec.Spans) == 0 {
+		b.WriteString("no spans recorded\n")
+		return b.String()
+	}
+
+	end := 0.0
+	for _, s := range rec.Spans {
+		if e := s.End(); e > end {
+			end = e
+		}
+	}
+
+	var local, remote, cached, open int
+	for _, s := range rec.Spans {
+		switch {
+		case !s.Closed():
+			open++
+		case s.Cached:
+			cached++
+		case s.Worker != "":
+			remote++
+		default:
+			local++
+		}
+	}
+	fmt.Fprintf(&b, "spans %d  (local %d, remote %d, cached %d", len(rec.Spans), local, remote, cached)
+	if open > 0 {
+		fmt.Fprintf(&b, ", OPEN %d", open)
+	}
+	fmt.Fprintf(&b, ")  wall %s\n\n", fmtMs(end))
+
+	labelW := len("shard")
+	for _, s := range rec.Spans {
+		if len(s.Shard) > labelW {
+			labelW = len(s.Shard)
+		}
+	}
+	if labelW > 48 {
+		labelW = 48
+	}
+
+	fmt.Fprintf(&b, "%-*s  %10s  %10s  %-10s  %s\n", labelW, "shard", "start", "dur", "where", "timeline")
+	for _, s := range rec.Spans {
+		start, dur := spanWindow(s)
+		where := "local"
+		switch {
+		case s.Cached:
+			where = "cache"
+		case s.Worker != "":
+			where = s.Worker
+		}
+		if !s.Closed() {
+			where += " OPEN"
+		}
+		fmt.Fprintf(&b, "%-*s  %10s  %10s  %-10s  %s\n",
+			labelW, truncate(s.Shard, labelW), fmtMs(start), fmtMs(dur), truncate(where, 10), bar(start, start+dur, end))
+	}
+
+	b.WriteString("\n")
+	renderCriticalPath(&b, rec, end)
+	renderWorkers(&b, rec, end)
+
+	if openLabels := rec.Incomplete(); len(openLabels) > 0 {
+		fmt.Fprintf(&b, "\nOPEN SPANS (%d): %s\n", len(openLabels), strings.Join(openLabels, ", "))
+	}
+	return b.String()
+}
+
+// spanWindow returns the span's active window: from the start of real work
+// (executing, or lease for remote shards, else queued) to its last event.
+func spanWindow(s SpanRecord) (start, dur float64) {
+	start, ok := s.at(SpanExecuting)
+	if !ok {
+		start, ok = s.at(SpanLeased)
+	}
+	if !ok {
+		start, _ = s.at(SpanQueued)
+	}
+	e := s.End()
+	if e < start {
+		e = start
+	}
+	return start, e - start
+}
+
+// renderCriticalPath prints the chain of transitions of the span that
+// finished last — the span whose completion set the job's wall time.
+func renderCriticalPath(b *strings.Builder, rec TraceRecord, end float64) {
+	crit := -1
+	for i, s := range rec.Spans {
+		if !s.Closed() {
+			continue
+		}
+		if crit < 0 || s.End() > rec.Spans[crit].End() {
+			crit = i
+		}
+	}
+	if crit < 0 {
+		b.WriteString("critical path: (no completed spans)\n")
+		return
+	}
+	s := rec.Spans[crit]
+	fmt.Fprintf(b, "critical path: %s  (completes at %s = wall time)\n", s.Shard, fmtMs(s.End()))
+	prev := 0.0
+	for i, ev := range s.Events {
+		line := fmt.Sprintf("  %10s  %s", fmtMs(ev.TMs), ev.State)
+		if ev.Worker != "" {
+			line += fmt.Sprintf(" worker=%s", ev.Worker)
+		}
+		if i > 0 {
+			line += fmt.Sprintf("  (+%s)", fmtMs(ev.TMs-prev))
+		}
+		prev = ev.TMs
+		b.WriteString(line + "\n")
+	}
+	_ = end
+}
+
+// renderWorkers prints per-worker busy time and utilization, attributing
+// each non-cached span's active window to its worker ("local" when
+// in-process). Windows are summed, not merged, so a worker running
+// concurrent leases can exceed 100% of wall time — that is throughput,
+// not an error.
+func renderWorkers(b *strings.Builder, rec TraceRecord, end float64) {
+	type stat struct {
+		spans int
+		busy  float64
+	}
+	byWorker := map[string]*stat{}
+	for _, s := range rec.Spans {
+		if s.Cached {
+			continue
+		}
+		name := s.Worker
+		if name == "" {
+			name = "local"
+		}
+		st := byWorker[name]
+		if st == nil {
+			st = &stat{}
+			byWorker[name] = st
+		}
+		_, dur := spanWindow(s)
+		st.spans++
+		st.busy += dur
+	}
+	if len(byWorker) == 0 {
+		return
+	}
+	names := make([]string, 0, len(byWorker))
+	for n := range byWorker {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.WriteString("\nworkers:\n")
+	for _, n := range names {
+		st := byWorker[n]
+		util := 0.0
+		if end > 0 {
+			util = 100 * st.busy / end
+		}
+		fmt.Fprintf(b, "  %-16s  %3d spans  busy %10s  util %5.1f%%\n", n, st.spans, fmtMs(st.busy), util)
+	}
+}
+
+const barWidth = 40
+
+// bar renders a fixed-width timeline bar for [from, to] within [0, end].
+func bar(from, to, end float64) string {
+	if end <= 0 {
+		return strings.Repeat("#", barWidth)
+	}
+	lo := int(from / end * barWidth)
+	hi := int(to / end * barWidth)
+	if lo > barWidth-1 {
+		lo = barWidth - 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > barWidth {
+		hi = barWidth
+	}
+	return strings.Repeat(".", lo) + strings.Repeat("#", hi-lo) + strings.Repeat(".", barWidth-hi)
+}
+
+func fmtMs(ms float64) string {
+	switch {
+	case ms >= 10000:
+		return fmt.Sprintf("%.1fs", ms/1000)
+	case ms >= 100:
+		return fmt.Sprintf("%.0fms", ms)
+	default:
+		return fmt.Sprintf("%.2fms", ms)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	// ASCII tilde keeps the rendered byte width exact for %-*s padding.
+	return s[:n-1] + "~"
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

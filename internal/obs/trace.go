@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TraceSchemaVersion is the wire generation of the per-job trace artifact
+// (GET /v1/jobs/{id}/trace). Bump it together with any incompatible change
+// to TraceRecord's JSON shape.
+const TraceSchemaVersion = 1
+
+// NewTraceID mints a random 16-hex-character trace identifier. Trace IDs
+// are observability-only: they identify a job's span set across processes
+// (server, workers, clients) and MUST never enter Config digests, cache
+// keys or report bytes — randomness here is safe precisely because nothing
+// deterministic may depend on it.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; fall back to a
+		// time-derived ID rather than failing a Submit over telemetry.
+		return fmt.Sprintf("t%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SpanState enumerates a shard span's lifecycle transitions as the server
+// observes them.
+type SpanState string
+
+const (
+	// SpanQueued: the shard entered the backend's queue.
+	SpanQueued SpanState = "queued"
+	// SpanLeased: a remote worker leased the shard (worker attributed).
+	SpanLeased SpanState = "leased"
+	// SpanExecuting: the shard started computing in-process (local pool or
+	// a dispatcher-local executor).
+	SpanExecuting SpanState = "executing"
+	// SpanRequeued: the leasing worker was presumed lost and the shard went
+	// back to the queue (worker names the lost lease holder).
+	SpanRequeued SpanState = "requeued"
+	// SpanCompleted closes the span: the shard's value is settled (computed
+	// locally, accepted from a worker, or served from the cache).
+	SpanCompleted SpanState = "completed"
+)
+
+// Trace accumulates the span set of one job. All methods are
+// goroutine-safe; a nil *Trace (observability disabled) is a no-op on
+// every method, as is a nil *Span, so recording sites need no guards.
+type Trace struct {
+	id         string
+	job        string
+	experiment string
+	start      time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTrace starts a trace; start time is now.
+func NewTrace(id, job, experiment string) *Trace {
+	return &Trace{id: id, job: job, experiment: experiment, start: time.Now()}
+}
+
+// ID returns the trace identifier ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// NewSpan opens a span for one shard, recording its queued transition now.
+func (t *Trace) NewSpan(label string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{label: label}
+	s.Record(SpanQueued, "")
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span is the server-side lifecycle record of one shard: an append-only
+// event list with monotonically non-decreasing timestamps (each Record
+// stamps time.Now(), and Go's clock is monotonic).
+type Span struct {
+	mu     sync.Mutex
+	label  string
+	worker string // last attribution (lease or completion)
+	cached bool
+	events []spanEvent
+	closed bool
+}
+
+type spanEvent struct {
+	state  SpanState
+	at     time.Time
+	worker string
+}
+
+// Record appends one transition. Nil-safe; transitions after the span
+// closed are dropped (a late duplicate completion must not reopen it).
+func (s *Span) Record(state SpanState, worker string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.events = append(s.events, spanEvent{state: state, at: time.Now(), worker: worker})
+	if worker != "" {
+		s.worker = worker
+	}
+	if state == SpanCompleted {
+		s.closed = true
+	}
+}
+
+// Complete closes the span: worker names the remote executor ("" for
+// in-process), cached marks a result served from the shard cache.
+func (s *Span) Complete(worker string, cached bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cached = s.cached || cached
+	s.mu.Unlock()
+	s.Record(SpanCompleted, worker)
+}
+
+// TraceRecord is the JSON wire shape of a job's trace artifact — the body
+// of GET /v1/jobs/{id}/trace and the input of `cdlab trace`'s renderer.
+// All times are millisecond offsets from Start, so the artifact is
+// self-contained and clock-skew between readers is irrelevant.
+type TraceRecord struct {
+	// V is TraceSchemaVersion on emission.
+	V          int    `json:"v"`
+	TraceID    string `json:"trace_id"`
+	Job        string `json:"job"`
+	Experiment string `json:"experiment"`
+	// State is the job's lifecycle phase at snapshot time.
+	State string       `json:"state"`
+	Start time.Time    `json:"start"`
+	Spans []SpanRecord `json:"spans"`
+}
+
+// SpanRecord is one shard's lifecycle in a TraceRecord.
+type SpanRecord struct {
+	Shard string `json:"shard"`
+	// Worker is the shard's last attribution: the remote worker that leased
+	// or completed it, empty for in-process and cache-served shards.
+	Worker string `json:"worker,omitempty"`
+	// Cached marks a result served from the shard cache.
+	Cached bool              `json:"cached,omitempty"`
+	Events []SpanEventRecord `json:"events"`
+}
+
+// SpanEventRecord is one transition of a SpanRecord.
+type SpanEventRecord struct {
+	State SpanState `json:"state"`
+	// TMs is the transition's offset from the trace start in milliseconds.
+	TMs float64 `json:"t_ms"`
+	// Worker attributes lease/requeue/complete transitions.
+	Worker string `json:"worker,omitempty"`
+}
+
+// Closed reports whether the span reached a completed transition.
+func (s SpanRecord) Closed() bool {
+	return len(s.Events) > 0 && s.Events[len(s.Events)-1].State == SpanCompleted
+}
+
+// End returns the span's last transition offset (0 for an empty span).
+func (s SpanRecord) End() float64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[len(s.Events)-1].TMs
+}
+
+// at returns the offset of the first transition with the given state, and
+// whether one exists.
+func (s SpanRecord) at(state SpanState) (float64, bool) {
+	for _, ev := range s.Events {
+		if ev.State == state {
+			return ev.TMs, true
+		}
+	}
+	return 0, false
+}
+
+// Snapshot renders the trace's current span set as a wire record. State is
+// supplied by the caller (the service knows the job's phase; the trace
+// does not).
+func (t *Trace) Snapshot(state string) TraceRecord {
+	if t == nil {
+		return TraceRecord{V: TraceSchemaVersion, State: state}
+	}
+	rec := TraceRecord{
+		V:          TraceSchemaVersion,
+		TraceID:    t.id,
+		Job:        t.job,
+		Experiment: t.experiment,
+		State:      state,
+		Start:      t.start,
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+	rec.Spans = make([]SpanRecord, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		sr := SpanRecord{
+			Shard:  s.label,
+			Worker: s.worker,
+			Cached: s.cached,
+			Events: make([]SpanEventRecord, len(s.events)),
+		}
+		for i, ev := range s.events {
+			sr.Events[i] = SpanEventRecord{
+				State:  ev.state,
+				TMs:    float64(ev.at.Sub(t.start)) / float64(time.Millisecond),
+				Worker: ev.worker,
+			}
+		}
+		s.mu.Unlock()
+		rec.Spans = append(rec.Spans, sr)
+	}
+	return rec
+}
+
+// Incomplete returns the labels of spans that never completed — empty for
+// a cleanly finished job. `cdlab trace` exits non-zero when it is not.
+func (r TraceRecord) Incomplete() []string {
+	var open []string
+	for _, s := range r.Spans {
+		if !s.Closed() {
+			open = append(open, s.Shard)
+		}
+	}
+	return open
+}
+
+// DecodeTrace parses one trace artifact and validates its envelope: the
+// schema version must match, and every span's event offsets must be
+// non-decreasing (the tracer records with a monotonic clock, so a
+// violation means a corrupted or hand-forged artifact). It errors — never
+// panics — on any input.
+func DecodeTrace(data []byte) (TraceRecord, error) {
+	var rec TraceRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return TraceRecord{}, fmt.Errorf("obs: not a trace record: %w", err)
+	}
+	if rec.V != TraceSchemaVersion {
+		return TraceRecord{}, fmt.Errorf("obs: trace schema version %d, want %d", rec.V, TraceSchemaVersion)
+	}
+	for _, s := range rec.Spans {
+		last := -1.0
+		for _, ev := range s.Events {
+			if ev.TMs < last {
+				return TraceRecord{}, fmt.Errorf("obs: span %q timestamps not monotonic (%.3f after %.3f)", s.Shard, ev.TMs, last)
+			}
+			last = ev.TMs
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("trace IDs %q / %q: want distinct 16-hex strings", a, b)
+	}
+}
+
+func TestTraceLifecycleSnapshot(t *testing.T) {
+	tr := NewTrace("abc123", "job-1", "fig6")
+	s1 := tr.NewSpan("fig6/arm=0")
+	s1.Record(SpanLeased, "w1")
+	s1.Complete("w1", false)
+	s2 := tr.NewSpan("fig6/arm=1")
+	s2.Complete("", true) // cache hit
+	s3 := tr.NewSpan("fig6/arm=2")
+	s3.Record(SpanExecuting, "")
+
+	rec := tr.Snapshot("running")
+	if rec.V != TraceSchemaVersion || rec.TraceID != "abc123" || rec.Job != "job-1" || rec.State != "running" {
+		t.Fatalf("bad envelope: %+v", rec)
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(rec.Spans))
+	}
+	if !rec.Spans[0].Closed() || rec.Spans[0].Worker != "w1" || rec.Spans[0].Cached {
+		t.Fatalf("span 0: %+v", rec.Spans[0])
+	}
+	if !rec.Spans[1].Closed() || !rec.Spans[1].Cached {
+		t.Fatalf("span 1: %+v", rec.Spans[1])
+	}
+	if rec.Spans[2].Closed() {
+		t.Fatal("span 2 should still be open")
+	}
+	open := rec.Incomplete()
+	if len(open) != 1 || open[0] != "fig6/arm=2" {
+		t.Fatalf("Incomplete() = %v", open)
+	}
+	// Every span's offsets are monotonic and non-negative.
+	for _, s := range rec.Spans {
+		last := -1.0
+		for _, ev := range s.Events {
+			if ev.TMs < 0 || ev.TMs < last {
+				t.Fatalf("span %s: non-monotonic offsets %+v", s.Shard, s.Events)
+			}
+			last = ev.TMs
+		}
+	}
+}
+
+func TestSpanClosedDropsLateEvents(t *testing.T) {
+	tr := NewTrace("t", "j", "e")
+	s := tr.NewSpan("x")
+	s.Complete("w1", false)
+	s.Record(SpanRequeued, "w2") // late: must not reopen
+	s.Complete("w2", false)      // duplicate completion: dropped
+	rec := tr.Snapshot("done")
+	evs := rec.Spans[0].Events
+	if len(evs) != 2 || evs[1].State != SpanCompleted || evs[1].Worker != "w1" {
+		t.Fatalf("late events not dropped: %+v", evs)
+	}
+}
+
+func TestNilTraceAndSpanAreNoops(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil trace ID")
+	}
+	s := tr.NewSpan("x") // nil
+	s.Record(SpanLeased, "w")
+	s.Complete("w", false)
+	rec := tr.Snapshot("done")
+	if rec.V != TraceSchemaVersion || len(rec.Spans) != 0 {
+		t.Fatalf("nil snapshot: %+v", rec)
+	}
+}
+
+func TestDecodeTraceRoundtrip(t *testing.T) {
+	tr := NewTrace("abc", "j", "fig6")
+	s := tr.NewSpan("fig6/arm=0")
+	s.Complete("", false)
+	data, err := json.Marshal(tr.Snapshot("done"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DecodeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TraceID != "abc" || len(rec.Spans) != 1 {
+		t.Fatalf("roundtrip: %+v", rec)
+	}
+
+	if _, err := DecodeTrace([]byte(`{"v":99}`)); err == nil {
+		t.Fatal("wrong schema version accepted")
+	}
+	if _, err := DecodeTrace([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	bad := `{"v":1,"spans":[{"shard":"x","events":[{"state":"queued","t_ms":5},{"state":"completed","t_ms":1}]}]}`
+	if _, err := DecodeTrace([]byte(bad)); err == nil {
+		t.Fatal("non-monotonic timestamps accepted")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("t", "j", "e")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := tr.NewSpan("shard")
+			s.Record(SpanLeased, "w")
+			s.Complete("w", false)
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			tr.Snapshot("running")
+		}
+	}()
+	wg.Wait()
+	rec := tr.Snapshot("done")
+	if len(rec.Spans) != 16 || len(rec.Incomplete()) != 0 {
+		t.Fatalf("spans %d, open %v", len(rec.Spans), rec.Incomplete())
+	}
+}
+
+func TestRenderTrace(t *testing.T) {
+	tr := NewTrace("abc123", "job-1", "fig6")
+	a := tr.NewSpan("fig6/arm=0")
+	a.Record(SpanLeased, "w1")
+	a.Complete("w1", false)
+	b := tr.NewSpan("fig6/arm=1")
+	b.Complete("", true)
+	c := tr.NewSpan("fig6/arm=2")
+	c.Record(SpanExecuting, "")
+	c.Complete("", false)
+
+	out := RenderTrace(tr.Snapshot("done"))
+	for _, want := range []string{
+		"trace abc123", "job job-1", "critical path:", "workers:",
+		"fig6/arm=0", "cache", "w1", "local",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "OPEN") {
+		t.Fatalf("clean trace rendered OPEN spans:\n%s", out)
+	}
+
+	// An unfinished span must be flagged.
+	tr2 := NewTrace("t2", "j2", "e")
+	tr2.NewSpan("stuck")
+	out2 := RenderTrace(tr2.Snapshot("running"))
+	if !strings.Contains(out2, "OPEN SPANS (1): stuck") {
+		t.Fatalf("open span not flagged:\n%s", out2)
+	}
+
+	// Empty trace renders without panicking.
+	if out3 := RenderTrace(TraceRecord{V: 1}); !strings.Contains(out3, "no spans") {
+		t.Fatalf("empty render: %q", out3)
+	}
+}

@@ -109,19 +109,40 @@ func ValidateEvent(e Event) error {
 	if e.Time.IsZero() {
 		return fmt.Errorf("event missing timestamp: %+v", e)
 	}
+	if e.ElapsedMs < 0 {
+		return fmt.Errorf("event with negative elapsed_ms: %+v", e)
+	}
 	switch e.Type {
 	case EventJobQueued, EventJobStarted:
+		if e.ElapsedMs != 0 || e.Worker != "" {
+			return fmt.Errorf("%s event carrying shard fields: %+v", e.Type, e)
+		}
 		return nil
 	case EventShardDone:
 		if e.Shard == "" || e.Done < 1 || e.Total < e.Done || e.Cached == nil {
 			return fmt.Errorf("malformed shard_done event: %+v", e)
 		}
+		// PR 6's enrichment contract: a cache hit computes nothing, so it
+		// carries no wall time and no worker attribution; a computed shard
+		// always measures a positive wall time.
+		if *e.Cached && (e.ElapsedMs != 0 || e.Worker != "") {
+			return fmt.Errorf("cached shard_done carrying compute fields: %+v", e)
+		}
+		if !*e.Cached && e.ElapsedMs <= 0 {
+			return fmt.Errorf("computed shard_done without elapsed_ms: %+v", e)
+		}
 		return nil
 	case EventJobFinished:
+		if e.ElapsedMs <= 0 {
+			return fmt.Errorf("job_finished without elapsed_ms: %+v", e)
+		}
 		return nil
 	case EventJobFailed:
 		if e.Error == "" {
 			return fmt.Errorf("job_failed event without error: %+v", e)
+		}
+		if e.ElapsedMs <= 0 {
+			return fmt.Errorf("job_failed without elapsed_ms: %+v", e)
 		}
 		return nil
 	default:

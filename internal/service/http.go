@@ -27,6 +27,8 @@ import (
 //	DELETE /v1/jobs/<id>             cancel the job
 //	GET    /v1/jobs/<id>/events      stream the job's events as JSON lines (?from=N resumes at Seq N)
 //	GET    /v1/jobs/<id>/report      fetch the finished report (?format=text)
+//	GET    /v1/jobs/<id>/trace       the job's span set (obs.TraceRecord; DESIGN.md §13)
+//	GET    /v1/metrics               fleet metrics in the Prometheus text format
 //
 // When the service runs on the distributed dispatch backend (a
 // Dispatcher in Options), the worker protocol mounts alongside — these
@@ -60,6 +62,7 @@ func (s *Service) Handler() http.Handler {
 		})
 	}
 	mux.HandleFunc("/v1/profiles", s.handleProfiles)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	if s.opts.Dispatcher != nil {
 		mux.HandleFunc("/v1/workers", s.handleWorkers)
 		mux.HandleFunc("/v1/workers/", s.handleWorker)
@@ -76,6 +79,7 @@ type JobStatus struct {
 	Overrides  map[string]string `json:"overrides,omitempty"`
 	NoCache    bool              `json:"no_cache,omitempty"`
 	State      string            `json:"state"`
+	TraceID    string            `json:"trace_id,omitempty"`
 	Done       int               `json:"done"`
 	Total      int               `json:"total"`
 	CacheHits  int               `json:"cache_hits"`
@@ -125,6 +129,7 @@ func statusOf(j *Job) JobStatus {
 		Overrides:  j.Spec().Overrides,
 		NoCache:    j.Spec().NoCache,
 		State:      string(j.State()),
+		TraceID:    j.TraceID(),
 		Done:       done,
 		Total:      total,
 		CacheHits:  hits,
@@ -241,6 +246,12 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request, prefix strin
 			return
 		}
 		s.serveReport(w, r, j)
+	case "trace":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Trace())
 	default:
 		writeError(w, http.StatusNotFound, "unknown endpoint %q", sub)
 	}
@@ -267,6 +278,18 @@ func (s *Service) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 			flusher.Flush()
 		}
 	}
+}
+
+// handleMetrics renders every registered metric in the Prometheus text
+// exposition format. The registry snapshot never blocks recording paths,
+// so scraping mid-run is free.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
 }
 
 // handleWorkers serves the /v1/workers collection: GET lists the attached

@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -41,6 +42,7 @@ import (
 	"columndisturb/internal/dispatch"
 	"columndisturb/internal/engine"
 	"columndisturb/internal/experiments"
+	"columndisturb/internal/obs"
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -86,6 +88,12 @@ type Options struct {
 	// emitted (calls may arrive concurrently across jobs, serialized within
 	// one job). It must not call back into the Service or Job.
 	OnEvent func(Event)
+	// Metrics, when non-nil, receives the service's job/shard/cache metrics
+	// (nil creates a private registry). Share one registry with the
+	// Dispatcher so GET /v1/metrics exports the whole serve plane.
+	Metrics *obs.Registry
+	// Logger receives structured job-lifecycle logs. Nil discards them.
+	Logger *slog.Logger
 }
 
 // Service owns the shard backend (shared pool or dispatcher), the job
@@ -95,6 +103,14 @@ type Service struct {
 	backend engine.Backend
 	codec   cache.Codec
 	costs   costModel // learned shard wall times, keyed by shard label
+	log     *slog.Logger
+
+	// Observability handles (side channels only; see internal/obs).
+	metrics  *obs.Registry
+	mJobs    *obs.CounterVec // settled jobs by final state
+	mJobMs   *obs.Histogram  // job wall time
+	mShardMs *obs.Histogram  // computed shard wall time
+	mShards  *obs.CounterVec // finished shards by source (local/remote/cache)
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -128,16 +144,93 @@ func New(opts Options) *Service {
 	} else {
 		backend = engine.NewPool(opts.Workers)
 	}
+	log := opts.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Service{
+	s := &Service{
 		opts:       opts,
 		backend:    backend,
 		codec:      codec,
+		log:        log,
+		metrics:    reg,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 	}
+	s.registerMetrics(reg)
+	return s
 }
+
+// registerMetrics wires the service's metric families into the registry.
+// Gauge callbacks read live state at export time; everything else is
+// recorded inline on the job/shard paths.
+func (s *Service) registerMetrics(reg *obs.Registry) {
+	s.mJobs = reg.CounterVec("cdlab_jobs_total",
+		"Jobs by lifecycle transition: submitted at Submit, done/failed/canceled at settle.", "state")
+	s.mJobMs = reg.Histogram("cdlab_job_ms",
+		"Job wall time from start to settle, in milliseconds.", nil)
+	s.mShardMs = reg.Histogram("cdlab_shard_elapsed_ms",
+		"Computed shard wall time (cache hits excluded), in milliseconds.", nil)
+	s.mShards = reg.CounterVec("cdlab_shards_total",
+		"Finished shards by execution source.", "source")
+	reg.GaugeFunc("cdlab_jobs_active",
+		"Jobs currently running.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.active)
+		})
+	reg.GaugeFunc("cdlab_jobs_pending",
+		"Jobs queued behind the scheduler's MaxActiveJobs bound.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.queue))
+		})
+	reg.GaugeFunc("cdlab_backend_workers",
+		"The shard backend's local parallelism bound.", func() float64 {
+			return float64(s.backend.Workers())
+		})
+	if busy, ok := s.backend.(interface{ Busy() int }); ok {
+		reg.GaugeFunc("cdlab_backend_busy",
+			"Shards currently executing on the backend (local executors plus remote leases).",
+			func() float64 { return float64(busy.Busy()) })
+	}
+	if c := s.opts.Cache; c != nil {
+		reg.CounterFunc("cdlab_cache_hits_total",
+			"Shard-cache hits (memory and disk).", func() float64 {
+				return float64(c.Stats().Hits)
+			})
+		reg.CounterFunc("cdlab_cache_misses_total",
+			"Shard-cache misses.", func() float64 {
+				return float64(c.Stats().Misses)
+			})
+		reg.CounterFunc("cdlab_cache_puts_total",
+			"Shard-cache fills.", func() float64 {
+				return float64(c.Stats().Puts)
+			})
+		reg.CounterFunc("cdlab_cache_evictions_total",
+			"Shard-cache evictions (memory and disk tiers).", func() float64 {
+				st := c.Stats()
+				return float64(st.MemEvictions + st.DiskEvictions)
+			})
+		reg.GaugeFunc("cdlab_cache_mem_bytes",
+			"Shard-cache resident bytes in the memory tier.", func() float64 {
+				return float64(c.Stats().MemBytes)
+			})
+		reg.GaugeFunc("cdlab_cache_disk_bytes",
+			"Shard-cache resident bytes in the disk tier.", func() float64 {
+				return float64(c.Stats().DiskBytes)
+			})
+	}
+}
+
+// Metrics returns the service's metric registry (the /v1/metrics source).
+func (s *Service) Metrics() *obs.Registry { return s.metrics }
 
 // Workers returns the shard backend's local parallelism bound.
 func (s *Service) Workers() int { return s.backend.Workers() }
@@ -188,6 +281,11 @@ type JobSpec struct {
 	// NoCache bypasses the shard-result cache for this job: nothing is
 	// read from or written to the store.
 	NoCache bool `json:"no_cache,omitempty"`
+	// TraceID, when set, names the job's observability trace (a client
+	// propagating its own correlation ID); empty lets the service mint one.
+	// Trace IDs are a pure side channel: they never enter the config digest,
+	// cache keys or report bytes, so they cannot perturb byte-identity.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // DecodeJobSpec parses one JSON job spec (the POST /v1/jobs body). It
@@ -261,6 +359,7 @@ type Job struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 	done    chan struct{}
+	trace   *obs.Trace // per-job span set, created at Submit
 
 	// emitMu serializes whole event emissions (append + OnEvent callback)
 	// so observers see events in Seq order; mu guards the fields below and
@@ -296,6 +395,12 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: %v", err)
 	}
+	if len(spec.TraceID) > 64 {
+		return nil, fmt.Errorf("service: trace ID longer than 64 bytes")
+	}
+	if spec.TraceID == "" {
+		spec.TraceID = obs.NewTraceID()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -315,10 +420,14 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		state:   JobQueued,
 		notify:  make(chan struct{}),
 	}
+	j.trace = obs.NewTrace(spec.TraceID, j.id, spec.Experiment)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.wg.Add(1)
 	s.mu.Unlock()
+	s.mJobs.With("submitted").Inc()
+	s.log.Info("job submitted",
+		"job", j.id, "experiment", spec.Experiment, "profile", profile, "trace", spec.TraceID)
 
 	// job_queued is emitted before the job enters the scheduler's queue:
 	// were the order reversed, a concurrent jobSettled could start the job
@@ -439,6 +548,7 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 	label := sh.Label
 	useCache := s.opts.Cache != nil && !j.spec.NoCache
 	key := cache.Key{Experiment: j.spec.Experiment, ConfigDigest: digest, Shard: label}
+	span := j.trace.NewSpan(label)
 	probe := func() (any, bool) {
 		if !useCache {
 			return nil, false
@@ -459,14 +569,20 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 		// queue on evidence. Cost is a hint to cost-aware backends only; it
 		// never reaches the result or its digest.
 		Cost: s.costs.costFor(label, sh.Cost),
+		Span: span,
 		Run: func(ctx context.Context) (any, error) {
 			if v, ok := probe(); ok {
+				span.Complete("", true)
 				j.shardDone(label, total, true, "", 0)
 				return v, nil
 			}
+			span.Record(obs.SpanExecuting, "")
 			start := time.Now()
 			v, err := run(ctx)
 			if err != nil {
+				// The span closes either way: a shard that errored is settled,
+				// not stuck, and must not read as an open span in the trace.
+				span.Complete("", false)
 				return nil, err
 			}
 			elapsedMs := float64(time.Since(start)) / float64(time.Millisecond)
@@ -477,6 +593,7 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 					_ = s.opts.Cache.Put(key, data)
 				}
 			}
+			span.Complete("", false)
 			j.shardDone(label, total, false, "", elapsedMs)
 			return v, nil
 		},
@@ -492,10 +609,12 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 			Config:     j.cfg,
 			Shard:      index,
 			Label:      label,
+			TraceID:    j.spec.TraceID,
 		}),
 		Probe: func() (any, bool) {
 			v, ok := probe()
 			if ok {
+				span.Complete("", true)
 				j.shardDone(label, total, true, "", 0)
 			}
 			return v, ok
@@ -503,6 +622,7 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 		Accept: func(from string, elapsed time.Duration, reply []byte) (any, error) {
 			v, err := s.codec.Decode(reply)
 			if err != nil {
+				span.Complete(from, false)
 				return nil, fmt.Errorf("service: %s: decode worker reply: %w", label, err)
 			}
 			// The dispatcher's lease→complete measurement includes transport
@@ -516,6 +636,7 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 				// so local and remote fills are byte-identical entries.
 				_ = s.opts.Cache.Put(key, reply)
 			}
+			span.Complete(from, false)
 			j.shardDone(label, total, false, from, elapsedMs)
 			return v, nil
 		},
@@ -535,6 +656,16 @@ func (j *Job) Profile() string { return j.profile }
 
 // Config returns the job's resolved experiment configuration.
 func (j *Job) Config() experiments.Config { return j.cfg }
+
+// TraceID returns the job's trace identifier (minted at Submit when the
+// spec carried none).
+func (j *Job) TraceID() string { return j.trace.ID() }
+
+// Trace snapshots the job's span set as the /v1/jobs/{id}/trace wire
+// record, stamped with the job's current lifecycle phase.
+func (j *Job) Trace() obs.TraceRecord {
+	return j.trace.Snapshot(string(j.State()))
+}
 
 // State returns the job's current lifecycle phase.
 func (j *Job) State() JobState {
@@ -606,6 +737,19 @@ func (j *Job) Result() (*experiments.Result, error) {
 // incrementing and emitting and the stream would carry Done values out of
 // order.
 func (j *Job) shardDone(label string, total int, cached bool, worker string, elapsedMs float64) {
+	source := "local"
+	switch {
+	case cached:
+		source = "cache"
+	case worker != "":
+		source = "remote"
+	}
+	j.svc.mShards.With(source).Inc()
+	if !cached {
+		j.svc.mShardMs.Observe(elapsedMs)
+	}
+	j.svc.log.Debug("shard done",
+		"job", j.id, "shard", label, "source", source, "worker", worker, "elapsed_ms", elapsedMs)
 	c := cached
 	j.emitWith(Event{Type: EventShardDone, Shard: label, Total: total, Cached: &c, Worker: worker, ElapsedMs: elapsedMs}, func(ev *Event) {
 		j.completed++
@@ -643,6 +787,17 @@ func (j *Job) finish(res *experiments.Result, err error) {
 	// critical section: a follower can never observe a terminal state whose
 	// terminal event is not yet in the history.
 	j.emitState(ev, state)
+	j.svc.mJobs.With(string(state)).Inc()
+	j.svc.mJobMs.Observe(elapsedMs)
+	if err != nil {
+		j.svc.log.Warn("job settled",
+			"job", j.id, "experiment", j.spec.Experiment, "state", state,
+			"elapsed_ms", elapsedMs, "error", err.Error())
+	} else {
+		j.svc.log.Info("job settled",
+			"job", j.id, "experiment", j.spec.Experiment, "state", state,
+			"elapsed_ms", elapsedMs)
+	}
 	close(j.done)
 	j.svc.noteSettled(j.id)
 }

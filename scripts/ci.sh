@@ -119,7 +119,8 @@ done
 
 # A sharded experiment fanned across two workers renders byte-identical
 # reports to a pure-local serial run, every shard event names its worker,
-# and the stream passes the schema gate.
+# and the stream passes the schema gate (-require-worker: with
+# -no-local-shards an unattributed computed shard is a scheduler bug).
 "$tmp/cdlab" run fig6 fig11 table1 -remote "127.0.0.1:$dport" -json -o "$tmp/dist-out" \
     > "$tmp/events-dist.jsonl" 2> /dev/null
 "$tmp/cdlab" run fig6 fig11 table1 -j 1 -o "$tmp/dist-local-out" > /dev/null
@@ -130,7 +131,18 @@ if grep '"type":"shard_done"' "$tmp/events-dist.jsonl" | grep -v '"worker":"' | 
     grep '"type":"shard_done"' "$tmp/events-dist.jsonl" | grep -v '"worker":"' | head -3 >&2
     exit 1
 fi
-go run ./scripts/eventcheck < "$tmp/events-dist.jsonl"
+go run ./scripts/eventcheck -require-worker < "$tmp/events-dist.jsonl"
+
+echo "== cdlab smoke: trace timeline of a settled distributed job =="
+# Every job of the sweep must replay a complete span set: `cdlab trace`
+# exits non-zero if a settled job has spans that never closed, and the
+# rendering must attribute shards to workers and name the critical path.
+for job in $(sed -n 's/.*"type":"job_queued".*"job":"\([^"]*\)".*/\1/p' "$tmp/events-dist.jsonl"); do
+    "$tmp/cdlab" trace "$job" -remote "127.0.0.1:$dport" > "$tmp/trace-$job.txt"
+done
+grep -q 'critical path:' "$tmp/trace-$job.txt"
+grep -q 'workers:' "$tmp/trace-$job.txt"
+grep -q 'leased worker=' "$tmp/trace-$job.txt"
 
 # The workers listing sees both attached workers, with completion stats
 # from the sweep that just ran.
@@ -157,10 +169,19 @@ done
 # SIGKILL below lands on a participating worker.
 { grep -q '"worker":"w1"' "$tmp/events-dist2.jsonl" && grep -q '"worker":"w2"' "$tmp/events-dist2.jsonl"; } || {
     echo "kill smoke: both workers never took shards; recovery path untested" >&2; exit 1; }
+
+echo "== cdlab smoke: /v1/metrics scrape mid-run =="
+# Scraped while the sweep is still executing: the export must be
+# well-formed Prometheus text carrying every serve/dispatch family even
+# under concurrent updates (the HTTP-level counterpart of the registry's
+# -race tests).
+go run ./scripts/promcheck -url "http://127.0.0.1:$dport/v1/metrics" \
+    -require cdlab_jobs_total,cdlab_jobs_active,cdlab_jobs_pending,cdlab_job_ms,cdlab_shard_elapsed_ms,cdlab_shards_total,cdlab_backend_workers,cdlab_lease_wait_ms,cdlab_lease_to_complete_ms,cdlab_worker_tasks_total,cdlab_dispatch_queue_depth,cdlab_dispatch_workers,cdlab_cache_hits_total,cdlab_cache_mem_bytes
+
 kill -9 "$w1_pid" 2>/dev/null || true
 wait "$dist_run_pid"
 diff -r "$tmp/dist-out2" "$tmp/out1"
-go run ./scripts/eventcheck < "$tmp/events-dist2.jsonl"
+go run ./scripts/eventcheck -require-worker < "$tmp/events-dist2.jsonl"
 
 echo "== cdlab smoke: formerly-serial experiments are multi-shard + warm-distributed zero-recompute =="
 # These experiments used to run through the legacy serial Run path as one

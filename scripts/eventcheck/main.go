@@ -7,16 +7,24 @@
 // The same envelope flows through every channel — `cdlab run -json`
 // locally, and the /v1 HTTP event streams a remote run relays — so one
 // checker gates both. Per-event validation enforces the /v1 envelope
-// ("v":1, service.EventSchemaVersion) and the type-specific fields;
-// stream-level checks cover every job present in the input: the first
+// ("v":1, service.EventSchemaVersion) and the type-specific fields,
+// including the enrichment rules: a computed shard_done carries a
+// positive elapsed_ms, a cached one carries neither wall time nor worker
+// attribution, and terminal events measure the job's wall time.
+// Stream-level checks cover every job present in the input: the first
 // event is job_queued, seq numbers are gap-free from 0 (also across the
 // client's ?from=N reconnect resumes), shard_done progress is monotonic,
-// and the stream ends with exactly one terminal event per job. Exits
-// non-zero with a line number on the first violation.
+// no shard's compute time exceeds the wall time its job reports, and the
+// stream ends with exactly one terminal event per job. With
+// -require-worker every computed shard must also name the worker that
+// executed it — the gate for -no-local-shards runs, where in-process
+// execution would be a scheduler bug. Exits non-zero with a line number
+// on the first violation.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 
@@ -27,18 +35,25 @@ import (
 type jobTrack struct {
 	nextSeq   int
 	shardDone int
-	terminal  bool
-	finished  bool
+	// maxShardMs is the largest per-shard compute time seen; a shard
+	// computes strictly inside its job's lifetime, so the terminal event's
+	// elapsed_ms must be at least this.
+	maxShardMs float64
+	terminal   bool
+	finished   bool
 }
 
 func main() {
-	if err := check(os.Stdin); err != nil {
+	requireWorker := flag.Bool("require-worker", false,
+		"fail if any computed shard_done lacks a worker attribution (for -no-local-shards runs)")
+	flag.Parse()
+	if err := check(os.Stdin, *requireWorker); err != nil {
 		fmt.Fprintln(os.Stderr, "eventcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func check(in *os.File) error {
+func check(in *os.File, requireWorker bool) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	jobs := map[string]*jobTrack{}
@@ -76,10 +91,19 @@ func check(in *os.File) error {
 			if ev.Total < j.shardDone {
 				return fmt.Errorf("line %d: job %s done %d exceeds total %d", line, ev.Job, j.shardDone, ev.Total)
 			}
-		case service.EventJobFinished:
-			j.terminal, j.finished = true, true
-		case service.EventJobFailed:
+			if requireWorker && ev.Cached != nil && !*ev.Cached && ev.Worker == "" {
+				return fmt.Errorf("line %d: job %s shard %s computed without a worker attribution", line, ev.Job, ev.Shard)
+			}
+			if ev.ElapsedMs > j.maxShardMs {
+				j.maxShardMs = ev.ElapsedMs
+			}
+		case service.EventJobFinished, service.EventJobFailed:
+			if ev.ElapsedMs < j.maxShardMs {
+				return fmt.Errorf("line %d: job %s reports %gms total but one shard alone took %gms",
+					line, ev.Job, ev.ElapsedMs, j.maxShardMs)
+			}
 			j.terminal = true
+			j.finished = ev.Type == service.EventJobFinished
 		}
 	}
 	if err := sc.Err(); err != nil {

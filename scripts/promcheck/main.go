@@ -1,0 +1,270 @@
+// Command promcheck validates a Prometheus text-format (0.0.4) metrics
+// export — CI's gate for the /v1/metrics endpoint:
+//
+//	go run ./scripts/promcheck -url http://127.0.0.1:8080/v1/metrics \
+//	    -require cdlab_jobs_total,cdlab_shards_total
+//	curl -s host/v1/metrics | go run ./scripts/promcheck -require ...
+//
+// Structural checks cover the whole export: every sample line parses as
+// `name[{labels}] value` with a float value, every sampled family is
+// declared by preceding # HELP/# TYPE comments, counters and gauges never
+// repeat a (name, labels) sample, and every histogram carries its _sum,
+// _count and a terminal +Inf bucket whose cumulative counts are monotone
+// and agree with _count. -require then asserts the presence of named
+// families (comma-separated), so a scrape that silently lost a subsystem's
+// metrics fails CI even though it is well-formed. Exits non-zero with a
+// line number on the first violation.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+
+// histState accumulates one histogram series' bucket samples, keyed by its
+// non-le labels.
+type histState struct {
+	buckets map[string][]bucket // labels (sans le) -> le-ordered samples
+	sum     map[string]bool
+	count   map[string]float64
+}
+
+type bucket struct {
+	le    float64
+	count float64
+}
+
+func main() {
+	url := flag.String("url", "", "fetch the export from this URL instead of stdin")
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *url != "" {
+		hc := &http.Client{Timeout: 30 * time.Second}
+		resp, err := hc.Get(*url)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("GET %s: %s", *url, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			fail("GET %s: content type %q, want text/plain; version=0.0.4", *url, ct)
+		}
+		in = resp.Body
+	}
+
+	families, samples, err := check(in)
+	if err != nil {
+		fail("%v", err)
+	}
+	var missing []string
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name != "" && !families[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fail("export is well-formed but missing required families: %s", strings.Join(missing, ", "))
+	}
+	fmt.Printf("promcheck: OK (%d families, %d samples)\n", len(families), samples)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// check validates the export structurally and returns the set of declared
+// families plus the sample count.
+func check(in io.Reader) (map[string]bool, int, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	families := map[string]bool{} // declared by # TYPE
+	kinds := map[string]string{}  // family -> counter|gauge|histogram
+	seen := map[string]bool{}     // scalar (name, labels) dedup
+	hists := map[string]*histState{}
+	line, samples := 0, 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			fields := strings.Fields(text)
+			if len(fields) != 4 {
+				return nil, 0, fmt.Errorf("line %d: malformed TYPE comment %q", line, text)
+			}
+			families[fields[2]] = true
+			kinds[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(text)
+		if m == nil {
+			return nil, 0, fmt.Errorf("line %d: malformed sample line %q", line, text)
+		}
+		name, labels := m[1], m[2]
+		value, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: unparseable value in %q: %v", line, text, err)
+		}
+		samples++
+		family := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, s); base != name && kinds[base] == "histogram" {
+				family, suffix = base, s
+				break
+			}
+		}
+		if !families[family] {
+			return nil, 0, fmt.Errorf("line %d: sample %q has no # TYPE declaration", line, name)
+		}
+		switch kinds[family] {
+		case "counter", "gauge":
+			key := name + labels
+			if seen[key] {
+				return nil, 0, fmt.Errorf("line %d: duplicate sample %s%s", line, name, labels)
+			}
+			seen[key] = true
+			if kinds[family] == "counter" && value < 0 {
+				return nil, 0, fmt.Errorf("line %d: negative counter %s%s = %g", line, name, labels, value)
+			}
+		case "histogram":
+			h := hists[family]
+			if h == nil {
+				h = &histState{buckets: map[string][]bucket{}, sum: map[string]bool{}, count: map[string]float64{}}
+				hists[family] = h
+			}
+			switch suffix {
+			case "_bucket":
+				le, rest, err := splitLE(labels)
+				if err != nil {
+					return nil, 0, fmt.Errorf("line %d: %s: %v", line, text, err)
+				}
+				h.buckets[rest] = append(h.buckets[rest], bucket{le: le, count: value})
+			case "_sum":
+				h.sum[labels] = true
+			case "_count":
+				h.count[labels] = value
+			default:
+				return nil, 0, fmt.Errorf("line %d: bare sample %q of histogram family %s", line, name, family)
+			}
+		default:
+			return nil, 0, fmt.Errorf("line %d: family %s has unknown kind %q", line, family, kinds[family])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if samples == 0 {
+		return nil, 0, fmt.Errorf("empty input: no samples to check")
+	}
+	for family, h := range hists {
+		for labels, bs := range h.buckets {
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, 1) {
+				return nil, 0, fmt.Errorf("histogram %s%s has no +Inf bucket", family, labels)
+			}
+			for i := 1; i < len(bs); i++ {
+				if bs[i].count < bs[i-1].count {
+					return nil, 0, fmt.Errorf("histogram %s%s buckets not cumulative at le=%g", family, labels, bs[i].le)
+				}
+			}
+			if !h.sum[labels] {
+				return nil, 0, fmt.Errorf("histogram %s%s has buckets but no _sum", family, labels)
+			}
+			count, ok := h.count[labels]
+			if !ok {
+				return nil, 0, fmt.Errorf("histogram %s%s has buckets but no _count", family, labels)
+			}
+			if count != last.count {
+				return nil, 0, fmt.Errorf("histogram %s%s _count %g disagrees with +Inf bucket %g", family, labels, count, last.count)
+			}
+		}
+	}
+	return families, samples, nil
+}
+
+// splitLE extracts the le label from a bucket's label set and returns the
+// remaining labels as the series key.
+func splitLE(labels string) (float64, string, error) {
+	if len(labels) < 2 {
+		return 0, "", fmt.Errorf("bucket sample without labels")
+	}
+	var le string
+	var rest []string
+	for _, pair := range splitLabelPairs(labels[1 : len(labels)-1]) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return 0, "", fmt.Errorf("malformed label pair %q", pair)
+		}
+		unq, err := strconv.Unquote(v)
+		if err != nil {
+			return 0, "", fmt.Errorf("malformed label value %s: %v", pair, err)
+		}
+		if k == "le" {
+			le = unq
+			continue
+		}
+		rest = append(rest, pair)
+	}
+	if le == "" {
+		return 0, "", fmt.Errorf("bucket sample without le label")
+	}
+	f, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("unparseable le %q: %v", le, err)
+	}
+	// A bucket whose only label was le keys the same series as bare
+	// _sum/_count samples, which carry no label braces at all.
+	if len(rest) == 0 {
+		return f, "", nil
+	}
+	return f, "{" + strings.Join(rest, ",") + "}", nil
+}
+
+// splitLabelPairs splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var pairs []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\' && inQuote:
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			pairs = append(pairs, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteRune(r)
+	}
+	if cur.Len() > 0 {
+		pairs = append(pairs, cur.String())
+	}
+	return pairs
+}
