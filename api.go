@@ -219,6 +219,16 @@ type LocalOptions struct {
 	// CacheMaxBytes bounds each cache level by payload bytes
 	// (0 = unbounded).
 	CacheMaxBytes int64
+	// WALDir enables the job journal (internal/wal) in the given
+	// directory: submissions are durable before they are acknowledged, and
+	// the first Run/Handler call replays the journal — interrupted jobs
+	// re-run under their original IDs (settled shards return as cache
+	// hits), finished-but-possibly-unfetched reports are resurrected, and
+	// reconnecting clients resume their event streams across the restart.
+	WALDir string
+	// AuthToken, when non-empty, gates every mutating /v1 verb behind
+	// `Authorization: Bearer <token>`; reads and metrics stay open.
+	AuthToken string
 	// Logger receives the serve plane's structured logs (job lifecycle,
 	// worker lifecycle, lease recovery). Nil discards them; `cdlab serve`
 	// points it at stderr at the -log-level threshold.
@@ -288,16 +298,36 @@ func (r *LocalRunner) ensureService(reqWorkers int) (*service.Service, error) {
 				Logger:       r.opts.Logger,
 			})
 		}
-		r.svc = service.New(service.Options{
+		var jn *service.Journal
+		var recovered *service.Recovered
+		if r.opts.WALDir != "" {
+			var err error
+			jn, recovered, err = service.OpenJournal(r.opts.WALDir, r.opts.Logger)
+			if err != nil {
+				if d != nil {
+					d.Close()
+				}
+				return nil, err
+			}
+		}
+		opts := service.Options{
 			Workers:       workers,
 			MaxActiveJobs: r.opts.MaxActiveJobs,
 			Dispatcher:    d,
 			RetainJobs:    r.opts.RetainJobs,
-			Cache:         r.store,
+			Journal:       jn,
+			AuthToken:     r.opts.AuthToken,
 			OnEvent:       r.subs.Emit,
 			Metrics:       reg,
 			Logger:        r.opts.Logger,
-		})
+		}
+		if r.store != nil {
+			// Assigned conditionally: a nil *cache.Store in the Backend
+			// interface field would read as "caching enabled" to the service.
+			opts.Cache = r.store
+		}
+		r.svc = service.New(opts)
+		r.svc.Recover(recovered)
 	}
 	return r.svc, nil
 }
@@ -344,7 +374,8 @@ func (r *LocalRunner) Handler() (http.Handler, error) {
 }
 
 // Close cancels every running job, waits for them to settle and releases
-// the worker pool.
+// the worker pool. With a WAL, the cancellations are final: a restart
+// will not re-run them.
 func (r *LocalRunner) Close() {
 	r.mu.Lock()
 	r.closed = true
@@ -352,6 +383,21 @@ func (r *LocalRunner) Close() {
 	r.mu.Unlock()
 	if svc != nil {
 		svc.Close()
+	}
+}
+
+// Shutdown is Close for a process that intends to resume: with a WAL,
+// interrupted jobs are suspended rather than canceled — the next runner
+// opened on the same WALDir/CacheDir recovers and re-runs them under
+// their original IDs, and a clean-shutdown record tells it nothing
+// crashed mid-write. Without a WAL, Shutdown is Close.
+func (r *LocalRunner) Shutdown() {
+	r.mu.Lock()
+	r.closed = true
+	svc := r.svc
+	r.mu.Unlock()
+	if svc != nil {
+		svc.Shutdown()
 	}
 }
 

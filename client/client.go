@@ -32,6 +32,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -60,6 +61,9 @@ type Options struct {
 	// RetryBackoff is the base delay between reconnect attempts
 	// (<= 0 selects 50ms; attempt n waits n times this).
 	RetryBackoff time.Duration
+	// AuthToken is sent as `Authorization: Bearer <token>` on every
+	// request, matching `cdlab serve -auth-token`. Empty sends nothing.
+	AuthToken string
 }
 
 // Runner is a columndisturb.Runner that executes requests on a remote
@@ -69,6 +73,7 @@ type Runner struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	token   string
 	subs    service.Subscribers
 }
 
@@ -116,7 +121,15 @@ func New(addr string, opts ...Options) (*Runner, error) {
 		hc:      hc,
 		retries: retries,
 		backoff: backoff,
+		token:   o.AuthToken,
 	}, nil
+}
+
+// authorize stamps the bearer token onto a request (no-op without one).
+func (r *Runner) authorize(req *http.Request) {
+	if r.token != "" {
+		req.Header.Set("Authorization", "Bearer "+r.token)
+	}
 }
 
 // Subscribe implements columndisturb.Runner.
@@ -124,15 +137,27 @@ func (r *Runner) Subscribe(fn func(columndisturb.Event)) (stop func()) {
 	return r.subs.Add(fn)
 }
 
+// statusError carries the HTTP status of a server-rejected request, so
+// retry loops can distinguish transient rejections (409: the job is still
+// re-running after a server restart) from permanent ones.
+type statusError struct {
+	code int
+	err  error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
 // apiError converts a non-2xx response into an error, preferring the
 // server's JSON error body.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	var ae service.APIError
 	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
-		return fmt.Errorf("client: server: %s", ae.Error)
+		return &statusError{code: resp.StatusCode, err: fmt.Errorf("client: server: %s", ae.Error)}
 	}
-	return fmt.Errorf("client: server returned %s: %s", resp.Status, bytes.TrimSpace(body))
+	return &statusError{code: resp.StatusCode,
+		err: fmt.Errorf("client: server returned %s: %s", resp.Status, bytes.TrimSpace(body))}
 }
 
 // getJSON performs a GET and decodes the JSON response into out.
@@ -141,6 +166,7 @@ func (r *Runner) getJSON(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
+	r.authorize(req)
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
@@ -189,6 +215,7 @@ func (r *Runner) Trace(ctx context.Context, jobID string) (obs.TraceRecord, erro
 	if err != nil {
 		return obs.TraceRecord{}, fmt.Errorf("client: %w", err)
 	}
+	r.authorize(req)
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		return obs.TraceRecord{}, fmt.Errorf("client: %w", err)
@@ -239,6 +266,7 @@ func (r *Runner) submit(spec service.JobSpec) (service.JobStatus, error) {
 		return service.JobStatus{}, fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	r.authorize(req)
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		return service.JobStatus{}, fmt.Errorf("client: %w", err)
@@ -268,6 +296,7 @@ func (r *Runner) cancelJobs(ids []string) {
 		if err != nil {
 			continue
 		}
+		r.authorize(req)
 		if resp, err := r.hc.Do(req); err == nil {
 			resp.Body.Close()
 		}
@@ -293,6 +322,7 @@ func (r *Runner) followJob(ctx context.Context, id string) (columndisturb.Event,
 		if err != nil {
 			return fail(err)
 		}
+		r.authorize(req)
 		resp, err := r.hc.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -382,16 +412,36 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// report fetches one finished job's report.
+// report fetches one finished job's report, retrying transport failures
+// and 409s with the stream-reconnect budget: both happen when the server
+// restarts between our terminal event and this fetch — the recovered job
+// re-runs cache-hot for a moment before its (byte-identical) report is
+// ready again.
 func (r *Runner) report(ctx context.Context, id string) (*columndisturb.Report, error) {
-	var wire service.ReportPayload
-	if err := r.getJSON(ctx, "/v1/jobs/"+id+"/report", &wire); err != nil {
-		return nil, err
+	var lastErr error
+	for attempt := 0; attempt <= r.retries; attempt++ {
+		if attempt > 0 && !sleepCtx(ctx, time.Duration(attempt)*r.backoff) {
+			return nil, ctx.Err()
+		}
+		var wire service.ReportPayload
+		err := r.getJSON(ctx, "/v1/jobs/"+id+"/report", &wire)
+		if err == nil {
+			return &columndisturb.Report{
+				ID: wire.ID, Title: wire.Title, Headers: wire.Headers,
+				Rows: wire.Rows, Notes: wire.Notes, Text: wire.Text,
+			}, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		var se *statusError
+		if errors.As(err, &se) && se.code != http.StatusConflict {
+			return nil, err // a definitive server answer: retrying cannot change it
+		}
+		lastErr = err
 	}
-	return &columndisturb.Report{
-		ID: wire.ID, Title: wire.Title, Headers: wire.Headers,
-		Rows: wire.Rows, Notes: wire.Notes, Text: wire.Text,
-	}, nil
+	return nil, fmt.Errorf("client: job %s report: no progress after %d attempts: %w",
+		id, r.retries+1, lastErr)
 }
 
 // Run implements columndisturb.Runner: validate the request against the

@@ -21,6 +21,11 @@ import (
 // generation: a permanent incompatibility, not a transient failure.
 var errProtocolMismatch = errors.New("client: worker protocol mismatch")
 
+// errUnauthorized marks a 401 at registration: the server wants a bearer
+// token this worker does not hold. Permanent — retrying the same (absent
+// or wrong) credential would just hot-loop.
+var errUnauthorized = errors.New("client: server rejected the auth token")
+
 // This file is the worker side of the distributed dispatch protocol:
 // `cdlab worker -connect addr` is RunWorker behind flag parsing. A worker
 // registers with a `cdlab serve` process, long-polls /v1/workers/<id>/lease
@@ -46,6 +51,10 @@ type WorkerOptions struct {
 	// PollWait asks the server to hold empty lease polls this long
 	// (<= 0 selects 2s; the server caps it at half the lease TTL).
 	PollWait time.Duration
+	// Token is sent as `Authorization: Bearer <token>` on every protocol
+	// verb, matching `cdlab serve -auth-token` (the worker protocol is all
+	// POST/DELETE, which the server gates). Empty sends nothing.
+	Token string
 	// RetryBackoff is the delay between reconnect/re-register attempts
 	// (<= 0 selects 500ms).
 	RetryBackoff time.Duration
@@ -98,9 +107,10 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			if errors.Is(err, errProtocolMismatch) {
-				// A different wire generation is permanent: refuse to
-				// exchange work instead of hot-looping on registration.
+			if errors.Is(err, errProtocolMismatch) || errors.Is(err, errUnauthorized) {
+				// A different wire generation or a rejected credential is
+				// permanent: refuse to exchange work instead of hot-looping
+				// on registration.
 				return err
 			}
 			w.log.Warn("register failed, retrying", "server", w.base, "error", err)
@@ -175,6 +185,9 @@ func (w *worker) post(ctx context.Context, path string, body []byte) (*http.Resp
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if w.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.opts.Token)
+	}
 	return w.hc.Do(req)
 }
 
@@ -185,6 +198,9 @@ func (w *worker) register(ctx context.Context) (dispatch.RegisterResponse, error
 		return dispatch.RegisterResponse{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		return dispatch.RegisterResponse{}, fmt.Errorf("%w (pass -token matching the server's -auth-token)", errUnauthorized)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return dispatch.RegisterResponse{}, apiError(resp)
 	}
@@ -210,6 +226,9 @@ func (w *worker) deregister(id string) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, w.base+"/v1/workers/"+id, nil)
 	if err != nil {
 		return
+	}
+	if w.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.opts.Token)
 	}
 	if resp, err := w.hc.Do(req); err == nil {
 		resp.Body.Close()

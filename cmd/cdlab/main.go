@@ -24,11 +24,27 @@
 //	cdlab trace <job> -remote addr            # shard-span timeline of one job
 //
 // Run flags: -profile p, -set k=v (repeatable), -full (deprecated alias of
-// -profile full), -remote addr, -j N, -o dir, -progress, -json,
-// -cache-dir d, -cache-entries N, -cache-bytes N, -no-cache.
+// -profile full), -remote addr, -token t, -retries N, -j N, -o dir,
+// -progress, -json, -cache-dir d, -cache-entries N, -cache-bytes N,
+// -no-cache.
 // Serve flags: -addr, -j, -max-active, -cache-dir, -cache-entries,
-// -cache-bytes, -no-local-shards, -lease-ttl, -retain, -log-level, -pprof.
-// Worker flags: -connect addr, -j N, -name s, -log-level.
+// -cache-bytes, -wal, -no-wal, -auth-token, -no-local-shards, -lease-ttl,
+// -retain, -log-level, -pprof.
+// Worker flags: -connect addr, -token t, -j N, -name s, -log-level.
+//
+// Durability: with -cache-dir (or an explicit -wal dir) a serve process
+// keeps a write-ahead job journal next to the cache. A submission is
+// acknowledged only after it is durable; if the process crashes — even
+// SIGKILL mid-run — the next serve on the same directories replays the
+// journal, re-runs interrupted jobs under their original IDs (settled
+// shards return as cache hits), and reconnecting clients resume their
+// event streams where they left off, ending with byte-identical reports.
+// SIGTERM/SIGINT trigger a graceful shutdown instead: in-flight work is
+// suspended, the WAL is fsynced, and a clean-shutdown record lets the
+// next start skip crash scans. -auth-token (or CDLAB_AUTH_TOKEN) gates
+// every mutating /v1 verb behind a bearer token; `cdlab run -remote` and
+// `cdlab worker -connect` pass it with -token (or CDLAB_TOKEN). Reads —
+// reports, event streams, /v1/metrics — stay open.
 //
 // Observability: a serve process exports Prometheus-text metrics at
 // GET /v1/metrics, per-job span records at GET /v1/jobs/<id>/trace (the
@@ -114,13 +130,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cdlab catalog
        cdlab list
        cdlab profiles
-       cdlab run <id>...|all [-profile p] [-set k=v]... [-full] [-remote addr] [-j N]
-                 [-progress] [-json] [-o dir] [-cache-dir d] [-cache-entries N]
+       cdlab run <id>...|all [-profile p] [-set k=v]... [-full] [-remote addr] [-token t]
+                 [-j N] [-progress] [-json] [-o dir] [-cache-dir d] [-cache-entries N]
                  [-cache-bytes N] [-no-cache]
        cdlab serve [-addr a] [-j N] [-max-active N] [-cache-dir d] [-cache-entries N]
-                 [-cache-bytes N] [-no-local-shards] [-lease-ttl d] [-retain N]
-                 [-log-level l] [-pprof]
-       cdlab worker -connect addr [-j N] [-name s] [-log-level l]
+                 [-cache-bytes N] [-wal d] [-no-wal] [-auth-token t] [-no-local-shards]
+                 [-lease-ttl d] [-retain N] [-log-level l] [-pprof]
+       cdlab worker -connect addr [-token t] [-j N] [-name s] [-log-level l]
        cdlab workers -remote addr
        cdlab trace <job> -remote addr`)
 }
@@ -224,6 +240,8 @@ func runExperiments(args []string) int {
 	fs.Var(overrides, "set", "configuration override `key=value` (repeatable; see `cdlab profiles`)")
 	full := fs.Bool("full", false, "deprecated: alias of -profile full")
 	remote := fs.String("remote", "", "run against a `cdlab serve` server at this address instead of locally")
+	token := fs.String("token", "", "bearer token for a server started with -auth-token (default $CDLAB_TOKEN)")
+	retries := fs.Int("retries", 0, "consecutive fruitless reconnect attempts tolerated per event stream (0 = default of 5; raise to ride through a server restart)")
 	outDir := fs.String("o", "", "write each result to <dir>/<id>.txt instead of stdout")
 	workers := fs.Int("j", runtime.GOMAXPROCS(0), "worker bound for the local shared pool (1 = serial; ignored with -remote)")
 	progress := fs.Bool("progress", false, "report per-shard progress on stderr")
@@ -274,7 +292,10 @@ func runExperiments(args []string) int {
 			fmt.Fprintln(os.Stderr, "cdlab: -cache-dir/-cache-entries/-cache-bytes configure the local cache; with -remote the server owns the cache (see `cdlab serve`)")
 			return 2
 		}
-		c, err := client.New(*remote)
+		if *token == "" {
+			*token = os.Getenv("CDLAB_TOKEN")
+		}
+		c, err := client.New(*remote, client.Options{AuthToken: *token, StreamRetries: *retries})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cdlab:", err)
 			return 2
@@ -451,6 +472,9 @@ func serve(args []string) int {
 	noLocal := fs.Bool("no-local-shards", false, "run no shards in-process; every shard waits for a `cdlab worker` lease")
 	leaseTTL := fs.Duration("lease-ttl", 0, "worker heartbeat deadline before its shards requeue (0 = 15s)")
 	retain := fs.Int("retain", 512, "settled jobs kept for event replay/report fetch; older ones are retired (0 = keep all; keep this well above the largest multi-ID batch clients submit)")
+	walDir := fs.String("wal", "", "job journal directory for crash recovery (default <cache-dir>/wal when -cache-dir is set)")
+	noWAL := fs.Bool("no-wal", false, "disable the job journal even with -cache-dir")
+	authToken := fs.String("auth-token", "", "require `Authorization: Bearer <token>` on mutating /v1 verbs (default $CDLAB_AUTH_TOKEN; reads and /v1/metrics stay open)")
 	logLevel := fs.String("log-level", "info", "structured-log threshold on stderr: debug, info, warn or error")
 	pprofOn := fs.Bool("pprof", false, "also serve the net/http/pprof profiles under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
@@ -463,6 +487,22 @@ func serve(args []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdlab:", err)
 		return 2
+	}
+	if *authToken == "" {
+		*authToken = os.Getenv("CDLAB_AUTH_TOKEN")
+	}
+	// The journal defaults on next to the cache because recovery leans on
+	// it: a WAL without the shard cache still recovers jobs, it just
+	// recomputes their shards.
+	switch {
+	case *noWAL:
+		if *walDir != "" {
+			fmt.Fprintln(os.Stderr, "cdlab: -no-wal conflicts with -wal")
+			return 2
+		}
+		*walDir = ""
+	case *walDir == "" && *cacheDir != "":
+		*walDir = filepath.Join(*cacheDir, "wal")
 	}
 	// A serve process is always dispatch-enabled: with no workers attached
 	// the dispatcher's local executors behave exactly like the plain pool,
@@ -477,15 +517,17 @@ func serve(args []string) int {
 		CacheDir:      *cacheDir,
 		CacheEntries:  *cacheEntries,
 		CacheMaxBytes: *cacheBytes,
+		WALDir:        *walDir,
+		AuthToken:     *authToken,
 		Logger:        obs.NewTextLogger(os.Stderr, level),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdlab:", err)
 		return 1
 	}
-	defer runner.Close()
 	handler, err := runner.Handler()
 	if err != nil {
+		runner.Close()
 		fmt.Fprintln(os.Stderr, "cdlab:", err)
 		return 1
 	}
@@ -501,12 +543,35 @@ func serve(args []string) int {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	fmt.Fprintf(os.Stderr, "cdlab: serving the /v1 experiment API on %s (cache=%s, local shards=%v, pprof=%v)\n",
-		*addr, orNA(*cacheDir), !*noLocal, *pprofOn)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	fmt.Fprintf(os.Stderr, "cdlab: serving the /v1 experiment API on %s (cache=%s, wal=%s, local shards=%v, auth=%v, pprof=%v)\n",
+		*addr, orNA(*cacheDir), orNA(*walDir), !*noLocal, *authToken != "", *pprofOn)
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		runner.Close()
 		fmt.Fprintln(os.Stderr, "cdlab:", err)
 		return 1
+	case <-ctx.Done():
 	}
+	// Graceful shutdown, ordered so clients resume instead of erroring:
+	// first drain (then close) the listener — severed streams reconnect
+	// and see connection-refused, which the client retries — and only THEN
+	// suspend the runner, so no client ever observes a spurious canceled
+	// terminal event. The runner's Shutdown fsyncs the WAL and records a
+	// clean shutdown; the next serve on the same directories resumes the
+	// interrupted jobs.
+	fmt.Fprintln(os.Stderr, "cdlab: signal received, shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_ = srv.Shutdown(shutdownCtx)
+	cancel()
+	_ = srv.Close()
+	runner.Shutdown()
+	fmt.Fprintln(os.Stderr, "cdlab: clean shutdown complete")
 	return 0
 }
 
@@ -568,6 +633,7 @@ func trace(args []string) int {
 func worker(args []string) int {
 	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
 	connect := fs.String("connect", "", "`cdlab serve` address to register with (required)")
+	token := fs.String("token", "", "bearer token for a server started with -auth-token (default $CDLAB_TOKEN)")
 	capacity := fs.Int("j", runtime.GOMAXPROCS(0), "shards to execute concurrently")
 	name := fs.String("name", "", "worker label in the server's /v1/workers listing")
 	logLevel := fs.String("log-level", "info", "structured-log threshold on stderr: debug, info, warn or error")
@@ -588,9 +654,13 @@ func worker(args []string) int {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *token == "" {
+		*token = os.Getenv("CDLAB_TOKEN")
+	}
 	err = client.RunWorker(ctx, *connect, client.WorkerOptions{
 		Name:     *name,
 		Capacity: *capacity,
+		Token:    *token,
 		Logger:   obs.NewTextLogger(os.Stderr, level),
 	})
 	if errors.Is(err, context.Canceled) {

@@ -57,6 +57,19 @@
 // big-shard→fast-worker affinity (DESIGN.md §12); costs steer scheduling
 // only and never change results.
 //
+// A serve process is durable (DESIGN.md §14): with LocalOptions.WALDir
+// (or `cdlab serve -cache-dir`, which defaults the WAL next to the cache)
+// every accepted job is journaled to a checksummed write-ahead log
+// (internal/wal) before the submit ACK, and a restarted server replays
+// the journal — interrupted jobs requeue under their original IDs, done
+// jobs re-render cache-hot, and reconnecting clients resume event
+// streams and reports byte-identically across the crash. SIGTERM drains
+// gracefully and records a clean shutdown. Identical concurrent
+// submissions (same experiment and config digest, without NoCache)
+// coalesce into one single-flight computation with independent event
+// streams and reports per submission, and `-auth-token` gates mutating
+// /v1 verbs behind a bearer token while reads and metrics stay open.
+//
 // Everything is deterministic for a fixed seed and runs on a laptop; see
 // EXPERIMENTS.md for measured-vs-paper results of every artifact.
 package columndisturb

@@ -153,6 +153,21 @@ func New(opts Options) (*Store, error) {
 // Dir returns the on-disk directory ("" when the store is memory-only).
 func (s *Store) Dir() string { return s.opts.Dir }
 
+// Backend is the store interface the service caches shard results
+// through. *Store is the in-process implementation; the seam exists so a
+// replica fleet can later share one content-addressed backend (a network
+// store satisfying the same three methods) without touching the service.
+// Implementations must be safe for concurrent use and treat Get misses
+// and Put failures as performance events, not errors — the service
+// recomputes on a miss and drops the fill on a failed Put.
+type Backend interface {
+	Get(k Key) ([]byte, bool)
+	Put(k Key, data []byte) error
+	Stats() Stats
+}
+
+var _ Backend = (*Store)(nil)
+
 // Get returns the cached bytes for k, consulting memory first and then the
 // on-disk level. The second result is false on a miss (including corrupted
 // disk entries).

@@ -344,6 +344,9 @@ func (d *Dispatcher) Run(ctx context.Context, shards []engine.Shard, opts engine
 			cost:   sh.Cost,
 			doneCh: make(chan struct{}),
 		}
+		// Crash-recovered work re-enters at the front of the queue, the
+		// same boost a requeued lease gets: it already waited once.
+		tasks[i].boost = opts.Recovered
 		d.enqueueLocked(tasks[i])
 	}
 	d.wakeLocked()

@@ -131,6 +131,12 @@ type Options struct {
 	// label. Calls are serialized (never concurrent) but may arrive in any
 	// shard order. Shards skipped because of cancellation are not reported.
 	OnProgress func(done, total int, label string)
+	// Recovered marks this run as crash-recovered work resubmitted after a
+	// restart. It is a scheduling hint only: queue-aware backends treat
+	// the shards like requeued interrupted leases (front of the queue)
+	// instead of new arrivals, so work that already waited through a crash
+	// is not penalized a second time. Plain pools ignore it.
+	Recovered bool
 }
 
 // ShardError reports the failure of one shard, preserving its identity.

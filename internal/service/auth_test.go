@@ -1,0 +1,86 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBearerAuthGatesMutatingVerbs: with an AuthToken configured, every
+// mutating verb demands the bearer token (constant-time compared), while
+// reads — listings, reports, event streams, metrics — stay open so
+// dashboards and metric collectors need no secrets.
+func TestBearerAuthGatesMutatingVerbs(t *testing.T) {
+	svc := New(Options{Workers: 1, AuthToken: "sekrit"})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	do := func(method, path, token string) int {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(`{"experiment":"table1"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Mutations without (or with a wrong) token are rejected.
+	if got := do(http.MethodPost, "/v1/jobs", ""); got != http.StatusUnauthorized {
+		t.Fatalf("tokenless POST /v1/jobs: %d, want 401", got)
+	}
+	if got := do(http.MethodPost, "/v1/jobs", "wrong"); got != http.StatusUnauthorized {
+		t.Fatalf("wrong-token POST /v1/jobs: %d, want 401", got)
+	}
+	if got := do(http.MethodDelete, "/v1/jobs/job-1", ""); got != http.StatusUnauthorized {
+		t.Fatalf("tokenless DELETE: %d, want 401", got)
+	}
+
+	// The 401 carries the challenge header.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("WWW-Authenticate"); !strings.Contains(got, "Bearer") {
+		t.Fatalf("401 WWW-Authenticate = %q", got)
+	}
+
+	// The right token passes.
+	if got := do(http.MethodPost, "/v1/jobs", "sekrit"); got != http.StatusAccepted {
+		t.Fatalf("authorized POST /v1/jobs: %d, want 202", got)
+	}
+
+	// Reads stay open.
+	for _, path := range []string{"/v1/experiments", "/v1/profiles", "/v1/jobs", "/v1/metrics", "/v1/jobs/job-1"} {
+		if got := do(http.MethodGet, path, ""); got != http.StatusOK {
+			t.Fatalf("tokenless GET %s: %d, want 200", path, got)
+		}
+	}
+}
+
+// TestNoAuthTokenKeepsHandlerOpen: the default (no token) configuration
+// is unchanged — mutations need no header.
+func TestNoAuthTokenKeepsHandlerOpen(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"experiment":"table1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tokenless POST without auth configured: %d, want 202", resp.StatusCode)
+	}
+}

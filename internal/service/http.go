@@ -1,6 +1,8 @@
 package service
 
 import (
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -67,7 +69,33 @@ func (s *Service) Handler() http.Handler {
 		mux.HandleFunc("/v1/workers", s.handleWorkers)
 		mux.HandleFunc("/v1/workers/", s.handleWorker)
 	}
+	if s.opts.AuthToken != "" {
+		return authMiddleware(s.opts.AuthToken, mux)
+	}
 	return mux
+}
+
+// authMiddleware gates mutating verbs behind a bearer token. Reads stay
+// open — reports, event streams, worker listings and /v1/metrics carry no
+// authority to change anything, and the metrics endpoint in particular
+// must remain scrapable by collectors that hold no secrets. Tokens are
+// compared as SHA-256 digests under crypto/subtle so the comparison is
+// constant-time and indifferent to length mismatches.
+func authMiddleware(token string, next http.Handler) http.Handler {
+	want := sha256.Sum256([]byte(token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet || r.Method == http.MethodHead {
+			next.ServeHTTP(w, r)
+			return
+		}
+		got := sha256.Sum256([]byte(strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")))
+		if subtle.ConstantTimeCompare(want[:], got[:]) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="cdlab"`)
+			writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // JobStatus is the JSON shape of one job in listings and status responses

@@ -1,30 +1,37 @@
 // Package service is the experiment service subsystem (DESIGN.md §8): a
 // job queue and cross-experiment scheduler that executes any number of
 // concurrently submitted experiments on ONE shared engine pool, with
-// shard-level result caching and a typed JSONL event stream per job.
+// shard-level result caching, a typed JSONL event stream per job,
+// single-flight coalescing of identical submissions, and (with a Journal)
+// WAL-backed crash recovery.
 //
 // The layering:
 //
-//   - Submit validates a JobSpec and enqueues a Job. The scheduler starts
-//     queued jobs (optionally bounded by MaxActiveJobs); a started job
+//   - Submit validates a JobSpec, journals it durably (when a Journal is
+//     configured) and enqueues it. Identical live submissions coalesce: a
+//     job whose (experiment, config digest) matches an in-flight one
+//     attaches to that flight as a follower — one computation, N
+//     independent event streams and reports (DESIGN.md §14).
+//   - A flight is the unit of execution. The scheduler starts queued
+//     flights (optionally bounded by MaxActiveJobs); a started flight
 //     feeds its shards into the shared engine.Pool, where they interleave
-//     with every other in-flight job's shards. Total CPU parallelism is
-//     the pool's worker count, no matter how many jobs run — this replaces
-//     the old `run all` behaviour of pooling per experiment.
+//     with every other in-flight flight's shards.
 //   - Before a shard executes, the service consults the result cache under
 //     (experiment ID, config digest, shard label). A hit decodes the
 //     stored bytes and skips the computation; a miss runs the shard and
 //     stores its encoded result. Because shards are pure functions of
 //     (config, shard key), a warm re-run recomputes zero shards and still
-//     merges a byte-identical report.
-//   - Every state transition is emitted on the job's event stream (Event),
-//     consumable live (Job.Events replays history then follows) and
-//     serialized as JSON lines by the front-ends: `cdlab run -json` and
-//     `cdlab serve`'s per-job HTTP stream.
+//     merges a byte-identical report — which is also why crash recovery
+//     can simply re-run journaled jobs: their settled shards are cache
+//     hits, and the re-merged report is byte-identical by construction.
+//   - Every state transition is emitted on each member job's event stream
+//     (Event), consumable live (Job.Events replays history then follows)
+//     and serialized as JSON lines by the front-ends: `cdlab run -json`
+//     and `cdlab serve`'s per-job HTTP stream.
 //
-// Cancellation flows through context: cancelling a job stops scheduling
-// its remaining shards (in-flight ones finish), fails the job with
-// context.Canceled, and leaves the pool serving other jobs.
+// Cancellation flows through membership: cancelling a job detaches it
+// from its flight and settles just that stream with context.Canceled; the
+// computation stops only when its last member leaves.
 package service
 
 import (
@@ -36,6 +43,7 @@ import (
 	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"columndisturb/internal/cache"
@@ -54,9 +62,11 @@ type Options struct {
 	// Ignored when Dispatcher is set (the dispatcher's own options size its
 	// local executors).
 	Workers int
-	// MaxActiveJobs bounds how many jobs run concurrently (0 = unlimited).
-	// Shard-level parallelism is always bounded by Workers; this knob only
-	// serializes whole jobs, e.g. to keep per-job latency predictable.
+	// MaxActiveJobs bounds how many flights run concurrently (0 =
+	// unlimited). Shard-level parallelism is always bounded by Workers;
+	// this knob only serializes whole computations, e.g. to keep per-job
+	// latency predictable. Coalesced followers ride their flight and do
+	// not consume a slot.
 	MaxActiveJobs int
 	// Dispatcher, when non-nil, replaces the in-process engine pool with
 	// the distributed shard backend: shards run on the dispatcher's local
@@ -75,8 +85,10 @@ type Options struct {
 	// below the batch size could retire a finished job's report before its
 	// own client reads it).
 	RetainJobs int
-	// Cache, when non-nil, enables shard-result caching.
-	Cache *cache.Store
+	// Cache, when non-nil, enables shard-result caching. *cache.Store is
+	// the in-process implementation; the interface seam exists so replicas
+	// can later share one content-addressed backend.
+	Cache cache.Backend
 	// Codec encodes shard results for the cache (nil selects cache.Gob).
 	// With a Dispatcher it MUST be cache.Gob (or nil): worker replies
 	// travel in the wire gob encoding and are stored in the cache
@@ -84,6 +96,15 @@ type Options struct {
 	// nor share entries with locally computed shards (New panics on the
 	// combination).
 	Codec cache.Codec
+	// Journal, when non-nil, gives the service a write-ahead log: Submit
+	// acknowledges only after the job is durable, computed shards and
+	// settles are journaled, and Recover rebuilds the job table after a
+	// restart. The service takes ownership and closes it.
+	Journal *Journal
+	// AuthToken, when non-empty, gates every mutating /v1 verb behind
+	// `Authorization: Bearer <token>` (401 without it). Reads — reports,
+	// event streams, worker listings, /v1/metrics — stay open.
+	AuthToken string
 	// OnEvent, when non-nil, observes every event of every job as it is
 	// emitted (calls may arrive concurrently across jobs, serialized within
 	// one job). It must not call back into the Service or Job.
@@ -96,6 +117,14 @@ type Options struct {
 	Logger *slog.Logger
 }
 
+// coalesceKey identifies a computation for single-flight purposes: two
+// submissions with equal keys would run identical shard sets to identical
+// results, so one flight serves both.
+type coalesceKey struct {
+	experiment string
+	digest     string
+}
+
 // Service owns the shard backend (shared pool or dispatcher), the job
 // table and the scheduler.
 type Service struct {
@@ -104,29 +133,40 @@ type Service struct {
 	codec   cache.Codec
 	costs   costModel // learned shard wall times, keyed by shard label
 	log     *slog.Logger
+	journal *Journal
 
 	// Observability handles (side channels only; see internal/obs).
-	metrics  *obs.Registry
-	mJobs    *obs.CounterVec // settled jobs by final state
-	mJobMs   *obs.Histogram  // job wall time
-	mShardMs *obs.Histogram  // computed shard wall time
-	mShards  *obs.CounterVec // finished shards by source (local/remote/cache)
+	metrics    *obs.Registry
+	mJobs      *obs.CounterVec // settled jobs by final state
+	mJobMs     *obs.Histogram  // job wall time
+	mShardMs   *obs.Histogram  // computed shard wall time
+	mShards    *obs.CounterVec // finished shards by source (local/remote/cache)
+	mCoalesced *obs.Counter    // submissions attached to a live identical flight
+	mRecovered *obs.Counter    // jobs reconstructed from the journal at startup
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu      sync.Mutex
-	seq     int
-	jobs    map[string]*Job
-	order   []string // job IDs in submission order
-	settled []string // settled job IDs in settle order (retention ring)
-	queue   []*Job   // submitted, not yet started
-	active  int
-	closed  bool
-	wg      sync.WaitGroup
+	// draining marks a suspend shutdown in progress: interrupted jobs are
+	// settled in memory (streams get their terminal) but NOT journaled as
+	// settled, so the next open recovers and re-runs them.
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order
+	settled  []string // settled job IDs in settle order (retention ring)
+	queue    []*flight
+	inflight map[coalesceKey]*flight // live (queued or running) coalescible flights
+	active   int
+	closed   bool
+	wg       sync.WaitGroup
 }
 
-// New starts a service. Callers must release it with Close.
+// New starts a service. Callers must release it with Close (or Shutdown,
+// to suspend for a journal-backed restart). When the service was built
+// from a replayed journal, call Recover before accepting submissions.
 func New(opts Options) *Service {
 	codec := opts.Codec
 	if codec == nil {
@@ -158,10 +198,12 @@ func New(opts Options) *Service {
 		backend:    backend,
 		codec:      codec,
 		log:        log,
+		journal:    opts.Journal,
 		metrics:    reg,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
+		inflight:   make(map[coalesceKey]*flight),
 	}
 	s.registerMetrics(reg)
 	return s
@@ -179,14 +221,18 @@ func (s *Service) registerMetrics(reg *obs.Registry) {
 		"Computed shard wall time (cache hits excluded), in milliseconds.", nil)
 	s.mShards = reg.CounterVec("cdlab_shards_total",
 		"Finished shards by execution source.", "source")
+	s.mCoalesced = reg.Counter("cdlab_jobs_coalesced_total",
+		"Submissions that attached to a live identical flight (single-flight coalescing) instead of recomputing.")
+	s.mRecovered = reg.Counter("cdlab_jobs_recovered_total",
+		"Jobs reconstructed from the WAL journal at startup (interrupted re-runs plus resurrected reports).")
 	reg.GaugeFunc("cdlab_jobs_active",
-		"Jobs currently running.", func() float64 {
+		"Flights currently running (coalesced member jobs share one flight).", func() float64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			return float64(s.active)
 		})
 	reg.GaugeFunc("cdlab_jobs_pending",
-		"Jobs queued behind the scheduler's MaxActiveJobs bound.", func() float64 {
+		"Flights queued behind the scheduler's MaxActiveJobs bound.", func() float64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			return float64(len(s.queue))
@@ -199,6 +245,24 @@ func (s *Service) registerMetrics(reg *obs.Registry) {
 		reg.GaugeFunc("cdlab_backend_busy",
 			"Shards currently executing on the backend (local executors plus remote leases).",
 			func() float64 { return float64(busy.Busy()) })
+	}
+	if jn := s.journal; jn != nil {
+		reg.CounterFunc("cdlab_wal_records_total",
+			"Journal records appended since this process opened the WAL.", func() float64 {
+				return float64(jn.WALStats().Records)
+			})
+		reg.CounterFunc("cdlab_wal_bytes_total",
+			"Journal frame bytes appended since this process opened the WAL.", func() float64 {
+				return float64(jn.WALStats().Bytes)
+			})
+		reg.CounterFunc("cdlab_wal_syncs_total",
+			"WAL fsync barriers (group commits, rotations, close).", func() float64 {
+				return float64(jn.WALStats().Syncs)
+			})
+		reg.GaugeFunc("cdlab_wal_segments",
+			"WAL segment files on disk.", func() float64 {
+				return float64(jn.WALStats().Segments)
+			})
 	}
 	if c := s.opts.Cache; c != nil {
 		reg.CounterFunc("cdlab_cache_hits_total",
@@ -249,14 +313,37 @@ func (s *Service) CacheStats() cache.Stats {
 }
 
 // Close cancels every running job, waits for them to settle and releases
-// the pool. Jobs still queued are failed with context.Canceled.
-func (s *Service) Close() {
+// the pool. Jobs still queued are failed with context.Canceled. With a
+// journal, the cancellations are journaled as final — a later replay does
+// not resurrect them — and a clean-shutdown record closes the log.
+func (s *Service) Close() { s.shutdown(false) }
+
+// Shutdown is Close for a serve process that intends to resume: in-flight
+// jobs are interrupted and their streams settled with context.Canceled,
+// but the journal records NO settle for them — so the next OpenJournal
+// recovers and re-runs them under their original IDs, and reconnecting
+// clients resume their streams across the restart. The WAL is fsynced and
+// a clean-shutdown record written, telling the next replay that nothing
+// crashed mid-write. Without a journal, Shutdown is Close.
+func (s *Service) Shutdown() { s.shutdown(true) }
+
+func (s *Service) shutdown(suspend bool) {
+	if suspend {
+		s.draining.Store(true)
+	}
 	s.mu.Lock()
 	s.closed = true
+	nextSeq := s.seq + 1
 	s.mu.Unlock()
 	s.baseCancel()
 	s.wg.Wait()
 	s.backend.Close()
+	if s.journal != nil {
+		s.journal.close(nextSeq, true)
+		if suspend {
+			s.log.Info("wal: clean shutdown recorded; interrupted jobs will recover on next start")
+		}
+	}
 }
 
 // JobSpec names one experiment run. It doubles as the request codec of the
@@ -279,12 +366,14 @@ type JobSpec struct {
 	// profile (experiments.ApplyOverrides keys, e.g. "seed", "mixes").
 	Overrides map[string]string `json:"overrides,omitempty"`
 	// NoCache bypasses the shard-result cache for this job: nothing is
-	// read from or written to the store.
+	// read from or written to the store. A NoCache job also never
+	// coalesces — it demanded its own fresh computation.
 	NoCache bool `json:"no_cache,omitempty"`
 	// TraceID, when set, names the job's observability trace (a client
 	// propagating its own correlation ID); empty lets the service mint one.
 	// Trace IDs are a pure side channel: they never enter the config digest,
 	// cache keys or report bytes, so they cannot perturb byte-identity.
+	// A coalesced follower adopts its flight's trace.
 	TraceID string `json:"trace_id,omitempty"`
 }
 
@@ -349,22 +438,325 @@ func (st JobState) terminal() bool {
 	return st == JobDone || st == JobFailed || st == JobCanceled
 }
 
-// Job is one submitted experiment run.
-type Job struct {
-	id      string
-	spec    JobSpec
-	profile string             // resolved profile name ("small" when the spec left it empty)
-	cfg     experiments.Config // resolved at Submit; runJob never re-resolves
-	svc     *Service
-	ctx     context.Context
-	cancel  context.CancelFunc
-	done    chan struct{}
-	trace   *obs.Trace // per-job span set, created at Submit
+// flightRecord is one canonical emission of a flight: the event template
+// every member stream receives, restamped per member (Job, Seq, Done).
+type flightRecord struct {
+	ev      Event
+	state   JobState  // "" keeps the member's state
+	started time.Time // member start anchor, set on the job_started record
+}
 
-	// emitMu serializes whole event emissions (append + OnEvent callback)
-	// so observers see events in Seq order; mu guards the fields below and
-	// is never held across callbacks.
-	emitMu    sync.Mutex
+// flight is one computation: the shard run every member job shares.
+// Members join at Submit (creator) or by coalescing (followers attaching
+// to a live flight with the same coalesceKey); each keeps an independent,
+// complete event stream — a follower replays the flight's history on
+// attach, so every stream starts at Seq 0 regardless of join time.
+type flight struct {
+	svc       *Service
+	creator   string // first member's job ID: names the trace and journal shard records
+	spec      JobSpec
+	cfg       experiments.Config
+	digest    string
+	key       coalesceKey
+	coalesce  bool // participates in s.inflight (NoCache jobs do not)
+	recovered bool // crash-recovered: shards enter the backend queue boosted
+	anchor    time.Time
+	ctx       context.Context
+	cancel    context.CancelFunc
+	trace     *obs.Trace
+
+	// emitMu serializes whole emissions (history append + per-member fan
+	// out + OnEvent callbacks) and guards the fields below; each member's
+	// mu is taken inside it, never the reverse, and s.mu is never held
+	// while acquiring it.
+	emitMu  sync.Mutex
+	members []*Job
+	history []flightRecord
+	state   JobState
+	started time.Time
+	settled bool
+}
+
+// newFlight builds a flight around its creating job. The caller
+// registers it with the scheduler.
+func (s *Service) newFlight(j *Job, recovered bool) *flight {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	f := &flight{
+		svc:       s,
+		creator:   j.id,
+		spec:      j.spec,
+		cfg:       j.cfg,
+		digest:    j.cfg.Digest(),
+		coalesce:  !j.spec.NoCache,
+		recovered: recovered,
+		anchor:    j.submitted,
+		ctx:       ctx,
+		cancel:    cancel,
+		trace:     obs.NewTrace(j.spec.TraceID, j.id, j.spec.Experiment),
+		state:     JobQueued,
+	}
+	f.key = coalesceKey{experiment: j.spec.Experiment, digest: f.digest}
+	return f
+}
+
+// attach adds a member to a live flight, replaying the flight's history
+// into the member's stream so it is complete from Seq 0. Returns false if
+// the flight already settled or was cancelled — the caller must start a
+// fresh flight instead.
+func (f *flight) attach(j *Job) bool {
+	f.emitMu.Lock()
+	if f.settled || f.ctx.Err() != nil {
+		f.emitMu.Unlock()
+		return false
+	}
+	j.f = f
+	f.members = append(f.members, j)
+	var outs []Event
+	j.mu.Lock()
+	for _, rec := range f.history {
+		outs = append(outs, j.applyRecordLocked(rec))
+	}
+	j.mu.Unlock()
+	if cb := f.svc.opts.OnEvent; cb != nil {
+		for _, ev := range outs {
+			cb(ev)
+		}
+	}
+	f.emitMu.Unlock()
+	return true
+}
+
+// emit appends one canonical record and fans it out to every member
+// stream. state "" keeps the flight's lifecycle phase.
+func (f *flight) emit(ev Event, state JobState, started time.Time) {
+	ev.V = EventSchemaVersion
+	ev.Experiment = f.spec.Experiment
+	ev.Time = time.Now()
+	rec := flightRecord{ev: ev, state: state, started: started}
+	f.emitMu.Lock()
+	if f.settled {
+		// A late completion can trail a settled flight (a presumed-lost
+		// remote worker replying after its shard was requeued and the job
+		// cancelled): drop it, preserving the invariant that the terminal
+		// event ends every stream.
+		f.emitMu.Unlock()
+		return
+	}
+	if state != "" {
+		f.state = state
+	}
+	f.history = append(f.history, rec)
+	cb := f.svc.opts.OnEvent
+	for _, j := range f.members {
+		j.mu.Lock()
+		out := j.applyRecordLocked(rec)
+		j.mu.Unlock()
+		if cb != nil {
+			cb(out)
+		}
+	}
+	f.emitMu.Unlock()
+}
+
+// shardDone records one finished shard: metrics and the journal once per
+// flight, then the event fan-out to every member.
+func (f *flight) shardDone(label string, total int, cached bool, worker string, elapsedMs float64) {
+	s := f.svc
+	source := "local"
+	switch {
+	case cached:
+		source = "cache"
+	case worker != "":
+		source = "remote"
+	}
+	s.mShards.With(source).Inc()
+	if !cached {
+		s.mShardMs.Observe(elapsedMs)
+		// Journal the cache key, not the result: the cache holds the bytes,
+		// the journal only needs to witness that they exist.
+		s.journal.shardSettled(f.creator, f.spec.Experiment, f.digest, label)
+	}
+	s.log.Debug("shard done",
+		"job", f.creator, "shard", label, "source", source, "worker", worker, "elapsed_ms", elapsedMs)
+	c := cached
+	f.emit(Event{Type: EventShardDone, Shard: label, Total: total, Cached: &c, Worker: worker, ElapsedMs: elapsedMs}, "", time.Time{})
+}
+
+// finish settles the flight: one terminal record fans out to every member
+// stream, every member's result and done channel settle, and the
+// scheduler and coalesce table forget the flight.
+func (f *flight) finish(res *experiments.Result, err error) {
+	s := f.svc
+	f.cancel() // release the context either way
+
+	state := JobDone
+	evType := EventJobFinished
+	errText := ""
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		state, evType, errText = JobCanceled, EventJobFailed, err.Error()
+	default:
+		state, evType, errText = JobFailed, EventJobFailed, err.Error()
+	}
+
+	f.emitMu.Lock()
+	if f.settled {
+		f.emitMu.Unlock()
+		return
+	}
+	elapsed := time.Since(f.started)
+	if f.started.IsZero() {
+		elapsed = 0
+	}
+	elapsedMs := float64(elapsed) / float64(time.Millisecond)
+	if elapsedMs <= 0 {
+		elapsedMs = 0.001 // terminal events measure a positive wall time
+	}
+	ev := Event{Type: evType, ElapsedMs: elapsedMs, Error: errText}
+	ev.V = EventSchemaVersion
+	ev.Experiment = f.spec.Experiment
+	ev.Time = time.Now()
+	f.state = state
+	f.settled = true
+	rec := flightRecord{ev: ev, state: state}
+	f.history = append(f.history, rec)
+	members := append([]*Job(nil), f.members...)
+	cb := s.opts.OnEvent
+	for _, j := range members {
+		j.mu.Lock()
+		j.result, j.err = res, err
+		j.elapsed = elapsed
+		out := j.applyRecordLocked(rec)
+		j.mu.Unlock()
+		if cb != nil {
+			cb(out)
+		}
+		close(j.done)
+	}
+	f.emitMu.Unlock()
+
+	s.removeFlight(f)
+	draining := s.draining.Load()
+	for _, j := range members {
+		s.mJobs.With(string(state)).Inc()
+		s.mJobMs.Observe(elapsedMs)
+		if err != nil {
+			s.log.Warn("job settled",
+				"job", j.id, "experiment", f.spec.Experiment, "state", state,
+				"elapsed_ms", elapsedMs, "error", err.Error())
+		} else {
+			s.log.Info("job settled",
+				"job", j.id, "experiment", f.spec.Experiment, "state", state,
+				"elapsed_ms", elapsedMs)
+		}
+		// A suspend shutdown interrupts jobs without journaling the settle:
+		// the WAL still shows them live, so the next open re-runs them.
+		if !(draining && state == JobCanceled) {
+			s.journal.settled(j.id, state, errText)
+		}
+		s.noteSettled(j.id)
+	}
+}
+
+// removeFlight forgets a flight in the coalesce table (if it is still the
+// one registered under its key).
+func (s *Service) removeFlight(f *flight) {
+	if !f.coalesce {
+		return
+	}
+	s.mu.Lock()
+	if s.inflight[f.key] == f {
+		delete(s.inflight, f.key)
+	}
+	s.mu.Unlock()
+}
+
+// drop detaches one member from a live flight (Job.Cancel): the member's
+// stream settles with context.Canceled, the computation keeps running for
+// the remaining members, and the LAST member leaving cancels it.
+func (f *flight) drop(j *Job) {
+	s := f.svc
+	f.emitMu.Lock()
+	if f.settled {
+		f.emitMu.Unlock()
+		return
+	}
+	idx := -1
+	for i, m := range f.members {
+		if m == j {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		f.emitMu.Unlock()
+		return
+	}
+	f.members = append(f.members[:idx], f.members[idx+1:]...)
+	last := len(f.members) == 0
+
+	err := context.Canceled
+	j.mu.Lock()
+	elapsed := time.Since(j.submitted)
+	elapsedMs := float64(elapsed) / float64(time.Millisecond)
+	if elapsedMs <= 0 {
+		elapsedMs = 0.001
+	}
+	ev := Event{
+		V:          EventSchemaVersion,
+		Type:       EventJobFailed,
+		Job:        j.id,
+		Experiment: f.spec.Experiment,
+		Time:       time.Now(),
+		Seq:        len(j.events),
+		ElapsedMs:  elapsedMs,
+		Error:      err.Error(),
+	}
+	j.state = JobCanceled
+	j.result, j.err = nil, err
+	j.elapsed = elapsed
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+	if cb := s.opts.OnEvent; cb != nil {
+		cb(ev)
+	}
+	close(j.done)
+	f.emitMu.Unlock()
+
+	if last {
+		// Nobody wants the result anymore: stop the computation and forget
+		// the flight, so a NEW submission starts fresh instead of attaching
+		// to a doomed one.
+		f.cancel()
+		s.removeFlight(f)
+	}
+	s.mJobs.With(string(JobCanceled)).Inc()
+	s.mJobMs.Observe(elapsedMs)
+	s.log.Warn("job settled",
+		"job", j.id, "experiment", f.spec.Experiment, "state", JobCanceled,
+		"elapsed_ms", elapsedMs, "error", err.Error(), "detached", !last)
+	if !s.draining.Load() {
+		s.journal.settled(j.id, JobCanceled, err.Error())
+	}
+	s.noteSettled(j.id)
+}
+
+// Job is one submitted experiment run: a member of a flight. Coalesced
+// members share the flight's computation but keep independent event
+// streams, IDs and reports.
+type Job struct {
+	id        string
+	spec      JobSpec
+	profile   string             // resolved profile name ("small" when the spec left it empty)
+	cfg       experiments.Config // resolved at Submit; the flight never re-resolves
+	submitted time.Time
+	svc       *Service
+	f         *flight
+	done      chan struct{}
+
 	mu        sync.Mutex
 	state     JobState
 	events    []Event
@@ -379,11 +771,48 @@ type Job struct {
 	misses    int
 }
 
+// applyRecordLocked stamps one canonical flight record into this member's
+// stream: per-member Job, Seq and Done, state transition, progress
+// counters. Caller holds j.mu (inside the flight's emitMu).
+func (j *Job) applyRecordLocked(rec flightRecord) Event {
+	ev := rec.ev
+	ev.Job = j.id
+	ev.Seq = len(j.events)
+	switch ev.Type {
+	case EventShardDone:
+		j.completed++
+		if ev.Cached != nil && *ev.Cached {
+			j.hits++
+		} else {
+			j.misses++
+		}
+		ev.Done = j.completed
+	case EventJobStarted:
+		j.started = rec.started
+	}
+	if rec.state != "" {
+		j.state = rec.state
+	}
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	return ev
+}
+
 // Submit validates the spec — the experiment must exist and the
-// profile/override combination must resolve to a configuration — queues a
-// job and returns it. The job starts as soon as the scheduler has
-// capacity; events begin with job_queued.
+// profile/override combination must resolve to a configuration — journals
+// it (when the service has a Journal: the job is durable before the
+// caller learns its ID), and either attaches it to a live identical
+// flight (single-flight coalescing) or queues a new one. Events begin
+// with job_queued.
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	return s.submit(spec, "", time.Time{}, false)
+}
+
+// submit is Submit plus the recovery entry point: a non-empty id re-uses
+// a journaled identity, at anchors the elapsed clock at the original
+// submission, and boost marks crash-recovered work for the backend queue.
+func (s *Service) submit(spec JobSpec, id string, at time.Time, boost bool) (*Job, error) {
 	if _, ok := experiments.ByID(spec.Experiment); !ok {
 		return nil, fmt.Errorf("service: unknown experiment %q", spec.Experiment)
 	}
@@ -401,43 +830,157 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	if spec.TraceID == "" {
 		spec.TraceID = obs.NewTraceID()
 	}
+	if at.IsZero() {
+		at = time.Now()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	s.seq++
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	j := &Job{
-		id:      fmt.Sprintf("job-%d", s.seq),
-		spec:    spec,
-		profile: profile,
-		cfg:     cfg,
-		svc:     s,
-		ctx:     ctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		state:   JobQueued,
-		notify:  make(chan struct{}),
+	if id == "" {
+		s.seq++
+		id = fmt.Sprintf("job-%d", s.seq)
 	}
-	j.trace = obs.NewTrace(spec.TraceID, j.id, spec.Experiment)
+	if _, dup := s.jobs[id]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: job %s already exists", id)
+	}
+	j := &Job{
+		id:        id,
+		spec:      spec,
+		profile:   profile,
+		cfg:       cfg,
+		submitted: at,
+		svc:       s,
+		done:      make(chan struct{}),
+		state:     JobQueued,
+		notify:    make(chan struct{}),
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	s.wg.Add(1)
 	s.mu.Unlock()
+
+	// Durability before acknowledgment: once the caller learns the ID, the
+	// job must survive a crash. A journal write failure rejects the Submit
+	// rather than accept work that would silently vanish.
+	if err := s.journal.submitted(j.id, spec, at); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		for i, oid := range s.order {
+			if oid == j.id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: journal submit: %w", err)
+	}
 	s.mJobs.With("submitted").Inc()
 	s.log.Info("job submitted",
 		"job", j.id, "experiment", spec.Experiment, "profile", profile, "trace", spec.TraceID)
 
-	// job_queued is emitted before the job enters the scheduler's queue:
-	// were the order reversed, a concurrent jobSettled could start the job
-	// and emit job_started first, tearing the stream's opening invariant.
-	j.emit(Event{Type: EventJobQueued})
+	key := coalesceKey{experiment: spec.Experiment, digest: cfg.Digest()}
+	for {
+		s.mu.Lock()
+		var live *flight
+		if !spec.NoCache {
+			live = s.inflight[key]
+		}
+		if live == nil {
+			f := s.newFlight(j, boost)
+			if f.coalesce {
+				s.inflight[key] = f
+			}
+			s.wg.Add(1)
+			s.mu.Unlock()
+			// Cannot fail: the flight is fresh, neither settled nor
+			// cancelled. job_queued is emitted before the flight enters the
+			// scheduler's queue: were the order reversed, the scheduler
+			// could start it and emit job_started first, tearing the
+			// stream's opening invariant.
+			f.attach(j)
+			f.emit(Event{Type: EventJobQueued}, JobQueued, time.Time{})
+			s.mu.Lock()
+			s.queue = append(s.queue, f)
+			s.startQueuedLocked()
+			s.mu.Unlock()
+			return j, nil
+		}
+		s.mu.Unlock()
+		if live.attach(j) {
+			s.mCoalesced.Inc()
+			s.log.Info("job coalesced onto live flight",
+				"job", j.id, "experiment", spec.Experiment, "flight", live.creator, "digest", key.digest)
+			return j, nil
+		}
+		// The flight settled (or was cancelled) between lookup and attach:
+		// forget it and retry — the next round starts a fresh flight that
+		// will serve this job from the now-warm cache.
+		s.removeFlight(live)
+	}
+}
+
+// Recover rebuilds the job table from a journal fold: every interrupted
+// job — and every done job whose report a client may not have fetched —
+// is resubmitted under its ORIGINAL ID, so reconnecting clients resume
+// their event streams (`events?from=N`) and report fetches across the
+// restart. Interrupted re-runs enter the backend queue boosted (they
+// already waited once) unless the fold saw a clean shutdown; settled
+// shards come back as cache hits, and the re-merged report is
+// byte-identical by the determinism invariant. Call it after New, before
+// accepting submissions.
+func (s *Service) Recover(rec *Recovered) {
+	if rec == nil {
+		return
+	}
+	floor := rec.NextSeq
+	for _, rj := range rec.Jobs {
+		var n int
+		if _, err := fmt.Sscanf(rj.ID, "job-%d", &n); err == nil && n >= floor {
+			floor = n
+		}
+	}
 	s.mu.Lock()
-	s.queue = append(s.queue, j)
-	s.startQueuedLocked()
+	if floor > s.seq {
+		s.seq = floor
+	}
 	s.mu.Unlock()
-	return j, nil
+	if rec.Skipped > 0 {
+		s.log.Warn("wal: journal fold skipped unreadable records", "skipped", rec.Skipped)
+	}
+	interrupted, resurrected := 0, 0
+	for _, rj := range rec.Jobs {
+		switch rj.State {
+		case "":
+			interrupted++
+		case JobDone:
+			// The report may be unfetched; re-render it cache-hot. Failed
+			// and canceled jobs are NOT resurrected: their outcome was
+			// final and re-running could only change it.
+			resurrected++
+		default:
+			continue
+		}
+		boost := rj.State == "" && !rec.Clean
+		if _, err := s.submit(rj.Spec, rj.ID, rj.At, boost); err != nil {
+			s.log.Warn("wal: recovered job failed to resubmit", "job", rj.ID, "error", err)
+			continue
+		}
+		s.log.Info("wal: recovered job",
+			"job", rj.ID, "experiment", rj.Spec.Experiment,
+			"interrupted", rj.State == "", "settled_shards", rj.Shards)
+	}
+	if n := interrupted + resurrected; n > 0 {
+		s.mRecovered.Add(int64(n))
+		s.log.Info("wal: recovered jobs from journal",
+			"interrupted", interrupted, "resurrected_done", resurrected, "clean_shutdown", rec.Clean)
+	} else if rec.Clean {
+		s.log.Info("wal: clean shutdown record found, nothing to requeue")
+	}
+	// Every surviving job is re-journaled above; the inherited segments
+	// are now dead weight.
+	s.journal.compact()
 }
 
 // Job looks up a submitted job by ID.
@@ -459,20 +1002,20 @@ func (s *Service) Jobs() []*Job {
 	return out
 }
 
-// startQueuedLocked pops queued jobs into runners while the scheduler has
-// capacity. Caller holds s.mu.
+// startQueuedLocked pops queued flights into runners while the scheduler
+// has capacity. Caller holds s.mu.
 func (s *Service) startQueuedLocked() {
 	for len(s.queue) > 0 && (s.opts.MaxActiveJobs <= 0 || s.active < s.opts.MaxActiveJobs) {
-		j := s.queue[0]
+		f := s.queue[0]
 		s.queue = s.queue[1:]
 		s.active++
-		go s.runJob(j)
+		go s.runFlight(f)
 	}
 }
 
-// jobSettled releases the job's scheduler slot and starts the next queued
-// job.
-func (s *Service) jobSettled() {
+// flightSettled releases the flight's scheduler slot and starts the next
+// queued one.
+func (s *Service) flightSettled() {
 	s.mu.Lock()
 	s.active--
 	s.startQueuedLocked()
@@ -480,44 +1023,60 @@ func (s *Service) jobSettled() {
 	s.wg.Done()
 }
 
-// runJob executes one job end to end on the shared pool.
-func (s *Service) runJob(j *Job) {
-	defer s.jobSettled()
+// runFlight executes one flight end to end on the shared pool.
+func (s *Service) runFlight(f *flight) {
+	defer s.flightSettled()
 
-	e, _ := experiments.ByID(j.spec.Experiment) // validated at Submit
-	cfg := j.cfg                                // resolved at Submit
+	e, _ := experiments.ByID(f.spec.Experiment) // validated at Submit
+	cfg := f.cfg                                // resolved at Submit
 
-	j.mu.Lock()
-	j.started = time.Now()
-	j.mu.Unlock()
-	j.emitState(Event{Type: EventJobStarted}, JobRunning)
+	start := time.Now()
+	if !f.anchor.IsZero() && f.anchor.Before(start) {
+		// A recovered flight's clock starts at the ORIGINAL submission: the
+		// terminal event's wall time then spans the crash, so a resumed
+		// client's merged stream can never show a shard outlasting its job.
+		start = f.anchor
+	}
+	f.emitMu.Lock()
+	f.started = start
+	f.emitMu.Unlock()
+	f.emit(Event{Type: EventJobStarted}, JobRunning, start)
 
-	if err := j.ctx.Err(); err != nil {
-		j.finish(nil, err)
+	if err := f.ctx.Err(); err != nil {
+		f.finish(nil, err)
 		return
 	}
 
 	shards, merge, err := experiments.BuildShards(e, cfg)
 	if err != nil {
-		j.finish(nil, err)
+		f.finish(nil, err)
 		return
 	}
-	j.mu.Lock()
-	j.shards = len(shards)
-	j.mu.Unlock()
+	f.setShards(len(shards))
 
-	digest := cfg.Digest()
 	wrapped := make([]engine.Shard, len(shards))
 	for i, sh := range shards {
-		wrapped[i] = s.wrapShard(j, digest, i, len(shards), sh)
+		wrapped[i] = s.wrapShard(f, i, len(shards), sh)
 	}
-	parts, err := s.backend.Run(j.ctx, wrapped, engine.Options{})
+	parts, err := s.backend.Run(f.ctx, wrapped, engine.Options{Recovered: f.recovered})
 	if err != nil {
-		j.finish(nil, fmt.Errorf("service: %s: %w", j.spec.Experiment, err))
+		f.finish(nil, fmt.Errorf("service: %s: %w", f.spec.Experiment, err))
 		return
 	}
-	res, err := safeMerge(j.spec.Experiment, merge, parts)
-	j.finish(res, err)
+	res, err := safeMerge(f.spec.Experiment, merge, parts)
+	f.finish(res, err)
+}
+
+// setShards records the plan size on the flight and every member (late
+// attachers copy it from the flight).
+func (f *flight) setShards(n int) {
+	f.emitMu.Lock()
+	for _, j := range f.members {
+		j.mu.Lock()
+		j.shards = n
+		j.mu.Unlock()
+	}
+	f.emitMu.Unlock()
 }
 
 // safeMerge runs the merge step with the same panic isolation the engine
@@ -543,12 +1102,12 @@ func safeMerge(id string, merge func([]any) (*experiments.Result, error), parts 
 // engine pool ignores the attachment, so one wrapping serves every
 // backend. A NoCache job runs every shard and stores nothing — useful to
 // force a recomputation without retiring the store's existing entries.
-func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.Shard) engine.Shard {
+func (s *Service) wrapShard(f *flight, index, total int, sh engine.Shard) engine.Shard {
 	run := sh.Run
 	label := sh.Label
-	useCache := s.opts.Cache != nil && !j.spec.NoCache
-	key := cache.Key{Experiment: j.spec.Experiment, ConfigDigest: digest, Shard: label}
-	span := j.trace.NewSpan(label)
+	useCache := s.opts.Cache != nil && !f.spec.NoCache
+	key := cache.Key{Experiment: f.spec.Experiment, ConfigDigest: f.digest, Shard: label}
+	span := f.trace.NewSpan(label)
 	probe := func() (any, bool) {
 		if !useCache {
 			return nil, false
@@ -573,7 +1132,7 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 		Run: func(ctx context.Context) (any, error) {
 			if v, ok := probe(); ok {
 				span.Complete("", true)
-				j.shardDone(label, total, true, "", 0)
+				f.shardDone(label, total, true, "", 0)
 				return v, nil
 			}
 			span.Record(obs.SpanExecuting, "")
@@ -594,7 +1153,7 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 				}
 			}
 			span.Complete("", false)
-			j.shardDone(label, total, false, "", elapsedMs)
+			f.shardDone(label, total, false, "", elapsedMs)
 			return v, nil
 		},
 	}
@@ -605,17 +1164,17 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 	}
 	wrapped.Remote = &engine.RemoteSpec{
 		Spec: dispatch.EncodeTask(dispatch.TaskSpec{
-			Experiment: j.spec.Experiment,
-			Config:     j.cfg,
+			Experiment: f.spec.Experiment,
+			Config:     f.cfg,
 			Shard:      index,
 			Label:      label,
-			TraceID:    j.spec.TraceID,
+			TraceID:    f.spec.TraceID,
 		}),
 		Probe: func() (any, bool) {
 			v, ok := probe()
 			if ok {
 				span.Complete("", true)
-				j.shardDone(label, total, true, "", 0)
+				f.shardDone(label, total, true, "", 0)
 			}
 			return v, ok
 		},
@@ -637,7 +1196,7 @@ func (s *Service) wrapShard(j *Job, digest string, index, total int, sh engine.S
 				_ = s.opts.Cache.Put(key, reply)
 			}
 			span.Complete(from, false)
-			j.shardDone(label, total, false, from, elapsedMs)
+			f.shardDone(label, total, false, from, elapsedMs)
 			return v, nil
 		},
 	}
@@ -657,14 +1216,15 @@ func (j *Job) Profile() string { return j.profile }
 // Config returns the job's resolved experiment configuration.
 func (j *Job) Config() experiments.Config { return j.cfg }
 
-// TraceID returns the job's trace identifier (minted at Submit when the
-// spec carried none).
-func (j *Job) TraceID() string { return j.trace.ID() }
+// TraceID returns the job's trace identifier: the flight's, which for a
+// coalesced follower is the trace minted (or propagated) by the flight's
+// creator.
+func (j *Job) TraceID() string { return j.f.trace.ID() }
 
 // Trace snapshots the job's span set as the /v1/jobs/{id}/trace wire
 // record, stamped with the job's current lifecycle phase.
 func (j *Job) Trace() obs.TraceRecord {
-	return j.trace.Snapshot(string(j.State()))
+	return j.f.trace.Snapshot(string(j.State()))
 }
 
 // State returns the job's current lifecycle phase.
@@ -701,9 +1261,11 @@ func (j *Job) Elapsed() time.Duration {
 	return j.elapsed
 }
 
-// Cancel asks the job to stop: queued jobs fail immediately when the
-// scheduler reaches them; running jobs stop scheduling new shards.
-func (j *Job) Cancel() { j.cancel() }
+// Cancel asks the job to stop: the job detaches from its flight and its
+// stream settles with context.Canceled. The underlying computation stops
+// only when its last member job leaves — coalesced followers are
+// unaffected by one member's cancellation.
+func (j *Job) Cancel() { j.f.drop(j) }
 
 // Wait blocks until the job settles (or ctx is cancelled) and returns its
 // result.
@@ -729,146 +1291,35 @@ func (j *Job) Result() (*experiments.Result, error) {
 	return j.result, j.err
 }
 
-// shardDone records one finished shard and emits its event, naming the
-// remote worker that computed it ("" for in-process shards) and carrying
-// the shard's measured wall time (0 for cache hits — nothing was
-// computed). The counter increment happens inside the emission's critical
-// section: if it were a separate step, two workers could swap between
-// incrementing and emitting and the stream would carry Done values out of
-// order.
-func (j *Job) shardDone(label string, total int, cached bool, worker string, elapsedMs float64) {
-	source := "local"
-	switch {
-	case cached:
-		source = "cache"
-	case worker != "":
-		source = "remote"
-	}
-	j.svc.mShards.With(source).Inc()
-	if !cached {
-		j.svc.mShardMs.Observe(elapsedMs)
-	}
-	j.svc.log.Debug("shard done",
-		"job", j.id, "shard", label, "source", source, "worker", worker, "elapsed_ms", elapsedMs)
-	c := cached
-	j.emitWith(Event{Type: EventShardDone, Shard: label, Total: total, Cached: &c, Worker: worker, ElapsedMs: elapsedMs}, func(ev *Event) {
-		j.completed++
-		if cached {
-			j.hits++
-		} else {
-			j.misses++
-		}
-		ev.Done = j.completed
-	}, "")
-}
-
-// finish settles the job, records the once-measured elapsed time and emits
-// the terminal event.
-func (j *Job) finish(res *experiments.Result, err error) {
-	j.cancel() // release the context either way
-	j.mu.Lock()
-	j.elapsed = time.Since(j.started)
-	elapsedMs := float64(j.elapsed) / float64(time.Millisecond)
-	j.result, j.err = res, err
-	j.mu.Unlock()
-
-	state := JobDone
-	ev := Event{Type: EventJobFinished, ElapsedMs: elapsedMs}
-	switch {
-	case err == nil:
-	case errors.Is(err, context.Canceled):
-		state = JobCanceled
-		ev = Event{Type: EventJobFailed, ElapsedMs: elapsedMs, Error: err.Error()}
-	default:
-		state = JobFailed
-		ev = Event{Type: EventJobFailed, ElapsedMs: elapsedMs, Error: err.Error()}
-	}
-	// The state change and the terminal event append share emitState's
-	// critical section: a follower can never observe a terminal state whose
-	// terminal event is not yet in the history.
-	j.emitState(ev, state)
-	j.svc.mJobs.With(string(state)).Inc()
-	j.svc.mJobMs.Observe(elapsedMs)
-	if err != nil {
-		j.svc.log.Warn("job settled",
-			"job", j.id, "experiment", j.spec.Experiment, "state", state,
-			"elapsed_ms", elapsedMs, "error", err.Error())
-	} else {
-		j.svc.log.Info("job settled",
-			"job", j.id, "experiment", j.spec.Experiment, "state", state,
-			"elapsed_ms", elapsedMs)
-	}
-	close(j.done)
-	j.svc.noteSettled(j.id)
-}
-
 // noteSettled records a settled job for retention and retires the oldest
 // settled jobs beyond Options.RetainJobs: their Job records — event
 // buffers, reports, spec — leave the table entirely, so a serve process
 // accepting jobs for months holds a bounded history while the most recent
 // jobs keep full event replay. Retired IDs answer like unknown ones (HTTP
-// 404).
+// 404), and the journal remembers the retirement so a restart never
+// resurrects them.
 func (s *Service) noteSettled(id string) {
+	var retired []string
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.settled = append(s.settled, id)
-	if s.opts.RetainJobs <= 0 {
-		return
-	}
-	for len(s.settled) > s.opts.RetainJobs {
-		old := s.settled[0]
-		s.settled = s.settled[1:]
-		delete(s.jobs, old)
-		for i, oid := range s.order {
-			if oid == old {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
+	if s.opts.RetainJobs > 0 {
+		for len(s.settled) > s.opts.RetainJobs {
+			old := s.settled[0]
+			s.settled = s.settled[1:]
+			delete(s.jobs, old)
+			for i, oid := range s.order {
+				if oid == old {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
 			}
+			retired = append(retired, old)
 		}
 	}
-}
-
-// emit stamps the envelope, appends to the job's history and wakes every
-// stream follower.
-func (j *Job) emit(ev Event) { j.emitWith(ev, nil, "") }
-
-// emitState is emit plus an atomic state transition ("" keeps the state).
-func (j *Job) emitState(ev Event, state JobState) { j.emitWith(ev, nil, state) }
-
-// emitWith is the single emission path: mutate (when non-nil) updates job
-// fields and the event, and state ("" keeps it) transitions the lifecycle,
-// both inside the same critical section that orders and appends the event.
-func (j *Job) emitWith(ev Event, mutate func(*Event), state JobState) {
-	ev.V = EventSchemaVersion
-	ev.Job = j.id
-	ev.Experiment = j.spec.Experiment
-	ev.Time = time.Now()
-	j.emitMu.Lock()
-	j.mu.Lock()
-	if j.state.terminal() {
-		// A late completion can trail a settled job (a presumed-lost remote
-		// worker replying after its shard was requeued and the job
-		// cancelled): drop it, preserving the invariant that the terminal
-		// event ends the stream.
-		j.mu.Unlock()
-		j.emitMu.Unlock()
-		return
+	s.mu.Unlock()
+	for _, old := range retired {
+		s.journal.retired(old)
 	}
-	if mutate != nil {
-		mutate(&ev)
-	}
-	if state != "" {
-		j.state = state
-	}
-	ev.Seq = len(j.events)
-	j.events = append(j.events, ev)
-	close(j.notify)
-	j.notify = make(chan struct{})
-	j.mu.Unlock()
-	if j.svc.opts.OnEvent != nil {
-		j.svc.opts.OnEvent(ev)
-	}
-	j.emitMu.Unlock()
 }
 
 // Events streams the job's event history followed by live events, closing
@@ -881,9 +1332,10 @@ func (j *Job) Events(ctx context.Context) <-chan Event {
 // EventsFrom is Events starting at sequence number from instead of 0: the
 // replay skips events the consumer already holds, which is how a
 // disconnected follower (the remote client's event stream) resumes without
-// gaps or duplicates. A from beyond the current history simply waits for
-// the job to reach it; a from beyond the terminal event yields an empty,
-// immediately closed stream.
+// gaps or duplicates — including across a server restart, where the
+// recovered job re-emits its stream and the follower waits at its old
+// position until the re-run catches up. A from beyond the terminal event
+// yields an empty, immediately closed stream.
 func (j *Job) EventsFrom(ctx context.Context, from int) <-chan Event {
 	if from < 0 {
 		from = 0

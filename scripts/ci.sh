@@ -24,6 +24,9 @@ fi
 echo "== go test -race =="
 go test -race "$@" ./...
 
+echo "== wal decoder fuzz (committed corpus + 5s of new inputs) =="
+go test -run '^$' -fuzz FuzzReplaySegment -fuzztime 5s ./internal/wal
+
 echo "== benchmarks (1 iteration) =="
 go test -run xxx -bench . -benchtime 1x "$@" ./...
 
@@ -176,7 +179,7 @@ echo "== cdlab smoke: /v1/metrics scrape mid-run =="
 # under concurrent updates (the HTTP-level counterpart of the registry's
 # -race tests).
 go run ./scripts/promcheck -url "http://127.0.0.1:$dport/v1/metrics" \
-    -require cdlab_jobs_total,cdlab_jobs_active,cdlab_jobs_pending,cdlab_job_ms,cdlab_shard_elapsed_ms,cdlab_shards_total,cdlab_backend_workers,cdlab_lease_wait_ms,cdlab_lease_to_complete_ms,cdlab_worker_tasks_total,cdlab_dispatch_queue_depth,cdlab_dispatch_workers,cdlab_cache_hits_total,cdlab_cache_mem_bytes
+    -require cdlab_jobs_total,cdlab_jobs_active,cdlab_jobs_pending,cdlab_job_ms,cdlab_shard_elapsed_ms,cdlab_shards_total,cdlab_backend_workers,cdlab_lease_wait_ms,cdlab_lease_to_complete_ms,cdlab_worker_tasks_total,cdlab_dispatch_queue_depth,cdlab_dispatch_workers,cdlab_cache_hits_total,cdlab_cache_mem_bytes,cdlab_jobs_coalesced_total,cdlab_jobs_recovered_total
 
 kill -9 "$w1_pid" 2>/dev/null || true
 wait "$dist_run_pid"
@@ -210,5 +213,144 @@ grep -q '"cached":true' "$tmp/events-fs2.jsonl"
 diff -r "$tmp/fs-out1" "$tmp/fs-out2"
 go run ./scripts/eventcheck < "$tmp/events-fs2.jsonl"
 kill "$w2_pid" "$dist_pid" 2>/dev/null || true
+
+echo "== cdlab smoke: WAL crash recovery (SIGKILL mid-run, restart, resume) =="
+wport=18529
+"$tmp/cdlab" serve -addr "127.0.0.1:$wport" -j 2 -cache-dir "$tmp/wal-cache" \
+    2> "$tmp/wal-serve1.log" &
+wal1_pid=$!
+disown "$wal1_pid" # silences bash's "Killed" report for the deliberate SIGKILL below
+trap 'kill "$serve_pid" "$dist_pid" "$w1_pid" "$w2_pid" "$wal1_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$wport") 2>/dev/null; then exec 3>&-; break; fi
+    sleep 0.1
+done
+
+# A patient client (big reconnect budget) sweeps the catalog; once at least
+# three shards have genuinely computed — their results are in the on-disk
+# cache, their settle records in the WAL — the server is SIGKILLed with the
+# sweep still in flight.
+"$tmp/cdlab" run all -remote "127.0.0.1:$wport" -retries 200 -json -o "$tmp/wal-out" \
+    > "$tmp/events-wal.jsonl" 2> "$tmp/wal-run.log" &
+wal_run_pid=$!
+for _ in $(seq 1 300); do
+    n=$(grep -c '"cached":false' "$tmp/events-wal.jsonl" 2>/dev/null || true)
+    [ "${n:-0}" -ge 3 ] && break
+    sleep 0.1
+done
+[ "${n:-0}" -ge 3 ] || { echo "restart smoke: sweep never computed 3 shards" >&2; exit 1; }
+kill -9 "$wal1_pid"
+
+# A fresh serve on the same directories replays the journal: interrupted
+# jobs requeue under their ORIGINAL IDs, so the still-running client rides
+# its reconnect loop across the restart and must finish with reports
+# byte-identical to the uninterrupted local sweep, streaming gap-free
+# events (eventcheck would flag a Seq discontinuity or a re-keyed job).
+"$tmp/cdlab" serve -addr "127.0.0.1:$wport" -j 2 -cache-dir "$tmp/wal-cache" \
+    2> "$tmp/wal-serve2.log" &
+wal2_pid=$!
+trap 'kill "$serve_pid" "$dist_pid" "$w1_pid" "$w2_pid" "$wal1_pid" "$wal2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+wait "$wal_run_pid"
+grep -q 'wal: recovered job' "$tmp/wal-serve2.log"
+diff -r "$tmp/wal-out" "$tmp/out1"
+go run ./scripts/eventcheck < "$tmp/events-wal.jsonl"
+# Recovery must have reused settled shards, not recomputed the sweep:
+# the recovered server served at least one shard from the persistent
+# cache (the client can't witness this — its `from=N` resume window skips
+# the re-emitted cache-hit events — so ask the server's metrics).
+go run ./scripts/promcheck -url "http://127.0.0.1:$wport/v1/metrics" -dump "$tmp/wal-metrics.txt" \
+    -require cdlab_jobs_recovered_total,cdlab_wal_records_total
+cachehits=$(sed -n 's/^cdlab_shards_total{source="cache"} \([0-9]*\).*/\1/p' "$tmp/wal-metrics.txt")
+[ "${cachehits:-0}" -ge 1 ] || {
+    echo "recovered server recomputed every shard (no cache-source shards in metrics)" >&2
+    exit 1
+}
+recovered=$(sed -n 's/^cdlab_jobs_recovered_total \([0-9]*\).*/\1/p' "$tmp/wal-metrics.txt")
+[ "${recovered:-0}" -ge 1 ] || { echo "cdlab_jobs_recovered_total=$recovered after a crash restart" >&2; exit 1; }
+
+# SIGTERM drains the recovered server gracefully: exit 0, a clean-shutdown
+# record in the WAL, and the next serve folds it (resurrecting the done
+# jobs cache-hot rather than requeueing work).
+kill -TERM "$wal2_pid"
+wait "$wal2_pid"
+grep -q 'cdlab: clean shutdown complete' "$tmp/wal-serve2.log"
+"$tmp/cdlab" serve -addr "127.0.0.1:$wport" -j 2 -cache-dir "$tmp/wal-cache" \
+    2> "$tmp/wal-serve3.log" &
+wal3_pid=$!
+trap 'kill "$serve_pid" "$dist_pid" "$w1_pid" "$w2_pid" "$wal1_pid" "$wal2_pid" "$wal3_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$wport") 2>/dev/null; then exec 3>&-; break; fi
+    sleep 0.1
+done
+grep -q 'clean_shutdown=true' "$tmp/wal-serve3.log"
+kill "$wal3_pid" 2>/dev/null || true
+
+echo "== cdlab smoke: single-flight coalescing (concurrent identical sweeps) =="
+cport=18537
+"$tmp/cdlab" serve -addr "127.0.0.1:$cport" -j 2 -cache-dir "$tmp/co-cache" \
+    2> "$tmp/co-serve.log" &
+co_pid=$!
+trap 'kill "$serve_pid" "$dist_pid" "$w1_pid" "$w2_pid" "$wal1_pid" "$wal2_pid" "$wal3_pid" "$co_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$cport") 2>/dev/null; then exec 3>&-; break; fi
+    sleep 0.1
+done
+
+# Two identical cold sweeps race each other. Each client still gets its own
+# complete event stream and report set, but the shard work happens ONCE:
+# every computed shard either coalesced (second job attached to the first
+# job's live flight) or cache-hit (second job arrived after the flight
+# settled) — never recomputed.
+"$tmp/cdlab" run all -remote "127.0.0.1:$cport" -json -o "$tmp/co-outA" \
+    > "$tmp/events-coA.jsonl" 2> /dev/null &
+coA_pid=$!
+"$tmp/cdlab" run all -remote "127.0.0.1:$cport" -json -o "$tmp/co-outB" \
+    > "$tmp/events-coB.jsonl" 2> /dev/null &
+coB_pid=$!
+wait "$coA_pid" "$coB_pid"
+diff -r "$tmp/co-outA" "$tmp/out1"
+diff -r "$tmp/co-outB" "$tmp/out1"
+go run ./scripts/eventcheck < "$tmp/events-coA.jsonl"
+go run ./scripts/eventcheck < "$tmp/events-coB.jsonl"
+
+# The exactly-once proof lives in the metrics: one client's stream carries
+# one shard_done per catalog shard, and the server's local-execution
+# counter must equal that — two full sweeps, each shard computed once.
+# The scrape also gates the new WAL/coalescing families.
+shards=$(grep -c '"type":"shard_done"' "$tmp/events-coA.jsonl")
+go run ./scripts/promcheck -url "http://127.0.0.1:$cport/v1/metrics" -dump "$tmp/co-metrics.txt" \
+    -require cdlab_jobs_coalesced_total,cdlab_jobs_recovered_total,cdlab_wal_records_total,cdlab_wal_bytes_total,cdlab_wal_syncs_total,cdlab_wal_segments
+grep -q "^cdlab_shards_total{source=\"local\"} $shards\$" "$tmp/co-metrics.txt" || {
+    echo "coalesced sweeps recomputed shards (want exactly $shards local executions):" >&2
+    grep '^cdlab_shards_total' "$tmp/co-metrics.txt" >&2
+    exit 1
+}
+coalesced=$(sed -n 's/^cdlab_jobs_coalesced_total \([0-9]*\).*/\1/p' "$tmp/co-metrics.txt")
+[ "${coalesced:-0}" -ge 1 ] || {
+    echo "concurrent identical sweeps never coalesced (cdlab_jobs_coalesced_total=$coalesced)" >&2
+    exit 1
+}
+kill "$co_pid" 2>/dev/null || true
+
+echo "== cdlab smoke: bearer-token auth gates mutations, reads stay open =="
+aport=18541
+"$tmp/cdlab" serve -addr "127.0.0.1:$aport" -j 2 -auth-token smoke-secret \
+    2> "$tmp/auth-serve.log" &
+auth_pid=$!
+trap 'kill "$serve_pid" "$dist_pid" "$w1_pid" "$w2_pid" "$wal1_pid" "$wal2_pid" "$wal3_pid" "$co_pid" "$auth_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$aport") 2>/dev/null; then exec 3>&-; break; fi
+    sleep 0.1
+done
+rc=0
+"$tmp/cdlab" run fig6 -remote "127.0.0.1:$aport" -o "$tmp/auth-denied" \
+    2> "$tmp/auth-err.txt" || rc=$?
+[ "$rc" -ne 0 ] || { echo "tokenless run against an auth-token server succeeded" >&2; exit 1; }
+grep -qi 'bearer token' "$tmp/auth-err.txt"
+[ -z "$(ls -A "$tmp/auth-denied" 2>/dev/null)" ] || { echo "reports written despite missing token" >&2; exit 1; }
+"$tmp/cdlab" run fig6 -remote "127.0.0.1:$aport" -token smoke-secret -o "$tmp/auth-out" > /dev/null
+# Metric scrapers need no secrets: the tokenless promcheck GET must pass.
+go run ./scripts/promcheck -url "http://127.0.0.1:$aport/v1/metrics" -require cdlab_jobs_total
+kill "$auth_pid" 2>/dev/null || true
 
 echo "CI OK"

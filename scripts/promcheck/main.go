@@ -12,8 +12,10 @@
 // _count and a terminal +Inf bucket whose cumulative counts are monotone
 // and agree with _count. -require then asserts the presence of named
 // families (comma-separated), so a scrape that silently lost a subsystem's
-// metrics fails CI even though it is well-formed. Exits non-zero with a
-// line number on the first violation.
+// metrics fails CI even though it is well-formed. -dump tees the raw
+// export to a file so shell assertions can inspect individual sample
+// values after the structural gate passes. Exits non-zero with a line
+// number on the first violation.
 package main
 
 import (
@@ -49,6 +51,7 @@ type bucket struct {
 func main() {
 	url := flag.String("url", "", "fetch the export from this URL instead of stdin")
 	require := flag.String("require", "", "comma-separated metric families that must be present")
+	dump := flag.String("dump", "", "also write the raw export to this file (for CI assertions on sample values)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -66,6 +69,14 @@ func main() {
 			fail("GET %s: content type %q, want text/plain; version=0.0.4", *url, ct)
 		}
 		in = resp.Body
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		in = io.TeeReader(in, f)
 	}
 
 	families, samples, err := check(in)
