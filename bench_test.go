@@ -280,6 +280,43 @@ func BenchmarkMemsimMix(b *testing.B) {
 	}
 }
 
+// BenchmarkMemsimCommandLoop measures the command state machine's hot loop
+// itself — one high-MPKI core against periodic refresh, so the per-access
+// cost of the ACT/PRE/RD/WR constraint resolution (including the refresh
+// free-span cache) dominates.
+func BenchmarkMemsimCommandLoop(b *testing.B) {
+	sys := memsim.DefaultSystem()
+	sys.WarmupInstr = 0
+	sys.MeasureInstr = 50000
+	mix := []memsim.CoreWorkload{{Name: "hot", MPKI: 100, RowLocality: 0.5, WriteFrac: 0.3}}
+	eng, err := memsim.PeriodicRefresh(sys, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := memsim.Run(sys, mix, eng, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemsimCommandLoopNoRefresh is the same loop with the refresh
+// schedule disabled — the delta to BenchmarkMemsimCommandLoop prices the
+// refresh-gating machinery.
+func BenchmarkMemsimCommandLoopNoRefresh(b *testing.B) {
+	sys := memsim.DefaultSystem()
+	sys.WarmupInstr = 0
+	sys.MeasureInstr = 50000
+	mix := []memsim.CoreWorkload{{Name: "hot", MPKI: 100, RowLocality: 0.5, WriteFrac: 0.3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := memsim.Run(sys, mix, memsim.NoRefresh(), 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRowCloneScan measures the RowClone-based boundary reverse
 // engineering of a small bank.
 func BenchmarkRowCloneScan(b *testing.B) {

@@ -15,8 +15,9 @@
 // DRAM model driven by command programs, a statistical population model for
 // the paper's large sweeps, the full characterization methodology (RowClone
 // boundary reverse engineering, retention profiling, bisection search), the
-// ECC analyses, and a memory-system simulator for the retention-aware
-// refresh evaluation.
+// ECC analyses, and a cycle-accurate memory-system simulator (a per-bank
+// DRAM command state machine enforcing the datasheet timing constraints,
+// DESIGN.md §15) for the retention-aware refresh evaluation.
 //
 // The package exposes three levels of API:
 //

@@ -38,6 +38,10 @@ type Config struct {
 	MeasureInstr int64
 	// CellRows/CellCols scale the cell-explicit experiments (Fig 2, 21).
 	CellRows, CellCols int
+	// MLP overrides the simulated cores' memory-level parallelism
+	// (outstanding misses per core) in memsim-based experiments; 0 keeps
+	// the memsim default.
+	MLP int
 	// Trials for the cell-explicit retention filtering methodology.
 	RetentionTrials int
 	// Seed decorrelates full runs; every experiment is deterministic for a
@@ -86,7 +90,12 @@ func Full() Config {
 // *Result pseudo-shard entries of generation 1 no longer decode to any
 // registered part type) and shard labels moved to the canonical
 // "id/key=value" scheme.
-const resultSchemaVersion = "cd-shards/2"
+//
+// Generation 3: memsim moved from per-access interval arithmetic to the
+// cycle-accurate per-bank command core (and fixed its measurement-boundary
+// bugs), so every memsim-backed shard result (fig23, prvr-sim) computed
+// under generation 2 is numerically stale for the same Config.
+const resultSchemaVersion = "cd-shards/3"
 
 // Digest returns a stable content digest of the configuration, used as the
 // config component of shard cache keys (cache.Key.ConfigDigest). It hashes

@@ -75,6 +75,14 @@ func planFig23(cfg Config) (*Plan, error) {
 	sys := memsim.DefaultSystem()
 	sys.MeasureInstr = cfg.MeasureInstr
 	sys.WarmupInstr = cfg.MeasureInstr / 5
+	if cfg.MLP > 0 {
+		sys.MLP = cfg.MLP
+	}
+	// Reject a broken timing set at plan time, before any shard is
+	// scheduled (locally or on a remote worker).
+	if _, err := sys.Timing(); err != nil {
+		return nil, fmt.Errorf("fig23: %v", err)
+	}
 	mixes := memsim.Mixes(cfg.Mixes)
 	seed := memsim.RunSeed(cfg.Seed, 23)
 	arms := fig23Arms()

@@ -37,6 +37,13 @@ func planPRVRSim(cfg Config) (*Plan, error) {
 	sys.TRFCns = 410 // §6.1's 32 Gb DDR5 point
 	sys.MeasureInstr = cfg.MeasureInstr
 	sys.WarmupInstr = cfg.MeasureInstr / 5
+	if cfg.MLP > 0 {
+		sys.MLP = cfg.MLP
+	}
+	// Validate the tweaked timing set at plan time, before any shard runs.
+	if _, err := sys.Timing(); err != nil {
+		return nil, fmt.Errorf("prvr-sim: %v", err)
+	}
 	mixes := memsim.Mixes(cfg.Mixes)
 	seed := memsim.RunSeed(cfg.Seed, 61)
 
@@ -45,6 +52,9 @@ func planPRVRSim(cfg Config) (*Plan, error) {
 		i, mix := i, mix
 		shards[i] = Shard{
 			Label: shardLabel("prvr-sim", "mix", fmt.Sprintf("%d", i)),
+			// len(mix) solo runs plus three engine runs, each simulating
+			// MeasureInstr instructions per core.
+			Cost: float64(len(mixes[i])+3) * float64(cfg.MeasureInstr) / 1000,
 			Run: func(context.Context) (any, error) {
 				solos := make([]float64, len(mix))
 				for j, w := range mix {

@@ -50,6 +50,16 @@ func (s schedule) nextFree(t float64) float64 {
 	return t
 }
 
+// nextStart returns the start of the first blocking window strictly after
+// t, for a t known to be outside every window of this schedule.
+func (s schedule) nextStart(t float64) float64 {
+	start := s.offsetNs + math.Ceil((t-s.offsetNs)/s.periodNs)*s.periodNs
+	if start <= t {
+		start += s.periodNs
+	}
+	return start
+}
+
 func (s schedule) blockedBetween(t0, t1 float64) bool {
 	if t1 <= t0 {
 		return false
@@ -77,10 +87,17 @@ type scheduleEngine struct {
 func (e *scheduleEngine) Name() string        { return e.name }
 func (e *scheduleEngine) Stats() RefreshStats { return e.stats }
 
+// nextFreeMaxIters bounds the fixed-point iteration in NextFree. One pass
+// resolves every window chain that advances in schedule order; each extra
+// pass is only needed when a later-listed schedule pushes the time back into
+// an earlier-listed one's window, so the bound is the longest such reversed
+// chain a sane composition can produce, with a wide margin.
+const nextFreeMaxIters = 64
+
 func (e *scheduleEngine) NextFree(bank int, t float64) float64 {
 	// Iterate to a fixed point: leaving one window can land inside
 	// another.
-	for iter := 0; iter < 8; iter++ {
+	for iter := 0; iter < nextFreeMaxIters; iter++ {
 		next := t
 		for _, s := range e.chipWide {
 			next = math.Max(next, s.nextFree(next))
@@ -95,7 +112,29 @@ func (e *scheduleEngine) NextFree(bank int, t float64) float64 {
 		}
 		t = next
 	}
-	return t
+	// Returning here would hand the simulator a still-blocked time and
+	// silently corrupt every timing derived from it; a schedule set this
+	// deeply chained means the bank effectively never becomes free.
+	panic(fmt.Sprintf("memsim: refresh schedule %q did not converge for bank %d within %d iterations (saturated window composition)",
+		e.name, bank, nextFreeMaxIters))
+}
+
+// freeSpan returns the earliest free time ≥ t together with the start of
+// the next blocking window after it — the controller's span cache turns one
+// such query into cycle-domain answers for every command issued until the
+// span ends (see memController.refreshFree).
+func (e *scheduleEngine) freeSpan(bank int, t float64) (free, until float64) {
+	free = e.NextFree(bank, t)
+	until = math.Inf(1)
+	for _, s := range e.chipWide {
+		until = math.Min(until, s.nextStart(free))
+	}
+	if e.perBank != nil {
+		for _, s := range e.perBank[bank] {
+			until = math.Min(until, s.nextStart(free))
+		}
+	}
+	return free, until
 }
 
 func (e *scheduleEngine) BlockedBetween(bank int, t0, t1 float64) bool {
@@ -176,6 +215,12 @@ func Compose(engines ...RefreshEngine) RefreshEngine {
 		if se.perBank != nil {
 			if out.perBank == nil {
 				out.perBank = make([][]schedule, len(se.perBank))
+			} else if len(se.perBank) != len(out.perBank) {
+				// Engines built from one SystemConfig always agree on the
+				// bank count; silently indexing would either drop schedules
+				// or walk off the shorter slice.
+				panic(fmt.Sprintf("memsim: Compose: engine %q covers %d banks, earlier engines cover %d",
+					se.name, len(se.perBank), len(out.perBank)))
 			}
 			for b := range se.perBank {
 				out.perBank[b] = append(out.perBank[b], se.perBank[b]...)

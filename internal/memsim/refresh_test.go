@@ -1,7 +1,9 @@
 package memsim
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -131,5 +133,107 @@ func TestNoRefreshNeverBlocks(t *testing.T) {
 	e := NoRefresh()
 	if e.NextFree(0, 123) != 123 || e.BlockedBetween(0, 0, 1e12) {
 		t.Fatal("no-refresh engine must never block")
+	}
+}
+
+// chainEngine builds a pathological composition of n abutting windows
+// [0,100), [100,200), ... listed in REVERSE order, so each NextFree
+// fixed-point pass escapes exactly one window: the earliest free time from 0
+// is n*100 and reaching it takes n+1 passes.
+func chainEngine(n int) *scheduleEngine {
+	e := &scheduleEngine{name: "chain"}
+	for i := n - 1; i >= 0; i-- {
+		e.chipWide = append(e.chipWide, schedule{
+			periodNs: 1e12, busyNs: 100, offsetNs: float64(i) * 100,
+		})
+	}
+	return e
+}
+
+func TestNextFreeConvergesThroughDeepChain(t *testing.T) {
+	// Regression: the fixed point used to be capped at 8 iterations and
+	// SILENTLY returned a still-blocked time — here the old code would
+	// report 800 while windows block everything up to 2000.
+	e := chainEngine(20)
+	if got := e.NextFree(0, 0); math.Abs(got-2000) > 1e-9 {
+		t.Fatalf("NextFree(0) through 20 chained windows = %v, want 2000", got)
+	}
+	// A free starting point stays untouched.
+	if got := e.NextFree(0, 2500); got != 2500 {
+		t.Fatalf("NextFree(2500) = %v", got)
+	}
+}
+
+func TestNextFreePanicsOnSaturatedChain(t *testing.T) {
+	// A chain deeper than the iteration bound means the bank effectively
+	// never frees; the engine must fail loudly instead of handing the
+	// simulator a blocked timestamp.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("saturated schedule composition did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "did not converge") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	chainEngine(100).NextFree(0, 0)
+}
+
+func TestComposeBankCountMismatchPanics(t *testing.T) {
+	// Regression: Compose used to size perBank from the FIRST per-bank
+	// engine; a wider second engine then indexed out of range (or silently
+	// dropped banks the other way around).
+	small := DefaultSystem()
+	small.Banks = 4
+	big := DefaultSystem() // 16 banks
+	a, err := RowRateRefresh(small, "narrow", 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RowRateRefresh(big, "wide", 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][]RefreshEngine{{a, b}, {b, a}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("mismatched bank counts composed silently")
+				}
+			}()
+			Compose(order[0], order[1])
+		}()
+	}
+	// Same bank count still composes fine.
+	c, err := RowRateRefresh(big, "wide2", 2e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Compose(b, c)
+}
+
+func TestFreeSpan(t *testing.T) {
+	cfg := DefaultSystem()
+	eng, err := PeriodicRefresh(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := eng.(*scheduleEngine)
+	// Inside the first REFab: free at tRFC=350, next window at tREFI=7812.5.
+	free, until := se.freeSpan(0, 10)
+	if math.Abs(free-350) > 1e-9 || math.Abs(until-7812.5) > 1e-9 {
+		t.Fatalf("freeSpan(10) = (%v, %v), want (350, 7812.5)", free, until)
+	}
+	// Idle: span starts immediately.
+	free, until = se.freeSpan(0, 1000)
+	if free != 1000 || math.Abs(until-7812.5) > 1e-9 {
+		t.Fatalf("freeSpan(1000) = (%v, %v)", free, until)
+	}
+	// No windows at all: the span never ends.
+	nr := NoRefresh().(*scheduleEngine)
+	free, until = nr.freeSpan(0, 42)
+	if free != 42 || !math.IsInf(until, 1) {
+		t.Fatalf("no-refresh freeSpan = (%v, %v)", free, until)
 	}
 }

@@ -2,7 +2,6 @@ package memsim
 
 import (
 	"fmt"
-	"math"
 
 	"columndisturb/internal/sim/rng"
 )
@@ -22,8 +21,10 @@ type RunResult struct {
 	Cores     []CoreResult
 	ElapsedNs float64
 	Acts      int64
+	Pres      int64 // explicit + speculative precharges
 	Reads     int64
 	Writes    int64
+	RefStalls int64 // commands delayed by a refresh occupancy window
 }
 
 // TotalIPC sums the cores' measured IPC.
@@ -35,32 +36,41 @@ func (r RunResult) TotalIPC() float64 {
 	return s
 }
 
-// coreState is the simulator's per-core bookkeeping. The core is a simple
-// out-of-order model: it executes the instruction gap between misses at
-// peak IPC and sustains up to MLP outstanding misses; a new miss can issue
-// once its compute is done and the miss MLP positions back has completed.
+// maxMPKI bounds the workload's miss intensity at one last-level-cache miss
+// per instruction. Beyond it the instruction gap between misses drops below
+// one, which has no microarchitectural meaning — and under the old integer
+// gap truncation it hung the simulator (gap truncated to 0 meant cores never
+// retired anything).
+const maxMPKI = 1000
+
+// coreState is the simulator's per-core bookkeeping, in integer DRAM
+// cycles. The core is a simple out-of-order model: it executes the
+// instruction gap between misses at peak IPC and sustains up to MLP
+// outstanding misses; a new miss can issue once its compute is done and the
+// miss MLP positions back has completed.
 type coreState struct {
-	stream         *stream
-	gap            float64 // instructions per miss
-	computeNs      float64 // compute time between misses
-	computeReadyNs float64
-	completions    []float64 // ring buffer of the last MLP completion times
-	compIdx        int
-	issued         int64
-	lastCompletion float64
-	retired        int64
-	target         int64
-	measuring      bool
-	measStartNs    float64
-	measInstr      int64
-	requests       int64
-	rowHits        int64
-	done           bool
+	stream       *stream
+	gap          float64 // instructions per miss (1000/MPKI, often fractional)
+	computeCyc   int64   // compute cycles between misses (rounded up)
+	computeReady int64
+	completions  []int64 // ring buffer of the last MLP completion cycles
+	compIdx      int
+	issued       int64
+	lastDone     int64
+	// retired accumulates in float64 so fractional gaps neither truncate to
+	// zero (the MPKI > 1000 hang) nor drift the measured instruction count.
+	retired   float64
+	measuring bool
+	measStart int64   // completion cycle of the warmup-crossing miss
+	measInstr float64 // instructions retired strictly inside the window
+	requests  int64
+	rowHits   int64
+	done      bool
 }
 
-// nextIssue returns the earliest time the core can issue its next miss.
-func (c *coreState) nextIssue() float64 {
-	t := c.computeReadyNs
+// nextIssue returns the earliest cycle the core can issue its next miss.
+func (c *coreState) nextIssue() int64 {
+	t := c.computeReady
 	if c.issued >= int64(len(c.completions)) {
 		if w := c.completions[c.compIdx]; w > t {
 			t = w
@@ -70,10 +80,23 @@ func (c *coreState) nextIssue() float64 {
 }
 
 // Run simulates the workload mix on the memory system under the given
-// refresh engine. Deterministic for a given (mix, engine, seed).
+// refresh engine. Deterministic for a given (mix, engine, seed): the whole
+// simulation advances on an integer DRAM-cycle clock through the per-bank
+// command state machine (see command.go), so there is no float timing state
+// to accumulate or diverge.
 func Run(cfg SystemConfig, mix []CoreWorkload, refresh RefreshEngine, seed uint64) (RunResult, error) {
 	if len(mix) == 0 {
 		return RunResult{}, fmt.Errorf("memsim: empty workload mix")
+	}
+	tim, err := cfg.Timing()
+	if err != nil {
+		return RunResult{}, err
+	}
+	if cfg.IPCPeak <= 0 || cfg.CPUGHz <= 0 {
+		return RunResult{}, fmt.Errorf("memsim: IPCPeak %v and CPUGHz %v must be positive", cfg.IPCPeak, cfg.CPUGHz)
+	}
+	if cfg.WarmupInstr < 0 || cfg.MeasureInstr < 1 {
+		return RunResult{}, fmt.Errorf("memsim: need WarmupInstr >= 0 and MeasureInstr >= 1, got %d/%d", cfg.WarmupInstr, cfg.MeasureInstr)
 	}
 	mlp := cfg.MLP
 	if mlp < 1 {
@@ -81,32 +104,28 @@ func Run(cfg SystemConfig, mix []CoreWorkload, refresh RefreshEngine, seed uint6
 	}
 	cores := make([]*coreState, len(mix))
 	for i, w := range mix {
-		if w.MPKI <= 0 {
-			return RunResult{}, fmt.Errorf("memsim: core %d has non-positive MPKI", i)
+		if w.MPKI <= 0 || w.MPKI > maxMPKI {
+			return RunResult{}, fmt.Errorf("memsim: core %d MPKI %v out of (0, %d]", i, w.MPKI, maxMPKI)
 		}
 		gap := w.GapInstructions()
 		cores[i] = &coreState{
 			stream:      newStream(w, cfg, seed, i, len(mix)),
 			gap:         gap,
-			computeNs:   gap / (cfg.IPCPeak * cfg.CPUGHz),
-			completions: make([]float64, mlp),
-			target:      cfg.WarmupInstr + cfg.MeasureInstr,
+			computeCyc:  tim.Cycles(gap / (cfg.IPCPeak * cfg.CPUGHz)),
+			completions: make([]int64, mlp),
 		}
 	}
-	bankFreeAt := make([]float64, cfg.Banks)
-	openRow := make([]int, cfg.Banks)
-	lastUse := make([]float64, cfg.Banks)
-	for b := range openRow {
-		openRow[b] = -1
-	}
-	busFreeAt := 0.0
-	var res RunResult
-	endNs := 0.0
+	mc := newController(cfg, tim, refresh)
+	warm := float64(cfg.WarmupInstr)
+	measure := float64(cfg.MeasureInstr)
+	res := RunResult{Cores: make([]CoreResult, len(mix))}
+	var endCyc int64
+	active := len(cores)
 
-	for {
+	for active > 0 {
 		// Pick the next core ready to issue.
 		ci := -1
-		best := 0.0
+		var best int64
 		for i, c := range cores {
 			if c.done {
 				continue
@@ -115,101 +134,66 @@ func Run(cfg SystemConfig, mix []CoreWorkload, refresh RefreshEngine, seed uint6
 				ci, best = i, t
 			}
 		}
-		if ci == -1 {
-			break
-		}
 		c := cores[ci]
 		req := c.stream.next()
-		b := req.bank
-
-		start := math.Max(best, bankFreeAt[b])
-		start = refresh.NextFree(b, start)
-
-		// Adaptive page policy: banks idle past the timeout were
-		// speculatively precharged during the gap.
-		if cfg.IdleCloseNs > 0 && openRow[b] != -1 && start-lastUse[b] > cfg.IdleCloseNs {
-			openRow[b] = -1
-		}
-		// Row-buffer state: refresh activity in the gap closes the row.
-		hit := openRow[b] == req.row && !refresh.BlockedBetween(b, lastUse[b], start)
-		var latency float64
-		switch {
-		case hit:
-			latency = cfg.TCASns
-		case openRow[b] == -1 || refresh.BlockedBetween(b, lastUse[b], start):
-			latency = cfg.TRCDns + cfg.TCASns
-			res.Acts++
-		default:
-			latency = cfg.TRPns + cfg.TRCDns + cfg.TCASns
-			res.Acts++
-		}
-		dataReady := start + latency
-		busSlot := math.Max(dataReady, busFreeAt)
-		completion := busSlot + cfg.TBurstNs
-		busFreeAt = completion
-		bankFreeAt[b] = dataReady
-		openRow[b] = req.row
-		lastUse[b] = completion
-		if req.write {
-			res.Writes++
-		} else {
-			res.Reads++
-		}
+		completion, hit := mc.access(req.bank, req.row, req.write, best)
 
 		// Track the outstanding-miss window and retire the instruction gap
 		// this miss anchors.
 		c.completions[c.compIdx] = completion
 		c.compIdx = (c.compIdx + 1) % len(c.completions)
 		c.issued++
-		if completion > c.lastCompletion {
-			c.lastCompletion = completion
+		if completion > c.lastDone {
+			c.lastDone = completion
 		}
-		c.computeReadyNs += c.computeNs
-		c.retired += int64(c.gap)
-		c.requests++
-		if hit {
-			c.rowHits++
-		}
-		if !c.measuring && c.retired >= cfg.WarmupInstr {
-			c.measuring = true
-			c.measStartNs = completion
-			c.measInstr = 0
-			c.requests = 0
-			c.rowHits = 0
-		}
-		if c.measuring {
-			c.measInstr += int64(c.gap)
-		}
-		if c.retired >= c.target {
-			c.done = true
-			t := c.lastCompletion - c.measStartNs
-			if t <= 0 {
-				t = 1
+		c.computeReady += c.computeCyc
+		c.retired += c.gap
+		switch {
+		case c.measuring:
+			// A miss fully inside the measuring window: its gap, request
+			// and row-hit all count.
+			c.measInstr += c.gap
+			c.requests++
+			if hit {
+				c.rowHits++
 			}
-			res.Cores = append(res.Cores, CoreResult{
+		case c.retired >= warm:
+			// The miss crossing the warmup boundary belongs to warmup on
+			// every axis — instructions, requests and row-hits alike — and
+			// anchors the measuring clock at its completion.
+			c.measuring = true
+			c.measStart = completion
+		}
+		if c.measuring && c.measInstr >= measure {
+			c.done = true
+			active--
+			cyc := c.lastDone - c.measStart
+			if cyc <= 0 {
+				cyc = 1
+			}
+			t := tim.Ns(cyc)
+			// Restore by core index (never by workload name): a mix may
+			// legitimately contain duplicate workload names, and each slot
+			// must keep its own core's measurements.
+			res.Cores[ci] = CoreResult{
 				Workload:     mix[ci],
-				Instructions: c.measInstr,
+				Instructions: int64(c.measInstr + 0.5),
 				TimeNs:       t,
-				IPC:          float64(c.measInstr) / (t * cfg.CPUGHz),
+				IPC:          c.measInstr / (t * cfg.CPUGHz),
 				Requests:     c.requests,
 				RowHits:      c.rowHits,
-			})
-		}
-		if completion > endNs {
-			endNs = completion
-		}
-	}
-	res.ElapsedNs = endNs
-	// Cores complete in arbitrary order; restore mix order.
-	ordered := make([]CoreResult, len(mix))
-	for _, cr := range res.Cores {
-		for i, w := range mix {
-			if w.Name == cr.Workload.Name {
-				ordered[i] = cr
 			}
 		}
+		if completion > endCyc {
+			endCyc = completion
+		}
 	}
-	res.Cores = ordered
+	res.ElapsedNs = tim.Ns(endCyc)
+	res.Acts = mc.acts
+	res.Pres = mc.pres
+	res.Reads = mc.reads
+	res.Writes = mc.writes
+	res.RefStalls = mc.refStalls
 	return res, nil
 }
 
@@ -267,7 +251,9 @@ func DefaultEnergy() EnergyModel {
 }
 
 // Energy returns the run's DRAM energy in nanojoules under the engine's
-// refresh schedule.
+// refresh schedule: the ACT/PRE and RD/WR command counts come straight from
+// the command stream, the refresh operation counts from the engine's
+// schedule rates over the simulated interval.
 func (m EnergyModel) Energy(res RunResult, refresh RefreshEngine, cfg SystemConfig) float64 {
 	st := refresh.Stats()
 	secs := res.ElapsedNs * 1e-9

@@ -3,6 +3,7 @@ package memsim
 import (
 	"math"
 	"testing"
+	"time"
 )
 
 func smallSys() SystemConfig {
@@ -387,5 +388,150 @@ func TestBloomBenefitCollapsesNearSaturation(t *testing.T) {
 	}
 	if high > low-0.3 {
 		t.Fatalf("bloom benefit should collapse by 0.2%% weak: %v -> %v", low, high)
+	}
+}
+
+func TestDuplicateWorkloadNamesKeepPerCoreResults(t *testing.T) {
+	// Regression: results used to be restored by Workload.Name, so a mix
+	// with duplicate names aliased every such core onto the last-finished
+	// one's measurements. Restoration must be by core index.
+	cfg := smallSys()
+	mix := []CoreWorkload{
+		{Name: "dup", MPKI: 10, RowLocality: 0.9, WriteFrac: 0.2},
+		{Name: "dup", MPKI: 50, RowLocality: 0.2, WriteFrac: 0.2},
+	}
+	res, err := Run(cfg, mix, NoRefresh(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores[0].Workload.MPKI != 10 || res.Cores[1].Workload.MPKI != 50 {
+		t.Fatalf("core slots aliased by name: MPKI %v / %v",
+			res.Cores[0].Workload.MPKI, res.Cores[1].Workload.MPKI)
+	}
+	// The MPKI-50 core issues ~5x the misses over the same instruction
+	// window; identical request counts would mean one core's numbers were
+	// copied over the other's.
+	if res.Cores[0].Requests == res.Cores[1].Requests {
+		t.Fatalf("duplicate-name cores share a result: %d requests each",
+			res.Cores[0].Requests)
+	}
+	if res.Cores[1].Requests < res.Cores[0].Requests*3 {
+		t.Fatalf("MPKI 50 core should issue far more requests: %d vs %d",
+			res.Cores[1].Requests, res.Cores[0].Requests)
+	}
+	if res.Cores[0].IPC <= res.Cores[1].IPC {
+		t.Fatalf("row-hit-heavy MPKI 10 core must outrun the MPKI 50 core: %v vs %v",
+			res.Cores[0].IPC, res.Cores[1].IPC)
+	}
+}
+
+func TestHighMPKIBoundedAndGuarded(t *testing.T) {
+	// Regression: gap = 1000/MPKI used to be truncated to int, so any
+	// MPKI > 1000 made the per-miss retirement zero and Run spun forever.
+	// The fixed simulator accumulates fractional gaps and rejects MPKI
+	// beyond the one-miss-per-instruction bound outright.
+	cfg := smallSys()
+	cfg.MeasureInstr = 2000
+	bad := []CoreWorkload{{Name: "hot", MPKI: 1001, RowLocality: 0.5}}
+	if _, err := Run(cfg, bad, NoRefresh(), 1); err == nil {
+		t.Fatal("MPKI above 1000 accepted — the old code hung here")
+	}
+	// The boundary itself (gap exactly 1) must terminate and measure.
+	edge := []CoreWorkload{{Name: "edge", MPKI: 1000, RowLocality: 0.5}}
+	done := make(chan RunResult, 1)
+	go func() {
+		res, err := Run(cfg, edge, NoRefresh(), 1)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	select {
+	case res := <-done:
+		if res.Cores[0].Instructions < cfg.MeasureInstr {
+			t.Fatalf("measured only %d instructions", res.Cores[0].Instructions)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("MPKI=1000 run did not terminate")
+	}
+}
+
+func TestFractionalGapAccumulatesExactly(t *testing.T) {
+	// MPKI 13 gives gap = 1000/13 ≈ 76.923: with truncation every miss
+	// would under-count ~0.92 instructions. The float accumulator keeps
+	// Instructions = requests x gap to rounding.
+	cfg := smallSys()
+	cfg.WarmupInstr = 0
+	cfg.MeasureInstr = 10000
+	mix := []CoreWorkload{{Name: "frac", MPKI: 13, RowLocality: 0.5}}
+	res, err := Run(cfg, mix, NoRefresh(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cores[0]
+	gap := mix[0].GapInstructions()
+	if got := float64(c.Instructions) - gap*float64(c.Requests); math.Abs(got) > 1 {
+		t.Fatalf("instruction count drifted %v from requests x gap", got)
+	}
+	// Overshoot past the target is bounded by one gap.
+	if c.Instructions < cfg.MeasureInstr || float64(c.Instructions) > float64(cfg.MeasureInstr)+gap+1 {
+		t.Fatalf("instructions %d outside [%d, %d+gap]", c.Instructions, cfg.MeasureInstr, cfg.MeasureInstr)
+	}
+}
+
+func TestWarmupBoundaryConsistent(t *testing.T) {
+	// Regression: the warmup-crossing miss used to count toward measured
+	// instructions but not toward requests/row-hits, skewing every
+	// per-request statistic. All three axes now share one boundary:
+	// measured instructions = requests x gap, and the row-hit count can
+	// never exceed the request count.
+	cfg := smallSys()
+	cfg.WarmupInstr = 5000
+	cfg.MeasureInstr = 20000
+	for _, mpki := range []float64{10, 33, 90} {
+		mix := []CoreWorkload{{Name: "warm", MPKI: mpki, RowLocality: 0.7}}
+		res, err := Run(cfg, mix, NoRefresh(), 29)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := res.Cores[0]
+		gap := mix[0].GapInstructions()
+		if drift := float64(c.Instructions) - gap*float64(c.Requests); math.Abs(drift) > 1 {
+			t.Fatalf("MPKI %v: instructions %d vs %d requests x gap %.3f drift %v",
+				mpki, c.Instructions, c.Requests, gap, drift)
+		}
+		if c.RowHits > c.Requests {
+			t.Fatalf("MPKI %v: %d row hits exceed %d requests", mpki, c.RowHits, c.Requests)
+		}
+		if c.TimeNs <= 0 || c.IPC <= 0 {
+			t.Fatalf("MPKI %v: degenerate measurement %+v", mpki, c)
+		}
+	}
+}
+
+func TestWarmupZeroAndLargeAgree(t *testing.T) {
+	// With warmup the measuring window starts later but per-request
+	// statistics must stay in the same regime as a warmup-free run.
+	cfg := smallSys()
+	cfg.MeasureInstr = 20000
+	mix := []CoreWorkload{{Name: "w", MPKI: 40, RowLocality: 0.6}}
+
+	cfg.WarmupInstr = 0
+	a, err := Run(cfg, mix, NoRefresh(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WarmupInstr = 30000
+	b, err := Run(cfg, mix, NoRefresh(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := float64(a.Cores[0].RowHits) / float64(a.Cores[0].Requests)
+	rb := float64(b.Cores[0].RowHits) / float64(b.Cores[0].Requests)
+	if math.Abs(ra-rb) > 0.1 {
+		t.Fatalf("row-hit rate shifted across warmup settings: %v vs %v", ra, rb)
+	}
+	if math.Abs(a.Cores[0].IPC-b.Cores[0].IPC) > 0.25*a.Cores[0].IPC {
+		t.Fatalf("IPC shifted across warmup settings: %v vs %v", a.Cores[0].IPC, b.Cores[0].IPC)
 	}
 }

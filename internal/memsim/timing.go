@@ -1,0 +1,104 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Timing is SystemConfig's nanosecond datasheet parameters resolved into
+// integer DRAM-cycle counts — the unit the command state machine runs in.
+// Every parameter is rounded *up* to whole cycles (the standard controller
+// convention: a constraint may never be undershot), so the hottest loop does
+// pure integer arithmetic and two runs of the same configuration are
+// trivially bit-identical.
+type Timing struct {
+	TCKns float64 // DRAM clock period
+
+	CAS   int64 // CL: read command to first data beat
+	CWL   int64 // write command to first data beat
+	RCD   int64 // ACT to RD/WR, same bank
+	RP    int64 // PRE to ACT, same bank
+	RAS   int64 // ACT to PRE, same bank
+	RC    int64 // ACT to ACT, same bank
+	RFC   int64 // all-bank refresh occupancy
+	FAW   int64 // sliding four-activate window, rank-wide
+	CCDS  int64 // RD/WR to RD/WR, different bank group
+	CCDL  int64 // RD/WR to RD/WR, same bank group
+	RTP   int64 // RD to PRE, same bank
+	WR    int64 // write recovery: end of write data to PRE, same bank
+	Burst int64 // data-bus beats per access (BL/2)
+}
+
+// Cycles converts a nanosecond duration into the smallest whole cycle count
+// covering it (round up, with a relative epsilon absorbing float noise so an
+// exact multiple of tCK does not round to an extra cycle).
+func (t Timing) Cycles(ns float64) int64 {
+	if ns <= 0 {
+		return 0
+	}
+	return int64(math.Ceil(ns/t.TCKns - 1e-9))
+}
+
+// Ns converts a cycle count back to nanoseconds.
+func (t Timing) Ns(cyc int64) float64 { return float64(cyc) * t.TCKns }
+
+// Timing resolves the configuration's nanosecond parameters into cycle
+// counts, validating the relations the command state machine depends on.
+func (c SystemConfig) Timing() (Timing, error) {
+	if c.TCKns <= 0 {
+		return Timing{}, fmt.Errorf("memsim: TCKns %v must be positive (see DefaultSystem)", c.TCKns)
+	}
+	for _, p := range []struct {
+		name string
+		ns   float64
+	}{
+		{"TCASns", c.TCASns}, {"TCWLns", c.TCWLns}, {"TRCDns", c.TRCDns},
+		{"TRPns", c.TRPns}, {"TRASns", c.TRASns}, {"TRCns", c.TRCns},
+		{"TBurstNs", c.TBurstNs},
+	} {
+		if p.ns <= 0 {
+			return Timing{}, fmt.Errorf("memsim: %s %v must be positive", p.name, p.ns)
+		}
+	}
+	for _, p := range []struct {
+		name string
+		ns   float64
+	}{
+		{"TRFCns", c.TRFCns}, {"TFAWns", c.TFAWns}, {"TCCDSns", c.TCCDSns},
+		{"TCCDLns", c.TCCDLns}, {"TRTPns", c.TRTPns}, {"TWRns", c.TWRns},
+	} {
+		if p.ns < 0 {
+			return Timing{}, fmt.Errorf("memsim: %s %v must be non-negative", p.name, p.ns)
+		}
+	}
+	t := Timing{TCKns: c.TCKns}
+	t.CAS = t.Cycles(c.TCASns)
+	t.CWL = t.Cycles(c.TCWLns)
+	t.RCD = t.Cycles(c.TRCDns)
+	t.RP = t.Cycles(c.TRPns)
+	t.RAS = t.Cycles(c.TRASns)
+	t.RC = t.Cycles(c.TRCns)
+	t.RFC = t.Cycles(c.TRFCns)
+	t.FAW = t.Cycles(c.TFAWns)
+	t.CCDS = t.Cycles(c.TCCDSns)
+	t.CCDL = t.Cycles(c.TCCDLns)
+	t.RTP = t.Cycles(c.TRTPns)
+	t.WR = t.Cycles(c.TWRns)
+	t.Burst = t.Cycles(c.TBurstNs)
+	if t.CCDS > 0 && t.CCDS < t.Burst {
+		return Timing{}, fmt.Errorf("memsim: tCCD_S (%d cycles) below the burst length (%d): data transfers would overlap on the bus", t.CCDS, t.Burst)
+	}
+	if t.CCDL < t.CCDS {
+		return Timing{}, fmt.Errorf("memsim: tCCD_L (%d cycles) below tCCD_S (%d)", t.CCDL, t.CCDS)
+	}
+	if t.RC < t.RAS {
+		return Timing{}, fmt.Errorf("memsim: tRC (%d cycles) below tRAS (%d)", t.RC, t.RAS)
+	}
+	if c.Banks < 1 || c.RowsPerBank < 1 {
+		return Timing{}, fmt.Errorf("memsim: need at least one bank and one row, got %dx%d", c.Banks, c.RowsPerBank)
+	}
+	if c.BankGroups < 1 || c.Banks%c.BankGroups != 0 {
+		return Timing{}, fmt.Errorf("memsim: BankGroups %d must be positive and divide Banks %d", c.BankGroups, c.Banks)
+	}
+	return t, nil
+}

@@ -1,0 +1,82 @@
+package memsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimingCycleRounding(t *testing.T) {
+	cfg := DefaultSystem()
+	tim, err := cfg.Timing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All constraints round UP: a command may never undershoot a datasheet
+	// parameter. 46 ns at tCK = 0.833 ns is 55.2 cycles -> 56.
+	if tim.RC != 56 {
+		t.Fatalf("tRC = %d cycles, want 56", tim.RC)
+	}
+	if tim.Ns(tim.RC) < cfg.TRCns {
+		t.Fatalf("rounded tRC %v ns undershoots the datasheet %v ns", tim.Ns(tim.RC), cfg.TRCns)
+	}
+	// An exact multiple of tCK must not round to an extra cycle.
+	exact := Timing{TCKns: 1}
+	if got := exact.Cycles(5); got != 5 {
+		t.Fatalf("Cycles(5) at tCK=1 = %d, want 5", got)
+	}
+	if got := exact.Cycles(5.0001); got != 6 {
+		t.Fatalf("Cycles(5.0001) = %d, want 6", got)
+	}
+	if got := exact.Cycles(0); got != 0 {
+		t.Fatalf("Cycles(0) = %d, want 0", got)
+	}
+	// Round-tripping a cycle count through ns is the identity.
+	dd4, err := DefaultSystem().Timing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []int64{0, 1, 17, 421, 1 << 30} {
+		if got := dd4.Cycles(dd4.Ns(c)); got != c {
+			t.Fatalf("Cycles(Ns(%d)) = %d", c, got)
+		}
+	}
+}
+
+func TestTimingValidation(t *testing.T) {
+	bad := func(mutate func(*SystemConfig), frag string) {
+		t.Helper()
+		cfg := DefaultSystem()
+		mutate(&cfg)
+		_, err := cfg.Timing()
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Fatalf("want error containing %q, got %v", frag, err)
+		}
+	}
+	bad(func(c *SystemConfig) { c.TCKns = 0 }, "TCKns")
+	bad(func(c *SystemConfig) { c.TCASns = 0 }, "TCASns")
+	bad(func(c *SystemConfig) { c.TRTPns = -1 }, "TRTPns")
+	bad(func(c *SystemConfig) { c.TCCDSns = 1; c.TBurstNs = 5 }, "tCCD_S")
+	bad(func(c *SystemConfig) { c.TCCDLns = 1 }, "tCCD_L")
+	bad(func(c *SystemConfig) { c.TRCns = 20 }, "tRC")
+	bad(func(c *SystemConfig) { c.Banks = 0 }, "bank")
+	bad(func(c *SystemConfig) { c.BankGroups = 3 }, "BankGroups")
+	bad(func(c *SystemConfig) { c.BankGroups = 0 }, "BankGroups")
+}
+
+func TestRunRejectsInvalidTiming(t *testing.T) {
+	cfg := smallSys()
+	cfg.TCKns = -1
+	if _, err := Run(cfg, Mixes(1)[0], NoRefresh(), 1); err == nil {
+		t.Fatal("invalid timing accepted")
+	}
+	cfg = smallSys()
+	cfg.IPCPeak = 0
+	if _, err := Run(cfg, Mixes(1)[0], NoRefresh(), 1); err == nil {
+		t.Fatal("zero IPCPeak accepted")
+	}
+	cfg = smallSys()
+	cfg.MeasureInstr = 0
+	if _, err := Run(cfg, Mixes(1)[0], NoRefresh(), 1); err == nil {
+		t.Fatal("zero MeasureInstr accepted")
+	}
+}

@@ -56,7 +56,7 @@ var required = []string{
 // benchmarks, skipping the per-artifact figure benchmarks (those are
 // subsets of RunAll and would double CI's bench wall time).
 const benchRegexp = "^Benchmark(RunAll|Engine|DeviceReadRow|Hammer512ms|" +
-	"StatisticalSubarray|TTFSample|SECDecode|MemsimMix|RowCloneScan)"
+	"StatisticalSubarray|TTFSample|SECDecode|Memsim|RowCloneScan)"
 
 // resultLine matches `go test -bench` output such as
 // "BenchmarkRunAllSerial-8   1   123456789 ns/op".
