@@ -11,6 +11,8 @@ import (
 	"context"
 	"testing"
 
+	"columndisturb/internal/bender"
+	"columndisturb/internal/charz"
 	"columndisturb/internal/chipdb"
 	"columndisturb/internal/core"
 	"columndisturb/internal/dram"
@@ -315,6 +317,80 @@ func BenchmarkMemsimCommandLoopNoRefresh(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkShardSplitPlan measures adaptive shard splitting itself: plan
+// construction for every split-capable experiment under an aggressive
+// cost-share budget, i.e. cost estimation + atom packing + sub-shard
+// labelling, without running any shard.
+func BenchmarkShardSplitPlan(b *testing.B) {
+	cfg := experiments.Small()
+	cfg.MaxShardShare = 0.004
+	ids := []string{"fig11", "fig13", "fig15", "fig23", "ttf"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range ids {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				b.Fatalf("experiment %s missing", id)
+			}
+			plan, err := e.Plan(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(plan.Shards) == 0 {
+				b.Fatal("empty plan")
+			}
+		}
+	}
+}
+
+// BenchmarkDiffReadsFiltered measures the readout diff hot loop — word-XOR
+// flip extraction plus bitset row/cell filtering — over a 128-row, 1024-
+// column read with a sparse sprinkle of flips, the shape every
+// characterization experiment feeds it.
+func BenchmarkDiffReadsFiltered(b *testing.B) {
+	const rows, cols = 128, 1024
+	recs := make([]bender.ReadRecord, rows)
+	for r := range recs {
+		words := make([]uint64, cols/64)
+		dram.FillWords(words, dram.PatFF)
+		if r%3 == 0 { // a third of the rows carry a couple of flips
+			dram.SetWordBit(words, (r*37)%cols, 0)
+			dram.SetWordBit(words, (r*613)%cols, 0)
+		}
+		recs[r] = bender.ReadRecord{Row: r, Data: words}
+	}
+	g := dram.SmallGeometry()
+	f := &charz.Filter{
+		ExcludedRows: charz.GuardRows(g, []int{16}, 4),
+		Cols:         cols,
+	}
+	prof := &charz.RetentionProfile{
+		MinFailMs: map[int64]float64{charz.CellID(7, 37, cols): 50},
+		Cols:      cols, RowLast: rows - 1,
+	}
+	f.ExcludedCells = prof.FailingWithin(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := charz.DiffReads(recs, dram.PatFF, f)
+		if len(out) == 0 {
+			b.Fatal("no rows diffed")
+		}
+	}
+}
+
+// BenchmarkCouplingEval measures the coupling nonlinearity evaluation that
+// prices every epoch and column class — the sampled-LUT path for a swept
+// ΔV (the alpha-mutated exact path is ~20× slower; see faultmodel).
+func BenchmarkCouplingEval(b *testing.B) {
+	p := chipdb.DDR4Modules()[0].BuildParams()
+	acc := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc += p.Coupling(float64(i%1024) / 1024)
+	}
+	_ = acc
 }
 
 // BenchmarkRowCloneScan measures the RowClone-based boundary reverse

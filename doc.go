@@ -53,10 +53,16 @@
 // bit-identical for every worker count, every placement (local,
 // distributed, mid-run worker loss), and warm or cold caches — there is no
 // serial special case. Shards additionally carry cost estimates (static
-// plan hints, overridden by wall times the service learns from earlier
-// runs) that the dispatcher uses for largest-first lease ordering and
-// big-shard→fast-worker affinity (DESIGN.md §12); costs steer scheduling
-// only and never change results.
+// plan hints in estimated single-core milliseconds, overridden by wall
+// times the service learns from earlier runs) that the dispatcher uses for
+// largest-first lease ordering and big-shard→fast-worker affinity
+// (DESIGN.md §12); costs steer scheduling only and never change results.
+// Plan builders also consume their own hints: a shard whose estimate
+// exceeds a configurable share of the plan total (Config.MaxShardShare,
+// default 10%) is subdivided along its atom list — runs, blast cells,
+// sample chunks — into range-labelled sub-shards with per-atom RNG
+// streams, so the dominant shard can no longer serialize a sweep's tail
+// (DESIGN.md §16).
 //
 // A serve process is durable (DESIGN.md §14): with LocalOptions.WALDir
 // (or `cdlab serve -cache-dir`, which defaults the WAL next to the cache)

@@ -180,8 +180,8 @@ func TestProfileRetention(t *testing.T) {
 	if len(prof.MinFailMs) == 0 {
 		t.Fatal("retention profiling found no failures at 800 ms on a 50 ms-first-failure module")
 	}
-	short := len(prof.FailingWithin(50))
-	long := len(prof.FailingWithin(800))
+	short := prof.FailingWithin(50).Len()
+	long := prof.FailingWithin(800).Len()
 	if short > long {
 		t.Fatal("failing-cell set must grow with the interval")
 	}
@@ -191,8 +191,8 @@ func TestProfileRetention(t *testing.T) {
 		}
 	}
 	weak := prof.WeakRows(800)
-	if len(weak) == 0 || len(weak) > g.RowsPerSubarray {
-		t.Fatalf("weak row count %d out of range", len(weak))
+	if weak.Len() == 0 || weak.Len() > g.RowsPerSubarray {
+		t.Fatalf("weak row count %d out of range", weak.Len())
 	}
 }
 

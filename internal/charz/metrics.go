@@ -9,7 +9,10 @@
 package charz
 
 import (
+	"math/bits"
+
 	"columndisturb/internal/bender"
+	"columndisturb/internal/bitset"
 	"columndisturb/internal/dram"
 )
 
@@ -25,34 +28,34 @@ func CellID(row, col, cols int) int64 {
 // interval.
 type Filter struct {
 	// ExcludedRows are bank-level rows whose flips are ignored entirely.
-	ExcludedRows map[int]bool
+	ExcludedRows *bitset.Set
 	// ExcludedCells are bank-local cell IDs (CellID) ignored as known
 	// retention failures.
-	ExcludedCells map[int64]bool
+	ExcludedCells *bitset.Set
 	// Cols is the geometry's column count, needed to compute cell IDs.
 	Cols int
 }
 
 // RowExcluded reports whether the row is filtered out.
 func (f *Filter) RowExcluded(row int) bool {
-	return f != nil && f.ExcludedRows != nil && f.ExcludedRows[row]
+	return f != nil && f.ExcludedRows.Contains(row)
 }
 
 // CellExcluded reports whether the cell is filtered out.
 func (f *Filter) CellExcluded(row, col int) bool {
-	return f != nil && f.ExcludedCells != nil && f.ExcludedCells[CellID(row, col, f.Cols)]
+	return f != nil && f.ExcludedCells.Contains(int(CellID(row, col, f.Cols)))
 }
 
 // GuardRows returns the paper's guard band: the aggressor row plus the
 // `guard` nearest rows on each side that lie in the same subarray
 // (industry read-disturbance mitigations refresh up to eight neighbours, so
 // the paper excludes eight nearest victims; guard=4 reproduces that).
-func GuardRows(g dram.Geometry, aggRows []int, guard int) map[int]bool {
-	out := make(map[int]bool)
+func GuardRows(g dram.Geometry, aggRows []int, guard int) *bitset.Set {
+	out := bitset.New(g.RowsPerBank())
 	for _, agg := range aggRows {
 		for r := agg - guard; r <= agg+guard; r++ {
 			if r >= 0 && r < g.RowsPerBank() && g.SameSubarray(agg, r) {
-				out[r] = true
+				out.Add(r)
 			}
 		}
 	}
@@ -65,32 +68,34 @@ type RowFlips struct {
 	Flips      int // total counted flips (after filtering)
 	OneToZero  int
 	ZeroToOne  int
-	ChunkFlips map[int]int // flips per 64-bit (8-byte) chunk index, for ECC analysis
+	ChunkFlips []int // flips per 64-bit (8-byte) chunk index, for ECC analysis
 }
 
 // DiffReads compares read records against the expected victim pattern and
-// returns per-row flip summaries, applying the filter.
+// returns per-row flip summaries, applying the filter. Data patterns are
+// byte-periodic, so every correct data word equals dram.PatternWord(want);
+// XORing against it finds the flipped columns of 64 cells at once, and
+// filter/direction bookkeeping runs only on the (rare) set bits.
 func DiffReads(recs []bender.ReadRecord, want dram.DataPattern, f *Filter) []RowFlips {
+	expWord := dram.PatternWord(want)
 	var out []RowFlips
 	for _, rec := range recs {
 		if f.RowExcluded(rec.Row) {
 			continue
 		}
-		rf := RowFlips{Row: rec.Row, ChunkFlips: make(map[int]int)}
+		rf := RowFlips{Row: rec.Row, ChunkFlips: make([]int, len(rec.Data))}
 		for w, word := range rec.Data {
-			for b := 0; b < 64; b++ {
-				col := w*64 + b
-				got := byte(word>>uint(b)) & 1
-				exp := want.Bit(col)
-				if got == exp {
-					continue
-				}
+			diff := word ^ expWord
+			for diff != 0 {
+				b := bits.TrailingZeros64(diff)
+				diff &= diff - 1
+				col := w<<6 | b
 				if f.CellExcluded(rec.Row, col) {
 					continue
 				}
 				rf.Flips++
 				rf.ChunkFlips[w]++
-				if exp == 1 {
+				if expWord>>uint(b)&1 == 1 {
 					rf.OneToZero++
 				} else {
 					rf.ZeroToOne++
@@ -142,12 +147,13 @@ func ChunkHistogram(rows []RowFlips, maxK int) []int {
 	hist := make([]int, maxK+1) // index k = chunks with k flips; index 0 unused
 	for _, r := range rows {
 		for _, n := range r.ChunkFlips {
+			if n < 1 {
+				continue
+			}
 			if n > maxK {
 				n = maxK
 			}
-			if n >= 1 {
-				hist[n]++
-			}
+			hist[n]++
 		}
 	}
 	return hist

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"columndisturb/internal/bender"
+	"columndisturb/internal/bitset"
 	"columndisturb/internal/dram"
 )
 
@@ -19,18 +20,18 @@ func TestGuardRowsClipsToSubarray(t *testing.T) {
 	// leak into subarray 0 (RowHammer does not cross sense amplifiers).
 	agg := g.SubarrayBase(1)
 	guard := GuardRows(g, []int{agg}, 4)
-	if !guard[agg] || !guard[agg+4] {
+	if !guard.Contains(agg) || !guard.Contains(agg+4) {
 		t.Fatal("guard band must include aggressor and +4")
 	}
-	if guard[agg-1] {
+	if guard.Contains(agg - 1) {
 		t.Fatal("guard band leaked across the subarray boundary")
 	}
-	if len(guard) != 5 {
-		t.Fatalf("guard size %d, want 5 (aggressor + 4 below)", len(guard))
+	if guard.Len() != 5 {
+		t.Fatalf("guard size %d, want 5 (aggressor + 4 below)", guard.Len())
 	}
 	// Interior aggressor: full ±4 band.
 	agg = g.SubarrayBase(1) + 16
-	if got := len(GuardRows(g, []int{agg}, 4)); got != 9 {
+	if got := GuardRows(g, []int{agg}, 4).Len(); got != 9 {
 		t.Fatalf("interior guard size %d, want 9", got)
 	}
 }
@@ -66,7 +67,7 @@ func TestDiffReadsRowExclusion(t *testing.T) {
 		mkRecord(3, dram.PatFF, []int{5}),
 		mkRecord(4, dram.PatFF, []int{6}),
 	}
-	f := &Filter{Cols: 128, ExcludedRows: map[int]bool{3: true}}
+	f := &Filter{Cols: 128, ExcludedRows: bitset.Of(3)}
 	rows := DiffReads(recs, dram.PatFF, f)
 	if len(rows) != 1 || rows[0].Row != 4 {
 		t.Fatalf("row exclusion failed: %+v", rows)
@@ -77,7 +78,7 @@ func TestDiffReadsCellExclusion(t *testing.T) {
 	recs := []bender.ReadRecord{mkRecord(2, dram.PatFF, []int{5, 9})}
 	f := &Filter{
 		Cols:          128,
-		ExcludedCells: map[int64]bool{CellID(2, 5, 128): true},
+		ExcludedCells: bitset.Of(int(CellID(2, 5, 128))),
 	}
 	rows := DiffReads(recs, dram.PatFF, f)
 	if rows[0].Flips != 1 || rows[0].ChunkFlips[0] != 1 {

@@ -2,6 +2,7 @@ package charz
 
 import (
 	"columndisturb/internal/bender"
+	"columndisturb/internal/bitset"
 	"columndisturb/internal/dram"
 )
 
@@ -40,14 +41,15 @@ type RetentionProfile struct {
 	RowLast   int
 }
 
-// FailingWithin returns the set of cells whose minimum retention time is
-// within (≤) the given interval — the exclusion set for ColumnDisturb
-// bitflip counting.
-func (p *RetentionProfile) FailingWithin(ms float64) map[int64]bool {
-	out := make(map[int64]bool)
+// FailingWithin returns the set of cells (keyed by CellID) whose minimum
+// retention time is within (≤) the given interval — the exclusion set for
+// ColumnDisturb bitflip counting. The dense bitset makes the per-readout-bit
+// membership probe in DiffReads a shift-and-mask rather than a map lookup.
+func (p *RetentionProfile) FailingWithin(ms float64) *bitset.Set {
+	out := bitset.New((p.RowLast + 1) * p.Cols)
 	for id, t := range p.MinFailMs {
 		if t <= ms {
-			out[id] = true
+			out.Add(int(id))
 		}
 	}
 	return out
@@ -56,11 +58,11 @@ func (p *RetentionProfile) FailingWithin(ms float64) map[int64]bool {
 // WeakRows returns the rows containing at least one cell failing within the
 // interval — the weak-row classification retention-aware refresh
 // mechanisms use.
-func (p *RetentionProfile) WeakRows(ms float64) map[int]bool {
-	out := make(map[int]bool)
+func (p *RetentionProfile) WeakRows(ms float64) *bitset.Set {
+	out := bitset.New(p.RowLast + 1)
 	for id, t := range p.MinFailMs {
 		if t <= ms {
-			out[int(id)/p.Cols] = true
+			out.Add(int(id) / p.Cols)
 		}
 	}
 	return out

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"columndisturb/internal/dram"
 	"columndisturb/internal/faultmodel"
 )
@@ -96,15 +98,28 @@ func classesOver(p *faultmodel.Params, s PatternSetup, share func(c int) (int, b
 		}
 		counts[k]++
 	}
+	// Emit classes in a deterministic order: class order decides RNG
+	// consumption order downstream (SampleCounts draws one binomial per
+	// class per row), so map iteration order must never leak into it.
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].b1 != keys[j].b1 {
+			return keys[i].b1 < keys[j].b1
+		}
+		return keys[i].b2 < keys[j].b2
+	})
 	var out []ColumnClass
-	for k, n := range counts {
+	for _, k := range keys {
 		var rho float64
 		if s.TwoAggressor {
 			rho = p.RhoTwoAggressor(s.TAggOnNs, s.TRPNs, float64(k.b1), float64(k.b2))
 		} else {
 			rho = p.RhoHammer(s.TAggOnNs, s.TRPNs, float64(k.b1))
 		}
-		out = append(out, ColumnClass{Frac: float64(n) / 8, Rho: rho})
+		out = append(out, ColumnClass{Frac: float64(counts[k]) / 8, Rho: rho})
 	}
 	if idle > 0 {
 		out = append(out, ColumnClass{Frac: float64(idle) / 8, Rho: p.RhoIdle()})

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math"
-
 	"columndisturb/internal/faultmodel"
 	"columndisturb/internal/sim/rng"
 )
@@ -37,26 +35,46 @@ func (s SubarrayCounts) FractionOfCells(cols int) float64 {
 // probability. The per-row structure is what blast radius, weak-row and
 // ECC-chunk statistics are built from.
 func SampleCounts(cfg SubarrayConfig, r *rng.Rand) SubarrayCounts {
-	out := SubarrayCounts{PerRow: make([]int, cfg.Rows)}
+	return NewCountsSampler(cfg).Sample(r)
+}
+
+// CountsSampler is a SubarrayConfig prepared for repeated SampleCounts
+// draws: the per-class rate models and quadrature nodes are built once.
+// Repeated-draw callers (per-subarray replication loops) should build one
+// sampler per configuration instead of calling SampleCounts n times.
+type CountsSampler struct {
+	rows      int
+	threshold float64
+	evals     []classEval
+}
+
+// NewCountsSampler prepares the experiment for repeated draws.
+func NewCountsSampler(cfg SubarrayConfig) *CountsSampler {
+	s := &CountsSampler{rows: cfg.Rows}
 	if cfg.DurationMs <= 0 {
+		return s
+	}
+	// The residual (post-row-effect) sigmas are row-invariant, so the
+	// quadrature's exp factors are prepared once per class; each row then
+	// only shifts the location parameters (see fastpath.go).
+	s.evals = prepareClasses(cfg)
+	s.threshold = faultmodel.Ln2 / cfg.DurationMs
+	return s
+}
+
+// Sample draws one outcome; RNG consumption is identical to SampleCounts.
+func (s *CountsSampler) Sample(r *rng.Rand) SubarrayCounts {
+	out := SubarrayCounts{PerRow: make([]int, s.rows)}
+	if s.threshold == 0 {
 		return out
 	}
-	base := make([]RateModel, len(cfg.Classes))
-	for i, cl := range cfg.Classes {
-		base[i] = NewRateModel(cfg.Params, cfg.TempC, cl.Rho)
-	}
-	threshold := faultmodel.Ln2 / cfg.DurationMs
-	for row := 0; row < cfg.Rows; row++ {
+	for row := 0; row < s.rows; row++ {
 		zK, zB := r.Norm(), r.Norm()
 		flips := 0
-		for i, cl := range cfg.Classes {
-			cells := int(math.Round(cl.Frac * float64(cfg.Cols)))
-			if cells <= 0 {
-				continue
-			}
-			m := base[i].WithRowEffect(cfg.Params, zK, zB)
-			p := m.Survival(threshold)
-			flips += r.Binomial(cells, p)
+		for i := range s.evals {
+			ce := &s.evals[i]
+			p := ce.eval.survivalRow(s.threshold, ce.eval.muB+ce.dMuB*zB, ce.eval.muK+ce.dMuK*zK)
+			flips += r.Binomial(ce.cells, p)
 		}
 		out.PerRow[row] = flips
 		out.Total += flips
@@ -87,19 +105,5 @@ func ExpectedCount(cfg SubarrayConfig) float64 {
 // found=false when the sampled time exceeds ceilingMs (the methodology's
 // 512 ms search ceiling).
 func SampleTTF(cfg SubarrayConfig, ceilingMs float64, r *rng.Rand) (ms float64, found bool) {
-	best := math.Inf(1)
-	for _, cl := range cfg.Classes {
-		cells := int(math.Round(cl.Frac * float64(cfg.Rows) * float64(cfg.Cols)))
-		if cells < 1 {
-			continue
-		}
-		m := NewRateModel(cfg.Params, cfg.TempC, cl.Rho)
-		if t := m.SampleTTFms(cells, r); t < best {
-			best = t
-		}
-	}
-	if ceilingMs > 0 && best > ceilingMs {
-		return best, false
-	}
-	return best, !math.IsInf(best, 1)
+	return NewTTFSampler(cfg).Sample(ceilingMs, r)
 }

@@ -207,7 +207,7 @@ func TestCrossValidationAgainstCellTier(t *testing.T) {
 
 	// Statistical tier with matching populations.
 	su := setup(dram.Pat00, dram.PatFF)
-	aggRows := g.RowsPerSubarray - len(guard)
+	aggRows := g.RowsPerSubarray - guard.Len()
 	expAgg := ExpectedCount(SubarrayConfig{
 		Params: p, TempC: 85, DurationMs: 30,
 		Rows: aggRows, Cols: g.Cols,

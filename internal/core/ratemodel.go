@@ -95,38 +95,12 @@ func (m RateModel) WithRowEffect(p *faultmodel.Params, zRowK, zRowB float64) Rat
 // Evaluated as E_z[ PhiC((ln(x − b(z)) − MuK)/SigmaK) ] by Gauss–Hermite
 // quadrature over the base-rate component, with the region x ≤ b(z)
 // contributing certainty. The VRT-weak subpopulation is mixed in with its
-// λ_base shifted by ln(VRTFactor).
+// λ_base shifted by ln(VRTFactor). Callers evaluating the same model many
+// times (bisections, per-row sweeps) should build a survivalEval once
+// instead — it hoists the quadrature's exponentials out of the loop.
 func (m RateModel) Survival(x float64) float64 {
-	if x <= 0 {
-		return 1
-	}
-	if m.VRTProb <= 0 || m.VRTFactor == 1 {
-		return m.survivalAt(x, m.MuB)
-	}
-	weak := m.survivalAt(x, m.MuB+math.Log(m.VRTFactor))
-	normal := m.survivalAt(x, m.MuB)
-	return clamp01((1-m.VRTProb)*normal + m.VRTProb*weak)
-}
-
-func (m RateModel) survivalAt(x, muB float64) float64 {
-	lx := math.Log(x)
-	if m.KDisabled {
-		return rng.PhiC((lx - muB) / m.SigmaB)
-	}
-	const invSqrtPi = 0.5641895835477563
-	sum := 0.0
-	for i := 0; i < 8; i++ {
-		z := math.Sqrt2 * ghNodes[i]
-		b := math.Exp(muB + m.SigmaB*z)
-		var p float64
-		if b >= x {
-			p = 1
-		} else {
-			p = rng.PhiC((math.Log(x-b) - m.MuK) / m.SigmaK)
-		}
-		sum += ghWeights[i] * p
-	}
-	return clamp01(sum * invSqrtPi)
+	e := newSurvivalEval(m)
+	return e.survival(x)
 }
 
 func clamp01(v float64) float64 {
@@ -151,46 +125,14 @@ func (m RateModel) FlipProb(tMs float64) float64 {
 // solve Survival(x) = s for the order-statistic tail probability
 // s = 1 − u^(1/n). Monotone bisection in ln x.
 func (m RateModel) SampleMaxRate(n int, r *rng.Rand) float64 {
-	if n < 1 {
-		panic("core: SampleMaxRate with n < 1")
-	}
-	u := r.OpenFloat64()
-	s := -math.Expm1(math.Log(u) / float64(n))
-	if s <= 0 {
-		s = math.SmallestNonzeroFloat64
-	}
-	return m.quantileSurvival(s)
+	e := newSurvivalEval(m)
+	return e.sampleMaxRate(n, r)
 }
 
 // quantileSurvival inverts Survival: returns x with Survival(x) = s.
 func (m RateModel) quantileSurvival(s float64) float64 {
-	// Bracket in ln-space around both mechanisms' supports.
-	lo := m.MuB - 12*m.SigmaB
-	hi := m.MuB + 12*m.SigmaB
-	if !m.KDisabled {
-		if l := m.MuK - 12*m.SigmaK; l < lo {
-			lo = l
-		}
-		if h := m.MuK + 12*m.SigmaK; h > hi {
-			hi = h
-		}
-	}
-	// Survival is decreasing in x. Expand the bracket defensively.
-	for m.Survival(math.Exp(lo)) < s && lo > -200 {
-		lo -= 4
-	}
-	for m.Survival(math.Exp(hi)) > s && hi < 200 {
-		hi += 4
-	}
-	for i := 0; i < 60; i++ {
-		mid := 0.5 * (lo + hi)
-		if m.Survival(math.Exp(mid)) > s {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return math.Exp(0.5 * (lo + hi))
+	e := newSurvivalEval(m)
+	return e.quantileSurvival(s)
 }
 
 // SampleTTFms draws the time to the first bitflip over n cells: ln2 divided
@@ -206,5 +148,6 @@ func (m RateModel) ExpectedTTFms(n int) float64 {
 		panic("core: ExpectedTTFms with n < 1")
 	}
 	p := (float64(n) - 0.375) / (float64(n) + 0.25)
-	return faultmodel.Ln2 / m.quantileSurvival(1-p)
+	e := newSurvivalEval(m)
+	return faultmodel.Ln2 / e.quantileSurvival(1-p)
 }

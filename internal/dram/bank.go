@@ -42,7 +42,8 @@ type Bank struct {
 	restoredNs  []float64  // last time each row's charge was restored
 	aggression  []float64  // RowHammer-equivalent activations since restore
 	epochs      []epoch
-	openRow     int // -1 when precharged
+	ovScratch   []epochOverlap // reused by commitFaults, one entry per live epoch
+	openRow     int            // -1 when precharged
 	openedAtNs  float64
 	lastPreNs   float64 // time of the last PRE (for RowClone detection)
 	lastOpenRow int     // row open before the last PRE
@@ -284,7 +285,10 @@ func (b *Bank) peekRaw(row int) []uint64 {
 }
 
 // commitFaults applies every disturbance accumulated since the row's last
-// restore and marks the row restored at nowNs.
+// restore and marks the row restored at nowNs. The per-row invariants —
+// lognormal row components, epoch interval clamping — are hoisted out of
+// the per-column loop; the arithmetic is unchanged, so the committed bits
+// are identical to evaluating each cell independently.
 func (b *Bank) commitFaults(nowNs float64, row int, tempC float64, trial int) {
 	elapsedNs := nowNs - b.restoredNs[row]
 	if elapsedNs > 0 {
@@ -295,12 +299,14 @@ func (b *Bank) commitFaults(nowNs float64, row int, tempC float64, trial int) {
 		baseFac := b.params.BaseTempFactor(tempC)
 		kapFac := b.params.KappaTempFactor(tempC)
 		agg := b.aggression[row]
+		rf := b.params.Row(b.seed, b.index, sub, row)
+		overlaps := b.overlapEpochs(b.restoredNs[row], nowNs)
 		for col := 0; col < b.geom.Cols; col++ {
 			stored := WordBit(words, col)
-			cf := b.params.Cell(b.seed, b.index, sub, row, col)
+			cf := rf.Cell(col)
 			// Charge decay: retention + ColumnDisturb.
 			if stored == cf.ChargedBit() {
-				exposureMs := b.exposureMs(row, sub, col, b.restoredNs[row], nowNs, rhoIdle)
+				exposureMs := b.exposureMs(overlaps, sub, col, elapsedNs, rhoIdle)
 				vrt := b.params.VRTMultiplier(b.seed, b.index, sub, row, col, trial)
 				integral := cf.LambdaBase*vrt*baseFac*elapsedMs + cf.Kappa*kapFac*exposureMs
 				if faultmodel.Flips(integral) {
@@ -318,13 +324,18 @@ func (b *Bank) commitFaults(nowNs float64, row int, tempC float64, trial int) {
 	b.aggression[row] = 0
 }
 
-// exposureMs integrates the effective coupling duty seen by the cell at
-// (sub, col) over [fromNs, toNs): recorded epochs contribute their rho for
-// the shared-column drive value, everything else contributes the idle
-// (precharged) duty.
-func (b *Bank) exposureMs(row, sub, col int, fromNs, toNs, rhoIdle float64) float64 {
-	exposure := 0.0
-	covered := 0.0
+// epochOverlap is one epoch's clamped overlap with the interval currently
+// being committed. The clamping depends only on the interval, never the
+// cell, so commitFaults computes it once per row.
+type epochOverlap struct {
+	e    *epoch
+	ovNs float64
+}
+
+// overlapEpochs collects the epochs intersecting [fromNs, toNs) with their
+// clamped durations into the bank's reusable scratch slice.
+func (b *Bank) overlapEpochs(fromNs, toNs float64) []epochOverlap {
+	out := b.ovScratch[:0]
 	for i := range b.epochs {
 		e := &b.epochs[i]
 		if e.toNs <= fromNs || e.fromNs >= toNs {
@@ -337,10 +348,23 @@ func (b *Bank) exposureMs(row, sub, col int, fromNs, toNs, rhoIdle float64) floa
 		if hi > toNs {
 			hi = toNs
 		}
-		ov := hi - lo
-		if ov <= 0 {
-			continue
+		if ov := hi - lo; ov > 0 {
+			out = append(out, epochOverlap{e: e, ovNs: ov})
 		}
+	}
+	b.ovScratch = out
+	return out
+}
+
+// exposureMs integrates the effective coupling duty seen by the cell at
+// (sub, col) over the committed interval of length totalNs: overlapping
+// epochs contribute their rho for the shared-column drive value, everything
+// else contributes the idle (precharged) duty.
+func (b *Bank) exposureMs(overlaps []epochOverlap, sub, col int, totalNs, rhoIdle float64) float64 {
+	exposure := 0.0
+	covered := 0.0
+	for _, o := range overlaps {
+		e := o.e
 		aggCol, shared := b.geom.SharedAggressorColumn(e.aggSub, sub, col)
 		rho := rhoIdle
 		if shared {
@@ -354,10 +378,10 @@ func (b *Bank) exposureMs(row, sub, col int, fromNs, toNs, rhoIdle float64) floa
 			}
 			rho = e.rho[int(b1)+2*int(b2)]
 		}
-		exposure += ov * rho
-		covered += ov
+		exposure += o.ovNs * rho
+		covered += o.ovNs
 	}
-	exposure += (toNs - fromNs - covered) * rhoIdle
+	exposure += (totalNs - covered) * rhoIdle
 	return exposure * 1e-6
 }
 

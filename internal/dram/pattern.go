@@ -41,9 +41,12 @@ func (p DataPattern) ZeroBitFraction() float64 {
 	return float64(zeros) / 8
 }
 
-// patternWord expands the repeating byte pattern into a 64-bit word whose
-// bit layout matches Bit (bit i of each byte = column i mod 8).
-func patternWord(p DataPattern) uint64 {
+// PatternWord expands the repeating byte pattern into a 64-bit word whose
+// bit layout matches Bit (bit i of each byte = column i mod 8). Because the
+// pattern is byte-periodic and words hold 64 columns, every data word of a
+// correctly written row equals this word — readout checks can XOR against
+// it instead of testing 64 columns bit by bit.
+func PatternWord(p DataPattern) uint64 {
 	w := uint64(0)
 	for i := 0; i < 8; i++ {
 		w |= uint64(p) << (8 * i)
@@ -53,7 +56,7 @@ func patternWord(p DataPattern) uint64 {
 
 // FillWords fills a row bitset with the pattern.
 func FillWords(words []uint64, p DataPattern) {
-	w := patternWord(p)
+	w := PatternWord(p)
 	for i := range words {
 		words[i] = w
 	}

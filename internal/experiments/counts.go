@@ -14,9 +14,10 @@ func sampleSubarrayCounts(m chipdb.ModuleSpec, classes []core.ColumnClass,
 		Params: m.BuildParams(), TempC: tempC, DurationMs: durMs,
 		Rows: g.RowsPerSubarray, Cols: g.Cols, Classes: classes,
 	}
+	sampler := core.NewCountsSampler(cfg)
 	out := make([]core.SubarrayCounts, n)
 	for i := range out {
-		out[i] = core.SampleCounts(cfg, r)
+		out[i] = sampler.Sample(r)
 	}
 	return out
 }

@@ -44,6 +44,14 @@ type Config struct {
 	MLP int
 	// Trials for the cell-explicit retention filtering methodology.
 	RetentionTrials int
+	// MaxShardShare bounds one shard's share of its plan's total estimated
+	// cost: plan builders subdivide any shard whose cost hint would exceed
+	// MaxShardShare × the plan total (see split.go). 0 selects the default
+	// (defaultMaxShardShare); 1 disables splitting. Purely a decomposition
+	// knob — split and unsplit plans render byte-identical Results — but it
+	// participates in Digest like every field, so differently split runs
+	// never share cache entries.
+	MaxShardShare float64
 	// Seed decorrelates full runs; every experiment is deterministic for a
 	// given config.
 	Seed uint64
@@ -95,7 +103,13 @@ func Full() Config {
 // cycle-accurate per-bank command core (and fixed its measurement-boundary
 // bugs), so every memsim-backed shard result (fig23, prvr-sim) computed
 // under generation 2 is numerically stale for the same Config.
-const resultSchemaVersion = "cd-shards/3"
+//
+// Generation 4: the dominant plans (fig11/13/15, fig23, ttf) decompose into
+// cost-budgeted sub-shards (see split.go): part types changed shape (raw
+// per-atom value lists instead of pre-reduced summaries), shard labels
+// gained range coordinates, and RNG streams are keyed per atom instead of
+// per grid cell, so every sampled value from those experiments moved.
+const resultSchemaVersion = "cd-shards/4"
 
 // Digest returns a stable content digest of the configuration, used as the
 // config component of shard cache keys (cache.Key.ConfigDigest). It hashes

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"columndisturb/internal/chipdb"
 	"columndisturb/internal/core"
@@ -41,7 +42,7 @@ func init() {
 		Title: "Blast radius grid: temperature × refresh interval",
 		Plan:  planFig15,
 	})
-	registerShardType(blastPart{})
+	registerShardType(blastValsPart{})
 	registerShardType(fig12Part{})
 	registerShardType(fig13Part{})
 	registerShardType(fig14Part{})
@@ -50,55 +51,127 @@ func init() {
 // shortIntervalsMs are the refresh-window-scale intervals of Figs 11/15.
 func shortIntervalsMs() []float64 { return []float64{64, 128, 256, 512, 1024} }
 
-// blastPart is one (manufacturer [, temperature], interval) grid cell of
-// the Fig 11/15 blast-radius sweeps.
-type blastPart struct {
+// blastValsPart is one sub-shard of a Fig 11/15 grid cell: raw blast-radius
+// value lists for a contiguous atom range. Atom t of a cell is
+// (module t/2, sweep t%2), sweep 0 = ColumnDisturb, 1 = retention; each
+// atom samples SubarraysPerModule subarrays of one module under one class
+// set, on its own keyed RNG stream. The merge reassembles cells from atoms
+// in canonical order, so any grouping of atoms into sub-shards renders the
+// same Result.
+type blastValsPart struct {
 	Mfr        chipdb.Manufacturer
 	TempC      float64
 	IntervalMs float64
-	CD, Ret    stats.Summary
+	Start      int         // first atom index covered by this part
+	Vals       [][]float64 // per-atom values, atoms Start..Start+len(Vals)-1
 }
 
-// sampleBlastCell samples every module of one manufacturer at one
-// (temperature, interval) grid point and summarizes the blast radius.
-func sampleBlastCell(cfg Config, mfr chipdb.Manufacturer, tempC, iv float64,
-	stream uint64, shard ...uint64) blastPart {
+// blastAtom samples one (module, sweep) atom of a blast-radius grid cell.
+func blastAtom(cfg Config, m chipdb.ModuleSpec, sweep int, tempC, iv float64,
+	stream uint64, shard ...uint64) []float64 {
 	r := cfg.shardRand(stream, shard...)
-	var cdVals, retVals []float64
-	for _, m := range chipdb.ByManufacturer(mfr) {
-		p := m.BuildParams()
-		cdVals = append(cdVals, blastStats(sampleSubarrayCounts(m,
-			core.AggressorSubarrayClasses(p, worstCaseSetup()), tempC, iv,
-			cfg.SubarraysPerModule, r))...)
-		retVals = append(retVals, blastStats(sampleSubarrayCounts(m,
-			core.RetentionClasses(p, dram.PatFF), tempC, iv,
-			cfg.SubarraysPerModule, r))...)
+	p := m.BuildParams()
+	var classes []core.ColumnClass
+	if sweep == 0 {
+		classes = core.AggressorSubarrayClasses(p, worstCaseSetup())
+	} else {
+		classes = core.RetentionClasses(p, dram.PatFF)
 	}
-	return blastPart{Mfr: mfr, TempC: tempC, IntervalMs: iv,
-		CD: stats.Summarize(cdVals), Ret: stats.Summarize(retVals)}
+	return blastStats(sampleSubarrayCounts(m, classes, tempC, iv, cfg.SubarraysPerModule, r))
 }
 
-// blastCellCost estimates a sampleBlastCell shard's weight: two class
-// sweeps (CD + retention) over every module of the manufacturer, each
-// drawing SubarraysPerModule subarrays. Abstract units on the scale of
-// expected milliseconds — a scheduling hint only, never part of a result.
-func blastCellCost(cfg Config, mfr chipdb.Manufacturer) float64 {
-	return 2 * float64(len(chipdb.ByManufacturer(mfr))) * float64(cfg.SubarraysPerModule)
-}
-
-// planFig11 shards Fig 11 by (manufacturer × interval) at 65 °C.
-func planFig11(cfg Config) (*Plan, error) {
+// blastCellShards builds the sub-shards of one (manufacturer [,temp],
+// interval) grid cell, packing (module, sweep) atoms into ranges within
+// budget. coords are the cell's shard coordinates; each atom extends them
+// with its atom index, so its RNG stream is independent of the packing.
+func blastCellShards(cfg Config, id string, budget float64, mfr chipdb.Manufacturer,
+	tempC, iv float64, stream uint64, baseKV []string, coords []uint64) []Shard {
+	mods := chipdb.ByManufacturer(mfr)
+	nAtoms := 2 * len(mods)
+	costs := uniformCosts(nAtoms, float64(cfg.SubarraysPerModule)*costCountDrawMs)
 	var shards []Shard
-	for mi, mfr := range chipdb.Manufacturers() {
-		for ii, iv := range shortIntervalsMs() {
-			mi, ii, mfr, iv := mi, ii, mfr, iv
-			shards = append(shards, Shard{
-				Label: shardLabel("fig11", "mfr", string(mfr), "iv", fmt.Sprintf("%.0fms", iv)),
-				Cost:  blastCellCost(cfg, mfr),
-				Run: func(context.Context) (any, error) {
-					return sampleBlastCell(cfg, mfr, 65, iv, 11, uint64(mi), uint64(ii)), nil
-				},
-			})
+	for _, ar := range packAtoms(costs, budget) {
+		ar := ar
+		kv := append([]string(nil), baseKV...)
+		if !ar.covers(nAtoms) {
+			kv = append(kv, "cells", ar.kv())
+		}
+		shards = append(shards, Shard{
+			Label: shardLabel(id, kv...),
+			Cost:  sumRange(costs, ar),
+			Run: func(context.Context) (any, error) {
+				part := blastValsPart{Mfr: mfr, TempC: tempC, IntervalMs: iv, Start: ar.Start}
+				for t := ar.Start; t < ar.End; t++ {
+					shard := append(append([]uint64(nil), coords...), uint64(t))
+					part.Vals = append(part.Vals,
+						blastAtom(cfg, mods[t/2], t%2, tempC, iv, stream, shard...))
+				}
+				return part, nil
+			},
+		})
+	}
+	return shards
+}
+
+// blastKey identifies one grid cell across its sub-shards.
+type blastKey struct {
+	Mfr        chipdb.Manufacturer
+	TempC      float64
+	IntervalMs float64
+}
+
+// blastCell is a reassembled grid cell.
+type blastCell struct{ CD, Ret stats.Summary }
+
+// foldBlastParts groups blastValsPart sub-shards by grid cell, orders each
+// cell's atoms canonically, and summarizes the ColumnDisturb (even-atom)
+// and retention (odd-atom) value streams — the same module-order
+// concatenation an unsplit cell produces.
+func foldBlastParts(parts []any) (map[blastKey]blastCell, error) {
+	grouped := map[blastKey][]blastValsPart{}
+	for _, raw := range parts {
+		part, ok := raw.(blastValsPart)
+		if !ok {
+			return nil, fmt.Errorf("blast merge: part has type %T, want blastValsPart", raw)
+		}
+		k := blastKey{part.Mfr, part.TempC, part.IntervalMs}
+		grouped[k] = append(grouped[k], part)
+	}
+	out := map[blastKey]blastCell{}
+	for k, cellParts := range grouped {
+		sort.Slice(cellParts, func(i, j int) bool { return cellParts[i].Start < cellParts[j].Start })
+		var cd, ret []float64
+		for _, p := range cellParts {
+			for off, vals := range p.Vals {
+				if (p.Start+off)%2 == 0 {
+					cd = append(cd, vals...)
+				} else {
+					ret = append(ret, vals...)
+				}
+			}
+		}
+		out[k] = blastCell{CD: stats.Summarize(cd), Ret: stats.Summarize(ret)}
+	}
+	return out, nil
+}
+
+// planFig11 shards Fig 11 by (manufacturer × interval) at 65 °C, splitting
+// cells by (module, sweep) atoms when a cell would dominate the plan.
+func planFig11(cfg Config) (*Plan, error) {
+	mfrs := chipdb.Manufacturers()
+	ivs := shortIntervalsMs()
+	total := 0.0
+	for _, mfr := range mfrs {
+		total += float64(len(ivs)) * 2 * float64(len(chipdb.ByManufacturer(mfr))) *
+			float64(cfg.SubarraysPerModule) * costCountDrawMs
+	}
+	budget := cfg.splitBudget(total)
+	var shards []Shard
+	for mi, mfr := range mfrs {
+		for ii, iv := range ivs {
+			shards = append(shards, blastCellShards(cfg, "fig11", budget, mfr, 65, iv, 11,
+				[]string{"mfr", string(mfr), "iv", fmt.Sprintf("%.0fms", iv)},
+				[]uint64{uint64(mi), uint64(ii)})...)
 		}
 	}
 	merge := func(parts []any) (*Result, error) {
@@ -107,25 +180,31 @@ func planFig11(cfg Config) (*Plan, error) {
 			Title:   "Rows with at least one bitflip per subarray at 65 °C (CD vs retention)",
 			Headers: []string{"mfr", "interval(ms)", "CD mean", "CD max", "RET mean", "RET max"},
 		}
+		cells, err := foldBlastParts(parts)
+		if err != nil {
+			return nil, fmt.Errorf("fig11: %w", err)
+		}
 		type agg struct{ cdMean, cdMax, retMean, retMax float64 }
 		at512 := map[chipdb.Manufacturer]agg{}
 		at1024 := map[chipdb.Manufacturer]agg{}
 		maxRatio := 0.0
-		for _, raw := range parts {
-			part := raw.(blastPart)
-			res.AddRow(string(part.Mfr), fmt.Sprintf("%.0f", part.IntervalMs),
-				fmtF(part.CD.Mean), fmtF(part.CD.Max), fmtF(part.Ret.Mean), fmtF(part.Ret.Max))
-			a := agg{part.CD.Mean, part.CD.Max, part.Ret.Mean, part.Ret.Max}
-			if part.IntervalMs == 512 {
-				at512[part.Mfr] = a
-			}
-			if part.IntervalMs == 1024 {
-				at1024[part.Mfr] = a
-			}
-			// Ratios over near-zero retention means are unbounded noise;
-			// only count grid points with measurable retention.
-			if part.Ret.Mean >= 0.5 && part.CD.Mean/part.Ret.Mean > maxRatio {
-				maxRatio = part.CD.Mean / part.Ret.Mean
+		for _, mfr := range mfrs {
+			for _, iv := range ivs {
+				cell := cells[blastKey{mfr, 65, iv}]
+				res.AddRow(string(mfr), fmt.Sprintf("%.0f", iv),
+					fmtF(cell.CD.Mean), fmtF(cell.CD.Max), fmtF(cell.Ret.Mean), fmtF(cell.Ret.Max))
+				a := agg{cell.CD.Mean, cell.CD.Max, cell.Ret.Mean, cell.Ret.Max}
+				if iv == 512 {
+					at512[mfr] = a
+				}
+				if iv == 1024 {
+					at1024[mfr] = a
+				}
+				// Ratios over near-zero retention means are unbounded noise;
+				// only count grid points with measurable retention.
+				if cell.Ret.Mean >= 0.5 && cell.CD.Mean/cell.Ret.Mean > maxRatio {
+					maxRatio = cell.CD.Mean / cell.Ret.Mean
+				}
 			}
 		}
 		res.AddNote("Obs 13 @512ms: CD rows mean H=%.1f M=%.1f S=%.1f (paper: 2 / 6 / 232); RET max H=%.1f M=%.1f S=%.1f (paper: ≤2)",
@@ -168,7 +247,7 @@ func planFig12(cfg Config) (*Plan, error) {
 				Label: shardLabel("fig12", "module", m.ID, "iv", fmt.Sprintf("%.0fs", iv/1000)),
 				// One chip, two sampled class sweeps plus four deterministic
 				// expected-count evaluations.
-				Cost: 2*float64(cfg.SubarraysPerModule) + 4,
+				Cost: 2*float64(cfg.SubarraysPerModule)*costCountDrawMs + 4*costExpectedEvalMs,
 				Run: func(context.Context) (any, error) {
 					r := cfg.shardRand(12, uint64(ci), uint64(ii))
 					cd := sampleSubarrayCounts(m, cdCls, 85, iv, cfg.SubarraysPerModule, r)
@@ -215,33 +294,57 @@ func planFig12(cfg Config) (*Plan, error) {
 	return &Plan{Shards: shards, Merge: merge}, nil
 }
 
-// fig13Part is one (manufacturer, temperature) TTF distribution.
+// fig13Part is one sub-shard of a (manufacturer, temperature) TTF
+// distribution: per-module uncensored sample lists for a contiguous module
+// (atom) range.
 type fig13Part struct {
 	Mfr   chipdb.Manufacturer
 	TempC float64
-	Found []float64
+	Start int
+	Found [][]float64 // per-module samples, modules Start..Start+len-1
 }
 
-// planFig13 shards Fig 13 by (manufacturer × temperature): each shard
-// draws the uncensored TTF distribution over the manufacturer's modules.
+// planFig13 shards Fig 13 by (manufacturer × temperature), splitting each
+// distribution by module atoms: each atom draws one module's uncensored
+// TTF distribution on its own keyed stream.
 func planFig13(cfg Config) (*Plan, error) {
 	temps := []float64{45, 65, 85, 95}
 	setup := worstCaseSetup()
+	mfrs := chipdb.Manufacturers()
+	atomCost := func(cfg Config) float64 {
+		return float64(cfg.SubarraysPerModule) * costTTFSampleMs
+	}
+	total := 0.0
+	for _, mfr := range mfrs {
+		total += float64(len(temps)) * float64(len(chipdb.ByManufacturer(mfr))) * atomCost(cfg)
+	}
+	budget := cfg.splitBudget(total)
 	var shards []Shard
-	for mi, mfr := range chipdb.Manufacturers() {
+	for mi, mfr := range mfrs {
+		mods := chipdb.ByManufacturer(mfr)
+		costs := uniformCosts(len(mods), atomCost(cfg))
 		for ti, tC := range temps {
 			mi, ti, mfr, tC := mi, ti, mfr, tC
-			shards = append(shards, Shard{
-				Label: shardLabel("fig13", "mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tC)),
-				// TTF sampling iterates candidate intervals per subarray,
-				// several times the work of a plain blast-cell sweep.
-				Cost: 4 * float64(len(chipdb.ByManufacturer(mfr))) * float64(cfg.SubarraysPerModule),
-				Run: func(context.Context) (any, error) {
-					r := cfg.shardRand(13, uint64(mi), uint64(ti))
-					found, _ := mfrTTFs(mfr, setup, tC, cfg.SubarraysPerModule, r)
-					return fig13Part{Mfr: mfr, TempC: tC, Found: found}, nil
-				},
-			})
+			for _, ar := range packAtoms(costs, budget) {
+				ar := ar
+				kv := []string{"mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tC)}
+				if !ar.covers(len(mods)) {
+					kv = append(kv, "modules", ar.kv())
+				}
+				shards = append(shards, Shard{
+					Label: shardLabel("fig13", kv...),
+					Cost:  sumRange(costs, ar),
+					Run: func(context.Context) (any, error) {
+						part := fig13Part{Mfr: mfr, TempC: tC, Start: ar.Start}
+						for t := ar.Start; t < ar.End; t++ {
+							r := cfg.shardRand(13, uint64(mi), uint64(ti), uint64(t))
+							f, _ := sampleModuleTTFs(mods[t], setup, tC, 0, cfg.SubarraysPerModule, r)
+							part.Found = append(part.Found, f)
+						}
+						return part, nil
+					},
+				})
+			}
 		}
 	}
 	merge := func(parts []any) (*Result, error) {
@@ -250,27 +353,47 @@ func planFig13(cfg Config) (*Plan, error) {
 			Title:   "Time to first ColumnDisturb bitflip vs temperature (ms)",
 			Headers: []string{"mfr", "temp(°C)", "min", "median", "max", "mean", ">512ms"},
 		}
-		means := map[chipdb.Manufacturer]map[float64]float64{}
+		type cellKey struct {
+			Mfr   chipdb.Manufacturer
+			TempC float64
+		}
+		grouped := map[cellKey][]fig13Part{}
 		for _, raw := range parts {
-			part := raw.(fig13Part)
-			if means[part.Mfr] == nil {
-				means[part.Mfr] = map[float64]float64{}
+			part, ok := raw.(fig13Part)
+			if !ok {
+				return nil, fmt.Errorf("fig13: part has type %T, want fig13Part", raw)
 			}
-			if len(part.Found) == 0 {
-				res.AddRow(string(part.Mfr), fmt.Sprintf("%.0f", part.TempC), "-", "-", "-", "-", "-")
-				continue
-			}
-			b := stats.BoxPlot(part.Found)
-			means[part.Mfr][part.TempC] = b.Mean
-			over := 0
-			for _, v := range part.Found {
-				if v > ttfCeilingMs {
-					over++
+			k := cellKey{part.Mfr, part.TempC}
+			grouped[k] = append(grouped[k], part)
+		}
+		means := map[chipdb.Manufacturer]map[float64]float64{}
+		for _, mfr := range mfrs {
+			means[mfr] = map[float64]float64{}
+			for _, tC := range temps {
+				cellParts := grouped[cellKey{mfr, tC}]
+				sort.Slice(cellParts, func(i, j int) bool { return cellParts[i].Start < cellParts[j].Start })
+				var found []float64
+				for _, p := range cellParts {
+					for _, f := range p.Found {
+						found = append(found, f...)
+					}
 				}
+				if len(found) == 0 {
+					res.AddRow(string(mfr), fmt.Sprintf("%.0f", tC), "-", "-", "-", "-", "-")
+					continue
+				}
+				b := stats.BoxPlot(found)
+				means[mfr][tC] = b.Mean
+				over := 0
+				for _, v := range found {
+					if v > ttfCeilingMs {
+						over++
+					}
+				}
+				res.AddRow(string(mfr), fmt.Sprintf("%.0f", tC),
+					fmtMs(b.Min), fmtMs(b.Median), fmtMs(b.Max), fmtMs(b.Mean),
+					fmt.Sprintf("%d", over))
 			}
-			res.AddRow(string(part.Mfr), fmt.Sprintf("%.0f", part.TempC),
-				fmtMs(b.Min), fmtMs(b.Median), fmtMs(b.Max), fmtMs(b.Mean),
-				fmt.Sprintf("%d", over))
 		}
 		res.AddNote("Obs 16: 45→95 °C mean TTF reduction: SK Hynix %.2fx, Micron %.2fx, Samsung %.2fx (paper: 9.05x / 5.15x / 1.96x)",
 			stats.Ratio(means[chipdb.SKHynix][45], means[chipdb.SKHynix][95]),
@@ -301,7 +424,7 @@ func planFig14(cfg Config) (*Plan, error) {
 			shards = append(shards, Shard{
 				Label: shardLabel("fig14", "mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tC)),
 				// Deterministic expected fractions: no sampling, near-free.
-				Cost: 1,
+				Cost: 2 * float64(len(chipdb.ByManufacturer(mfr))) * costExpectedEvalMs,
 				Run: func(context.Context) (any, error) {
 					// Fraction-of-cells ratios at 512 ms reach below one
 					// bitflip per sampled subarray; expected fractions keep
@@ -359,22 +482,24 @@ func planFig14(cfg Config) (*Plan, error) {
 
 // planFig15 shards Fig 15 by (manufacturer × temperature × interval) —
 // the repo's widest grid (60 cells), and the heavy sweep the engine
-// benchmark measures.
+// benchmark measures — splitting cells by (module, sweep) atoms.
 func planFig15(cfg Config) (*Plan, error) {
 	temps := []float64{45, 65, 85, 95}
+	mfrs := chipdb.Manufacturers()
+	ivs := shortIntervalsMs()
+	total := 0.0
+	for _, mfr := range mfrs {
+		total += float64(len(temps)*len(ivs)) * 2 * float64(len(chipdb.ByManufacturer(mfr))) *
+			float64(cfg.SubarraysPerModule) * costCountDrawMs
+	}
+	budget := cfg.splitBudget(total)
 	var shards []Shard
-	for mi, mfr := range chipdb.Manufacturers() {
+	for mi, mfr := range mfrs {
 		for ti, tC := range temps {
-			for ii, iv := range shortIntervalsMs() {
-				mi, ti, ii, mfr, tC, iv := mi, ti, ii, mfr, tC, iv
-				shards = append(shards, Shard{
-					Label: shardLabel("fig15", "mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tC), "iv", fmt.Sprintf("%.0fms", iv)),
-					Cost:  blastCellCost(cfg, mfr),
-					Run: func(context.Context) (any, error) {
-						return sampleBlastCell(cfg, mfr, tC, iv, 15,
-							uint64(mi), uint64(ti), uint64(ii)), nil
-					},
-				})
+			for ii, iv := range ivs {
+				shards = append(shards, blastCellShards(cfg, "fig15", budget, mfr, tC, iv, 15,
+					[]string{"mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tC), "iv", fmt.Sprintf("%.0fms", iv)},
+					[]uint64{uint64(mi), uint64(ti), uint64(ii)})...)
 			}
 		}
 	}
@@ -384,21 +509,29 @@ func planFig15(cfg Config) (*Plan, error) {
 			Title:   "Blast radius (rows with ≥1 bitflip per subarray) across temperature and refresh interval",
 			Headers: []string{"mfr", "temp(°C)", "interval(ms)", "CD mean", "CD max", "RET mean", "RET max"},
 		}
+		cells, err := foldBlastParts(parts)
+		if err != nil {
+			return nil, fmt.Errorf("fig15: %w", err)
+		}
 		maxRatio := 0.0
 		var micron45Max, samsung45Max float64
-		for _, raw := range parts {
-			part := raw.(blastPart)
-			res.AddRow(string(part.Mfr), fmt.Sprintf("%.0f", part.TempC), fmt.Sprintf("%.0f", part.IntervalMs),
-				fmtF(part.CD.Mean), fmtF(part.CD.Max), fmtF(part.Ret.Mean), fmtF(part.Ret.Max))
-			if part.Ret.Mean >= 0.5 && part.CD.Mean/part.Ret.Mean > maxRatio {
-				maxRatio = part.CD.Mean / part.Ret.Mean
-			}
-			if part.TempC == 45 && part.IntervalMs == 1024 {
-				switch part.Mfr {
-				case chipdb.Micron:
-					micron45Max = part.CD.Max
-				case chipdb.Samsung:
-					samsung45Max = part.CD.Max
+		for _, mfr := range mfrs {
+			for _, tC := range temps {
+				for _, iv := range ivs {
+					cell := cells[blastKey{mfr, tC, iv}]
+					res.AddRow(string(mfr), fmt.Sprintf("%.0f", tC), fmt.Sprintf("%.0f", iv),
+						fmtF(cell.CD.Mean), fmtF(cell.CD.Max), fmtF(cell.Ret.Mean), fmtF(cell.Ret.Max))
+					if cell.Ret.Mean >= 0.5 && cell.CD.Mean/cell.Ret.Mean > maxRatio {
+						maxRatio = cell.CD.Mean / cell.Ret.Mean
+					}
+					if tC == 45 && iv == 1024 {
+						switch mfr {
+						case chipdb.Micron:
+							micron45Max = cell.CD.Max
+						case chipdb.Samsung:
+							samsung45Max = cell.CD.Max
+						}
+					}
 				}
 			}
 		}

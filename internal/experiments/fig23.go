@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"columndisturb/internal/chipdb"
 	"columndisturb/internal/core"
@@ -18,7 +19,7 @@ func init() {
 		Title: "RAIDR speedup vs weak-row proportion (Bloom filter vs bitmap tracker)",
 		Plan:  planFig23,
 	})
-	registerShardType(fig23MixPart{})
+	registerShardType(fig23RunsPart{})
 	registerShardType(fig23MarkersPart{})
 }
 
@@ -47,30 +48,35 @@ func fig23Arms() []fig23Arm {
 	return arms
 }
 
-// fig23MixPart is one workload mix's weighted-speedup measurements: the
-// no-refresh and 64 ms periodic baselines plus every (tracker, fraction)
-// curve point, all under this mix. The per-arm effective weak-row counts
-// are NOT carried here — they are mix-independent tracker geometry,
-// derived in the merge step (one source of truth, like fig22's refresh-op
-// pricing).
-type fig23MixPart struct {
-	Mix           int
-	WSNone, WSP64 float64
-	WS            []float64 // aligned with fig23Arms()
+// fig23RunsPart is one sub-shard of a workload mix's simulation runs: raw
+// per-core IPC vectors for a contiguous atom range. Atom 0 is the solo
+// baselines (per-core solo IPCs, the weighted-speedup denominators); atom 1
+// the no-refresh run, atom 2 the 64 ms periodic baseline, atom 3+k curve
+// arm k. Every weighted-speedup reduction happens in the merge
+// (memsim.WeightedSpeedupFrom), so the numbers are independent of which
+// sub-shard — or worker — ran which atom.
+type fig23RunsPart struct {
+	Mix   int
+	Start int
+	IPCs  [][]float64 // per-atom per-core IPCs, atoms Start..Start+len-1
 }
 
-// fig23MarkersPart is the example Micron module's (M8) measured weak-row
-// proportions — the annotated markers.
+// fig23MarkersPart is one sub-shard of the example Micron module's (M8)
+// measured weak-row proportions — the annotated markers. Atom d of the
+// marker shard is one subarray draw: draws 0..SubarraysPerModule-1 sample
+// the retention sweep, the next SubarraysPerModule the ColumnDisturb
+// sweep, each on its own keyed stream.
 type fig23MarkersPart struct {
-	RetFrac, CDFrac float64
+	Start int
+	Vals  []float64 // per-atom weak-row fractions
 }
 
-// planFig23 shards Fig 23 by workload mix: each shard runs its mix's solo
-// baselines and every refresh engine under that one mix, and the merge
-// averages across mixes in canonical order — the same summation order as
-// the old serial loop, so the rendered speedups are unchanged. The M8
-// weak-fraction markers are their own shard (the sweep's only sampled
-// quantity, on its own stream).
+// planFig23 shards Fig 23 by workload mix, splitting each mix into
+// simulation-run atoms: each atom is one memsim measurement (a solo
+// baseline set, a refresh baseline, or one curve arm), so the per-mix wall
+// time no longer gates the whole plan. The merge reduces raw IPCs to
+// weighted speedups and averages across mixes in canonical order. The M8
+// weak-fraction markers split by subarray draw on stream 23.
 func planFig23(cfg Config) (*Plan, error) {
 	sys := memsim.DefaultSystem()
 	sys.MeasureInstr = cfg.MeasureInstr
@@ -87,65 +93,102 @@ func planFig23(cfg Config) (*Plan, error) {
 	seed := memsim.RunSeed(cfg.Seed, 23)
 	arms := fig23Arms()
 
-	shards := make([]Shard, 0, len(mixes)+1)
-	for i, mix := range mixes {
-		i, mix := i, mix
-		shards = append(shards, Shard{
-			Label: shardLabel("fig23", "mix", fmt.Sprintf("%d", i)),
-			// Each mix shard simulates len(mix) solo runs, two baselines and
-			// every curve arm, each a MeasureInstr-scale simulation — the
-			// heaviest shards in the registry by a wide margin.
-			Cost: float64(len(arms)+6) * float64(cfg.MeasureInstr) / 1000,
-			Run: func(context.Context) (any, error) {
-				solos := make([]float64, len(mix))
-				for j, w := range mix {
-					ipc, err := memsim.SoloIPC(sys, w, seed)
-					if err != nil {
-						return nil, err
-					}
-					solos[j] = ipc
-				}
-				ws := func(eng memsim.RefreshEngine) (float64, error) {
-					v, _, err := memsim.WeightedSpeedup(sys, mix, eng, seed, solos)
-					return v, err
-				}
-				part := fig23MixPart{Mix: i}
-				var err error
-				if part.WSNone, err = ws(memsim.NoRefresh()); err != nil {
-					return nil, err
-				}
-				p64, err := memsim.PeriodicRefresh(sys, 64)
+	// Atom costs: one mix has 3+len(arms) atoms; atom 0 runs len(mix)
+	// single-core solos, the rest one multi-core measurement each.
+	mixAtomCosts := func(mix []memsim.CoreWorkload) []float64 {
+		costs := make([]float64, 3+len(arms))
+		costs[0] = float64(len(mix)) * costMemsimRunMs(cfg, 1)
+		for i := 1; i < len(costs); i++ {
+			costs[i] = costMemsimRunMs(cfg, len(mix))
+		}
+		return costs
+	}
+	markerDraws := 2 * cfg.SubarraysPerModule
+	markerCosts := uniformCosts(markerDraws, costCountDrawMs)
+	total := sumCosts(markerCosts)
+	for _, mix := range mixes {
+		total += sumCosts(mixAtomCosts(mix))
+	}
+	budget := cfg.splitBudget(total)
+
+	// runAtom executes one simulation atom of a mix.
+	runAtom := func(mix []memsim.CoreWorkload, atom int) ([]float64, error) {
+		switch {
+		case atom == 0:
+			solos := make([]float64, len(mix))
+			for j, w := range mix {
+				ipc, err := memsim.SoloIPC(sys, w, seed)
 				if err != nil {
 					return nil, err
 				}
-				if part.WSP64, err = ws(p64); err != nil {
-					return nil, err
-				}
-				part.WS = make([]float64, len(arms))
-				for ai, arm := range arms {
-					rc := memsim.DefaultRAIDR(arm.Tracker)
-					rc.WeakFraction = arm.W
-					eng, _, err := memsim.NewRAIDR(sys, rc)
-					if err != nil {
-						return nil, err
+				solos[j] = ipc
+			}
+			return solos, nil
+		case atom == 1:
+			return memsim.MixIPCs(sys, mix, memsim.NoRefresh(), seed)
+		case atom == 2:
+			p64, err := memsim.PeriodicRefresh(sys, 64)
+			if err != nil {
+				return nil, err
+			}
+			return memsim.MixIPCs(sys, mix, p64, seed)
+		default:
+			arm := arms[atom-3]
+			rc := memsim.DefaultRAIDR(arm.Tracker)
+			rc.WeakFraction = arm.W
+			eng, _, err := memsim.NewRAIDR(sys, rc)
+			if err != nil {
+				return nil, err
+			}
+			return memsim.MixIPCs(sys, mix, eng, seed)
+		}
+	}
+
+	var shards []Shard
+	for i, mix := range mixes {
+		i, mix := i, mix
+		costs := mixAtomCosts(mix)
+		for _, ar := range packAtoms(costs, budget) {
+			ar := ar
+			kv := []string{"mix", fmt.Sprintf("%d", i)}
+			if !ar.covers(len(costs)) {
+				kv = append(kv, "runs", ar.kv())
+			}
+			shards = append(shards, Shard{
+				Label: shardLabel("fig23", kv...),
+				Cost:  sumRange(costs, ar),
+				Run: func(context.Context) (any, error) {
+					part := fig23RunsPart{Mix: i, Start: ar.Start}
+					for a := ar.Start; a < ar.End; a++ {
+						ipcs, err := runAtom(mix, a)
+						if err != nil {
+							return nil, err
+						}
+						part.IPCs = append(part.IPCs, ipcs)
 					}
-					if part.WS[ai], err = ws(eng); err != nil {
-						return nil, err
-					}
+					return part, nil
+				},
+			})
+		}
+	}
+	for _, ar := range packAtoms(markerCosts, budget) {
+		ar := ar
+		kv := []string{"markers", "M8"}
+		if !ar.covers(markerDraws) {
+			kv = append(kv, "draws", ar.kv())
+		}
+		shards = append(shards, Shard{
+			Label: shardLabel("fig23", kv...),
+			Cost:  sumRange(markerCosts, ar),
+			Run: func(context.Context) (any, error) {
+				part := fig23MarkersPart{Start: ar.Start}
+				for d := ar.Start; d < ar.End; d++ {
+					part.Vals = append(part.Vals, m8WeakFraction(cfg, d))
 				}
 				return part, nil
 			},
 		})
 	}
-	shards = append(shards, Shard{
-		Label: shardLabel("fig23", "markers", "M8"),
-		// Two sampled sweeps over one module: tiny next to the mix shards.
-		Cost: 2 * float64(cfg.SubarraysPerModule),
-		Run: func(context.Context) (any, error) {
-			retFrac, cdFrac := m8WeakFractions(cfg)
-			return fig23MarkersPart{RetFrac: retFrac, CDFrac: cdFrac}, nil
-		},
-	})
 
 	merge := func(parts []any) (*Result, error) {
 		res := &Result{
@@ -153,14 +196,14 @@ func planFig23(cfg Config) (*Plan, error) {
 			Title:   "RAIDR weighted speedup normalized to No Refresh (and benefit over 64 ms periodic refresh)",
 			Headers: []string{"tracker", "weak fraction", "WS/WS(noref)", "benefit", "eff. weak frac"},
 		}
-		var markers fig23MarkersPart
-		var mixParts []fig23MixPart
+		mixParts := map[int][]fig23RunsPart{}
+		var markerParts []fig23MarkersPart
 		for _, raw := range parts {
 			switch part := raw.(type) {
-			case fig23MixPart:
-				mixParts = append(mixParts, part)
+			case fig23RunsPart:
+				mixParts[part.Mix] = append(mixParts[part.Mix], part)
 			case fig23MarkersPart:
-				markers = part
+				markerParts = append(markerParts, part)
 			default:
 				return nil, fmt.Errorf("fig23: part has type %T", raw)
 			}
@@ -168,16 +211,62 @@ func planFig23(cfg Config) (*Plan, error) {
 		if len(mixParts) == 0 {
 			return nil, fmt.Errorf("fig23: no mix parts")
 		}
-		n := float64(len(mixParts))
-		avg := func(sel func(fig23MixPart) float64) float64 {
+		// Reassemble each mix's atom list and reduce to weighted speedups.
+		nRuns := 3 + len(arms)
+		type mixWS struct {
+			wsNone, wsP64 float64
+			ws            []float64
+		}
+		var perMix []mixWS
+		mixIdxs := make([]int, 0, len(mixParts))
+		for mi := range mixParts {
+			mixIdxs = append(mixIdxs, mi)
+		}
+		sort.Ints(mixIdxs)
+		for _, mi := range mixIdxs {
+			cellParts := mixParts[mi]
+			sort.Slice(cellParts, func(i, j int) bool { return cellParts[i].Start < cellParts[j].Start })
+			runs := make([][]float64, 0, nRuns)
+			for _, p := range cellParts {
+				runs = append(runs, p.IPCs...)
+			}
+			if len(runs) != nRuns {
+				return nil, fmt.Errorf("fig23: mix %d has %d run atoms, want %d", mi, len(runs), nRuns)
+			}
+			solos := runs[0]
+			w := mixWS{
+				wsNone: memsim.WeightedSpeedupFrom(runs[1], solos),
+				wsP64:  memsim.WeightedSpeedupFrom(runs[2], solos),
+				ws:     make([]float64, len(arms)),
+			}
+			for ai := range arms {
+				w.ws[ai] = memsim.WeightedSpeedupFrom(runs[3+ai], solos)
+			}
+			perMix = append(perMix, w)
+		}
+		n := float64(len(perMix))
+		avg := func(sel func(mixWS) float64) float64 {
 			sum := 0.0
-			for _, p := range mixParts {
-				sum += sel(p)
+			for _, w := range perMix {
+				sum += sel(w)
 			}
 			return sum / n
 		}
-		wsNone := avg(func(p fig23MixPart) float64 { return p.WSNone })
-		wsP64 := avg(func(p fig23MixPart) float64 { return p.WSP64 })
+		wsNone := avg(func(w mixWS) float64 { return w.wsNone })
+		wsP64 := avg(func(w mixWS) float64 { return w.wsP64 })
+
+		// Reassemble the marker draws: first SubarraysPerModule atoms are
+		// the retention sweep, the rest the ColumnDisturb sweep.
+		sort.Slice(markerParts, func(i, j int) bool { return markerParts[i].Start < markerParts[j].Start })
+		var markerVals []float64
+		for _, p := range markerParts {
+			markerVals = append(markerVals, p.Vals...)
+		}
+		var retFrac, cdFrac float64
+		if len(markerVals) == 2*cfg.SubarraysPerModule {
+			retFrac = stats.Mean(markerVals[:cfg.SubarraysPerModule])
+			cdFrac = stats.Mean(markerVals[cfg.SubarraysPerModule:])
+		}
 
 		type point struct{ norm, benefit float64 }
 		curves := map[memsim.Tracker]map[float64]point{
@@ -187,7 +276,7 @@ func planFig23(cfg Config) (*Plan, error) {
 		names := map[memsim.Tracker]string{memsim.TrackerBloom: "bloom-8Kb-6h", memsim.TrackerBitmap: "bitmap"}
 		for ai, arm := range arms {
 			ai := ai
-			ws := avg(func(p fig23MixPart) float64 { return p.WS[ai] })
+			ws := avg(func(w mixWS) float64 { return w.ws[ai] })
 			pt := point{
 				norm:    ws / wsNone,
 				benefit: memsim.BenefitFraction(ws, wsP64, wsNone),
@@ -207,7 +296,7 @@ func planFig23(cfg Config) (*Plan, error) {
 		}
 
 		res.AddNote("example Micron module M8: retention-weak fraction %.5f, ColumnDisturb-weak fraction %.4f (1024 ms, 65 °C)",
-			markers.RetFrac, markers.CDFrac)
+			retFrac, cdFrac)
 
 		nearest := func(tr memsim.Tracker, w float64) point {
 			bestD := -1.0
@@ -223,10 +312,10 @@ func planFig23(cfg Config) (*Plan, error) {
 			}
 			return best
 		}
-		bloomRet := nearest(memsim.TrackerBloom, markers.RetFrac)
-		bloomCD := nearest(memsim.TrackerBloom, markers.CDFrac)
-		bmRet := nearest(memsim.TrackerBitmap, markers.RetFrac)
-		bmCD := nearest(memsim.TrackerBitmap, markers.CDFrac)
+		bloomRet := nearest(memsim.TrackerBloom, retFrac)
+		bloomCD := nearest(memsim.TrackerBloom, cdFrac)
+		bmRet := nearest(memsim.TrackerBitmap, retFrac)
+		bmCD := nearest(memsim.TrackerBitmap, cdFrac)
 		res.AddNote("bloom RAIDR benefit: %.0f%% → %.0f%% of the no-refresh headroom as M8's weak rows grow to ColumnDisturb levels (paper: 31 pp speedup reduction; saturated filter ⇒ ≈99 pp benefit loss)",
 			bloomRet.benefit*100, bloomCD.benefit*100)
 		res.AddNote("bitmap RAIDR benefit: %.0f%% → %.0f%% over the same growth (paper: 53 pp speedup reduction)",
@@ -238,25 +327,20 @@ func planFig23(cfg Config) (*Plan, error) {
 	return &Plan{Shards: shards, Merge: merge}, nil
 }
 
-// m8WeakFractions measures the example Micron module's (M8)
-// retention-weak and ColumnDisturb-weak row proportions at the RAIDR
-// strong-row retention time (1024 ms, 65 °C) — the annotated markers. It
-// keeps the pre-shard stream key (Seed, 23) so the marker values are
-// unchanged.
-func m8WeakFractions(cfg Config) (retFrac, cdFrac float64) {
+// m8WeakFraction measures one subarray draw of the example Micron module's
+// (M8) weak-row proportion at the RAIDR strong-row retention time (1024 ms,
+// 65 °C). Draws below SubarraysPerModule sample the retention sweep, the
+// rest the worst-case ColumnDisturb sweep; each draw runs on its own keyed
+// stream (23, draw), so any sub-shard grouping samples identically.
+func m8WeakFraction(cfg Config, draw int) float64 {
 	m, _ := chipdb.ByID("M8")
 	p := m.BuildParams()
 	g := m.Geometry()
-	r := cfg.rand(23)
-	rows := float64(g.RowsPerSubarray)
-	var retVals, cdVals []float64
-	for _, s := range sampleSubarrayCounts(m, core.RetentionClasses(p, dram.PatFF),
-		65, 1024, cfg.SubarraysPerModule, r) {
-		retVals = append(retVals, float64(s.RowsWith)/rows)
+	r := cfg.shardRand(23, uint64(draw))
+	classes := core.RetentionClasses(p, dram.PatFF)
+	if draw >= cfg.SubarraysPerModule {
+		classes = core.AggressorSubarrayClasses(p, worstCaseSetup())
 	}
-	for _, s := range sampleSubarrayCounts(m, core.AggressorSubarrayClasses(p, worstCaseSetup()),
-		65, 1024, cfg.SubarraysPerModule, r) {
-		cdVals = append(cdVals, float64(s.RowsWith)/rows)
-	}
-	return stats.Mean(retVals), stats.Mean(cdVals)
+	s := sampleSubarrayCounts(m, classes, 65, 1024, 1, r)
+	return float64(s[0].RowsWith) / float64(g.RowsPerSubarray)
 }

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPackAtoms pins the packing algorithm: contiguous, deterministic,
+// budget-respecting, with oversized atoms isolated.
+func TestPackAtoms(t *testing.T) {
+	cases := []struct {
+		costs  []float64
+		budget float64
+		want   []atomRange
+	}{
+		{[]float64{1, 1, 1, 1}, 10, []atomRange{{0, 4}}},
+		{[]float64{1, 1, 1, 1}, 2, []atomRange{{0, 2}, {2, 4}}},
+		{[]float64{1, 1, 1}, 1, []atomRange{{0, 1}, {1, 2}, {2, 3}}},
+		// An atom over budget still gets a range of its own.
+		{[]float64{5, 1, 1}, 2, []atomRange{{0, 1}, {1, 3}}},
+		{[]float64{1, 5, 1}, 2, []atomRange{{0, 1}, {1, 2}, {2, 3}}},
+		{[]float64{1, 1, 1, 1}, math.Inf(1), []atomRange{{0, 4}}},
+	}
+	for i, c := range cases {
+		got := packAtoms(c.costs, c.budget)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: got %v want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: got %v want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+// TestSplitUnsplitBitIdentical is the splitting tentpole's invariant: how
+// a plan's atoms are packed into shards must never show in its output.
+// Each split-capable experiment runs unsplit (MaxShardShare=1), aggressively
+// split serially, and aggressively split on 4 workers — all three renders
+// must be byte-identical, and the aggressive plan must actually have more
+// shards than the unsplit one (so the test can't pass vacuously).
+func TestSplitUnsplitBitIdentical(t *testing.T) {
+	unsplit := Small()
+	unsplit.MaxShardShare = 1
+	split := Small()
+	split.MaxShardShare = 0.004
+	for _, id := range []string{"fig11", "fig13", "fig15", "fig23", "ttf"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			up, err := e.Plan(unsplit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := e.Plan(split)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sp.Shards) <= len(up.Shards) {
+				t.Fatalf("aggressive split produced %d shards, unsplit %d — splitting inert",
+					len(sp.Shards), len(up.Shards))
+			}
+			ref, err := e.RunWith(context.Background(), unsplit, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := e.RunWith(context.Background(), split, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := e.RunWith(context.Background(), split, 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := serial.String(), ref.String(); got != want {
+				t.Fatalf("split serial output differs from unsplit:\n--- unsplit ---\n%s\n--- split ---\n%s", want, got)
+			}
+			if got, want := parallel.String(), ref.String(); got != want {
+				t.Fatalf("split -j4 output differs from unsplit:\n--- unsplit ---\n%s\n--- split -j4 ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestSplitShardLabelsExtendScheme verifies sub-shard labels stay inside
+// the canonical id/key=value scheme with a range coordinate, and that the
+// unsplit plan keeps the legacy labels (no range coordinate at all).
+func TestSplitShardLabelsExtendScheme(t *testing.T) {
+	split := Small()
+	split.MaxShardShare = 0.004
+	unsplit := Small()
+	unsplit.MaxShardShare = 1
+	rangeKeys := map[string]bool{"cells": true, "modules": true, "chunks": true, "runs": true, "draws": true}
+	for _, id := range []string{"fig11", "fig13", "fig15", "fig23", "ttf"} {
+		e, _ := ByID(id)
+		sp, err := e.Plan(split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranged := 0
+		for _, s := range sp.Shards {
+			coords := strings.Split(s.Label, "/")
+			last := coords[len(coords)-1]
+			key, val, _ := strings.Cut(last, "=")
+			if rangeKeys[key] {
+				ranged++
+				if !strings.Contains(val, "-") {
+					t.Errorf("%s: range coordinate %q is not lo-hi", s.Label, last)
+				}
+			}
+		}
+		if ranged == 0 {
+			t.Errorf("%s: aggressive split produced no range-labelled shards", id)
+		}
+		up, err := e.Plan(unsplit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range up.Shards {
+			coords := strings.Split(s.Label, "/")
+			key, _, _ := strings.Cut(coords[len(coords)-1], "=")
+			if rangeKeys[key] {
+				t.Errorf("%s: unsplit plan leaked a range coordinate: %s", id, s.Label)
+			}
+		}
+	}
+}
+
+// TestShardCostSharesBounded is the registry-wide budget check: under the
+// default profile no shard's cost hint may dominate its plan. Plans whose
+// total estimate is below the floor are exempt — splitting milliseconds of
+// work buys nothing and tiny unhinted plans are harmless.
+func TestShardCostSharesBounded(t *testing.T) {
+	cfg := Small()
+	const (
+		shareCap = 0.35 // hard cap; the default split budget targets 0.10
+		floorMs  = 10.0
+	)
+	for _, e := range All() {
+		plan, err := e.Plan(cfg)
+		if err != nil {
+			t.Fatalf("%s: plan: %v", e.ID, err)
+		}
+		total := 0.0
+		for _, s := range plan.Shards {
+			total += s.Cost
+		}
+		if total < floorMs {
+			continue
+		}
+		for _, s := range plan.Shards {
+			if s.Cost > shareCap*total {
+				t.Errorf("%s: shard %s estimates %.1f ms, %.0f%% of the plan's %.1f ms (cap %.0f%%)",
+					e.ID, s.Label, s.Cost, 100*s.Cost/total, total, 100*shareCap)
+			}
+		}
+	}
+}

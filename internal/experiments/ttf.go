@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"columndisturb/internal/chipdb"
 	"columndisturb/internal/core"
@@ -85,42 +86,84 @@ func mfrTTFs(mfr chipdb.Manufacturer, setup core.PatternSetup, tempC float64,
 	return found, notFound
 }
 
-// ttfDistPart is one (manufacturer, temperature) cell of the TTF sweep:
-// the censored distribution sampled with the paper's 512 ms methodology.
+// ttfDistPart is one sub-shard of a (manufacturer, temperature) cell of
+// the TTF sweep: per-atom censored sample lists for a contiguous atom
+// range. An atom is a (module, 16-sample chunk) — module a/chunksPerModule,
+// chunk a%chunksPerModule — drawn on its own keyed stream, so sample counts
+// scale without any shard dominating the plan.
 type ttfDistPart struct {
 	Mfr      chipdb.Manufacturer
 	TempC    float64
-	Found    []float64
-	NotFound int
+	Start    int
+	Found    [][]float64 // per-atom found samples, atoms Start..Start+len-1
+	NotFound []int       // per-atom censored counts, aligned with Found
+}
+
+// ttfChunkSamples is the atom granularity of the TTF sweep: sample chunks
+// of this size get their own RNG streams and can land on any worker.
+const ttfChunkSamples = 16
+
+// ttfChunksPerModule returns how many sample-chunk atoms one module
+// contributes.
+func ttfChunksPerModule(cfg Config) int {
+	return (cfg.TTFSamples + ttfChunkSamples - 1) / ttfChunkSamples
 }
 
 // planTTF shards the manufacturer-level time-to-first-bitflip sweep by
 // (manufacturer × temperature) — the chip/config groups of the §5
-// methodology. Each shard samples every module of its manufacturer under
-// the worst-case pattern with the 512 ms search ceiling, on its own keyed
-// stream (stream 24). The cross-temperature acceleration notes are
-// computed in the merge step.
+// methodology — splitting each cell by (module, sample-chunk) atoms on
+// stream 24. The cross-temperature acceleration notes are computed in the
+// merge step.
 func planTTF(cfg Config) (*Plan, error) {
 	setup := worstCaseSetup()
+	mfrs := chipdb.Manufacturers()
+	chunks := ttfChunksPerModule(cfg)
+	atomSamples := func(chunk int) int {
+		n := cfg.TTFSamples - chunk*ttfChunkSamples
+		if n > ttfChunkSamples {
+			n = ttfChunkSamples
+		}
+		return n
+	}
+	total := 0.0
+	for _, mfr := range mfrs {
+		total += float64(len(ttfTempsC)) * float64(len(chipdb.ByManufacturer(mfr))) *
+			float64(cfg.TTFSamples) * costTTFSampleMs
+	}
+	budget := cfg.splitBudget(total)
 	var shards []Shard
-	for mi, mfr := range chipdb.Manufacturers() {
+	for mi, mfr := range mfrs {
+		mods := chipdb.ByManufacturer(mfr)
+		nAtoms := len(mods) * chunks
+		costs := make([]float64, nAtoms)
+		for a := range costs {
+			costs[a] = float64(atomSamples(a%chunks)) * costTTFSampleMs
+		}
 		for ti, tempC := range ttfTempsC {
 			mi, ti, mfr, tempC := mi, ti, mfr, tempC
-			shards = append(shards, Shard{
-				Label: shardLabel("ttf", "mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tempC)),
-				// TTFSamples draws per module of the manufacturer.
-				Cost: float64(len(chipdb.ByManufacturer(mfr))) * float64(cfg.TTFSamples),
-				Run: func(context.Context) (any, error) {
-					r := cfg.shardRand(24, uint64(mi), uint64(ti))
-					part := ttfDistPart{Mfr: mfr, TempC: tempC}
-					for _, m := range chipdb.ByManufacturer(mfr) {
-						f, nf := sampleModuleTTFs(m, setup, tempC, ttfCeilingMs, cfg.TTFSamples, r)
-						part.Found = append(part.Found, f...)
-						part.NotFound += nf
-					}
-					return part, nil
-				},
-			})
+			for _, ar := range packAtoms(costs, budget) {
+				ar := ar
+				kv := []string{"mfr", string(mfr), "T", fmt.Sprintf("%.0fC", tempC)}
+				if !ar.covers(nAtoms) {
+					kv = append(kv, "chunks", ar.kv())
+				}
+				shards = append(shards, Shard{
+					Label: shardLabel("ttf", kv...),
+					Cost:  sumRange(costs, ar),
+					Run: func(context.Context) (any, error) {
+						part := ttfDistPart{Mfr: mfr, TempC: tempC, Start: ar.Start}
+						for a := ar.Start; a < ar.End; a++ {
+							mIdx, chunk := a/chunks, a%chunks
+							r := cfg.shardRand(24, uint64(mi), uint64(ti), uint64(mIdx), uint64(chunk))
+							f, nf := sampleModuleTTFs(mods[mIdx], setup, tempC, ttfCeilingMs,
+								atomSamples(chunk), r)
+							part.Found = append(part.Found, f)
+							part.NotFound = append(part.NotFound, nf)
+						}
+						return part, nil
+					},
+				})
+			}
 		}
 	}
 	merge := func(parts []any) (*Result, error) {
@@ -129,29 +172,50 @@ func planTTF(cfg Config) (*Plan, error) {
 			Title:   "Time to first ColumnDisturb bitflip by manufacturer (ms, worst-case pattern, 512 ms ceiling)",
 			Headers: []string{"mfr", "temp(°C)", "min", "p25", "median", "p75", "max", "samples", ">512ms"},
 		}
-		medians := map[chipdb.Manufacturer]map[float64]float64{}
-		minAt85 := 0.0
+		type cellKey struct {
+			Mfr   chipdb.Manufacturer
+			TempC float64
+		}
+		grouped := map[cellKey][]ttfDistPart{}
 		for _, raw := range parts {
 			part, ok := raw.(ttfDistPart)
 			if !ok {
 				return nil, fmt.Errorf("ttf: part has type %T, want ttfDistPart", raw)
 			}
-			if medians[part.Mfr] == nil {
-				medians[part.Mfr] = map[float64]float64{}
+			k := cellKey{part.Mfr, part.TempC}
+			grouped[k] = append(grouped[k], part)
+		}
+		medians := map[chipdb.Manufacturer]map[float64]float64{}
+		minAt85 := 0.0
+		for _, mfr := range mfrs {
+			medians[mfr] = map[float64]float64{}
+			for _, tempC := range ttfTempsC {
+				cellParts := grouped[cellKey{mfr, tempC}]
+				sort.Slice(cellParts, func(i, j int) bool { return cellParts[i].Start < cellParts[j].Start })
+				var found []float64
+				notFound := 0
+				for _, p := range cellParts {
+					for _, f := range p.Found {
+						found = append(found, f...)
+					}
+					for _, nf := range p.NotFound {
+						notFound += nf
+					}
+				}
+				if len(found) == 0 {
+					res.AddRow(string(mfr), fmt.Sprintf("%.0f", tempC),
+						"-", "-", "-", "-", "-", "0", fmt.Sprintf("%d", notFound))
+					continue
+				}
+				b := stats.BoxPlot(found)
+				medians[mfr][tempC] = b.Median
+				if tempC == 85 && (minAt85 == 0 || b.Min < minAt85) {
+					minAt85 = b.Min
+				}
+				res.AddRow(string(mfr), fmt.Sprintf("%.0f", tempC),
+					fmtMs(b.Min), fmtMs(b.Q1), fmtMs(b.Median), fmtMs(b.Q3), fmtMs(b.Max),
+					fmt.Sprintf("%d", b.N), fmt.Sprintf("%d", notFound))
 			}
-			if len(part.Found) == 0 {
-				res.AddRow(string(part.Mfr), fmt.Sprintf("%.0f", part.TempC),
-					"-", "-", "-", "-", "-", "0", fmt.Sprintf("%d", part.NotFound))
-				continue
-			}
-			b := stats.BoxPlot(part.Found)
-			medians[part.Mfr][part.TempC] = b.Median
-			if part.TempC == 85 && (minAt85 == 0 || b.Min < minAt85) {
-				minAt85 = b.Min
-			}
-			res.AddRow(string(part.Mfr), fmt.Sprintf("%.0f", part.TempC),
-				fmtMs(b.Min), fmtMs(b.Q1), fmtMs(b.Median), fmtMs(b.Q3), fmtMs(b.Max),
-				fmt.Sprintf("%d", b.N), fmt.Sprintf("%d", part.NotFound))
 		}
 		line := "temperature acceleration (median TTF 65°C / 85°C):"
 		for _, mfr := range chipdb.Manufacturers() {

@@ -54,21 +54,50 @@ func keyedNorm(parts ...uint64) float64 {
 // producing the spatial clustering (weak rows, weak columns) observed in
 // the paper's blast radius and ECC chunk analyses.
 func (p *Params) Cell(seed uint64, bank, sub, row, col int) CellFault {
-	b, s, r, c := uint64(bank), uint64(sub), uint64(row), uint64(col)
+	rf := p.Row(seed, bank, sub, row)
+	return rf.Cell(col)
+}
+
+// RowFaults evaluates the cells of one physical row. The row-level variance
+// components and the weight square roots are fixed along a row, so Row
+// computes them once and Cell(col) does only the per-column work — the
+// values are bit-identical to Params.Cell (same operations, same order).
+type RowFaults struct {
+	p          *Params
+	seed       uint64
+	b, s, r    uint64
+	wCol       float64 // √KappaColVarFrac
+	wCell      float64 // √(1 − row − col fracs)
+	wbCell     float64 // √(1 − BaseRowVarFrac)
+	rowK, rowB float64 // row components, already weighted
+}
+
+// Row hoists the per-row state of Cell for a sweep along columns.
+func (p *Params) Row(seed uint64, bank, sub, row int) RowFaults {
+	b, s, r := uint64(bank), uint64(sub), uint64(row)
+	wRow := math.Sqrt(p.KappaRowVarFrac)
+	wbRow := math.Sqrt(p.BaseRowVarFrac)
+	return RowFaults{
+		p: p, seed: seed, b: b, s: s, r: r,
+		wCol:   math.Sqrt(p.KappaColVarFrac),
+		wCell:  math.Sqrt(1 - p.KappaRowVarFrac - p.KappaColVarFrac),
+		wbCell: math.Sqrt(1 - p.BaseRowVarFrac),
+		rowK:   wRow * keyedNorm(seed, streamKappaRow, b, s, r),
+		rowB:   wbRow * keyedNorm(seed, streamBaseRow, b, s, r),
+	}
+}
+
+// Cell returns the fault parameters of column col in the prepared row.
+func (rf *RowFaults) Cell(col int) CellFault {
+	p, seed, b, s, r, c := rf.p, rf.seed, rf.b, rf.s, rf.r, uint64(col)
 
 	// κ: row + column + cell components.
-	wRow := math.Sqrt(p.KappaRowVarFrac)
-	wCol := math.Sqrt(p.KappaColVarFrac)
-	wCell := math.Sqrt(1 - p.KappaRowVarFrac - p.KappaColVarFrac)
-	zK := wRow*keyedNorm(seed, streamKappaRow, b, s, r) +
-		wCol*keyedNorm(seed, streamKappaCol, b, s, c) +
-		wCell*keyedNorm(seed, streamKappaCell, b, s, r, c)
+	zK := rf.rowK +
+		rf.wCol*keyedNorm(seed, streamKappaCol, b, s, c) +
+		rf.wCell*keyedNorm(seed, streamKappaCell, b, s, r, c)
 
 	// λ_base: row + cell components.
-	wbRow := math.Sqrt(p.BaseRowVarFrac)
-	wbCell := math.Sqrt(1 - p.BaseRowVarFrac)
-	zB := wbRow*keyedNorm(seed, streamBaseRow, b, s, r) +
-		wbCell*keyedNorm(seed, streamBaseCell, b, s, r, c)
+	zB := rf.rowB + rf.wbCell*keyedNorm(seed, streamBaseCell, b, s, r, c)
 
 	zH := keyedNorm(seed, streamHC, b, s, r, c)
 

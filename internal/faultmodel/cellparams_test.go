@@ -17,6 +17,57 @@ func TestCellDeterministic(t *testing.T) {
 	}
 }
 
+// refCell is the straight-line reference formula for Cell, kept in the test
+// so the hoisted RowFaults evaluator is pinned against independent
+// arithmetic rather than against itself.
+func refCell(p *Params, seed uint64, bank, sub, row, col int) CellFault {
+	b, s, r, c := uint64(bank), uint64(sub), uint64(row), uint64(col)
+	wRow := math.Sqrt(p.KappaRowVarFrac)
+	wCol := math.Sqrt(p.KappaColVarFrac)
+	wCell := math.Sqrt(1 - p.KappaRowVarFrac - p.KappaColVarFrac)
+	zK := wRow*keyedNorm(seed, streamKappaRow, b, s, r) +
+		wCol*keyedNorm(seed, streamKappaCol, b, s, c) +
+		wCell*keyedNorm(seed, streamKappaCell, b, s, r, c)
+	wbRow := math.Sqrt(p.BaseRowVarFrac)
+	wbCell := math.Sqrt(1 - p.BaseRowVarFrac)
+	zB := wbRow*keyedNorm(seed, streamBaseRow, b, s, r) +
+		wbCell*keyedNorm(seed, streamBaseCell, b, s, r, c)
+	zH := keyedNorm(seed, streamHC, b, s, r, c)
+	cf := CellFault{
+		LambdaBase:      math.Exp(p.MuBase + p.SigmaBase*zB),
+		Kappa:           math.Exp(p.MuKappa + p.SigmaKappa*zK),
+		HammerThreshold: math.Exp(p.MuHC + p.SigmaHC*zH),
+	}
+	if keyedUniform(seed, streamAttractor, b, s, r, c) < 0.5 {
+		cf.Attractor = 1
+	}
+	if p.AntiCellFraction > 0 &&
+		keyedUniform(seed, streamAntiCell, b, s, r, c) < p.AntiCellFraction {
+		cf.AntiCell = true
+	}
+	return cf
+}
+
+// TestRowFaultsMatchCell pins the hoisted per-row evaluator to the straight
+// per-cell formula bit for bit: the device's commit loop uses RowFaults, and
+// any drift would silently change every cell-explicit experiment.
+func TestRowFaultsMatchCell(t *testing.T) {
+	p := Default()
+	p.AntiCellFraction = 0.05 // exercise the anti-cell branch too
+	for row := 0; row < 4; row++ {
+		rf := p.Row(42, 1, 2, row)
+		for col := 0; col < 256; col++ {
+			want := refCell(&p, 42, 1, 2, row, col)
+			if rf.Cell(col) != want {
+				t.Fatalf("RowFaults diverges from the reference at row %d col %d", row, col)
+			}
+			if p.Cell(42, 1, 2, row, col) != want {
+				t.Fatalf("Cell diverges from the reference at row %d col %d", row, col)
+			}
+		}
+	}
+}
+
 func TestCellVariesWithCoordinates(t *testing.T) {
 	p := Default()
 	base := p.Cell(42, 1, 2, 3, 4)

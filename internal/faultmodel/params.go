@@ -102,12 +102,17 @@ type Params struct {
 	// dominant (retention and ColumnDisturb flips are 1→0 only), so the
 	// default is 0, but the mechanism is modelled for completeness.
 	AntiCellFraction float64
+
+	// coupling is the sampled f(Δ) curve for Alpha, attached at
+	// construction. Coupling ignores it whenever its alpha key no longer
+	// matches Alpha, so field-by-field mutation stays safe.
+	coupling *couplingLUT
 }
 
 // Default returns a generic mid-range parameter set. Per-module profiles in
 // the chip catalog override the lognormal locations via Calibrate.
 func Default() Params {
-	return Params{
+	p := Params{
 		Alpha:            4.3,
 		DeadTimeNs:       10,
 		VPrecharge:       0.5,
@@ -129,6 +134,8 @@ func Default() Params {
 		PressRefNs:       36,
 		AntiCellFraction: 0,
 	}
+	p.coupling = newCouplingLUT(p.Alpha)
+	return p
 }
 
 // BaseTempFactor returns the multiplicative factor on λ_base at tempC.

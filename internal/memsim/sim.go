@@ -207,6 +207,36 @@ func SoloIPC(cfg SystemConfig, w CoreWorkload, seed uint64) (float64, error) {
 	return res.Cores[0].IPC, nil
 }
 
+// MixIPCs runs the mix under the refresh engine and returns the per-core
+// shared IPCs — the raw measurements weighted speedup is reduced from.
+// Plan builders that split a sweep across shards ship these instead of the
+// reduced scalar, so the merge step can fold them against solo baselines
+// measured in a different shard.
+func MixIPCs(cfg SystemConfig, mix []CoreWorkload, refresh RefreshEngine, seed uint64) ([]float64, error) {
+	res, err := Run(cfg, mix, refresh, seed)
+	if err != nil {
+		return nil, err
+	}
+	ipcs := make([]float64, len(res.Cores))
+	for i, c := range res.Cores {
+		ipcs[i] = c.IPC
+	}
+	return ipcs, nil
+}
+
+// WeightedSpeedupFrom reduces per-core shared IPCs against solo baselines:
+// Σ IPC_shared/IPC_alone. It is the one reduction both WeightedSpeedup and
+// split-plan merges use, so the two paths are bitwise identical.
+func WeightedSpeedupFrom(sharedIPC, soloIPC []float64) float64 {
+	ws := 0.0
+	for i, ipc := range sharedIPC {
+		if soloIPC[i] > 0 {
+			ws += ipc / soloIPC[i]
+		}
+	}
+	return ws
+}
+
 // WeightedSpeedup computes Σ IPC_shared/IPC_alone for the mix under the
 // refresh engine. soloIPC may be nil, in which case the solo baselines are
 // measured on the fly (callers doing sweeps should cache them).
@@ -225,13 +255,11 @@ func WeightedSpeedup(cfg SystemConfig, mix []CoreWorkload, refresh RefreshEngine
 	if err != nil {
 		return 0, RunResult{}, err
 	}
-	ws := 0.0
+	shared := make([]float64, len(res.Cores))
 	for i, c := range res.Cores {
-		if soloIPC[i] > 0 {
-			ws += c.IPC / soloIPC[i]
-		}
+		shared[i] = c.IPC
 	}
-	return ws, res, nil
+	return WeightedSpeedupFrom(shared, soloIPC), res, nil
 }
 
 // EnergyModel converts run statistics into DRAM energy (pJ-scale numbers

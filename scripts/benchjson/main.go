@@ -39,7 +39,8 @@ type snapshot struct {
 	Go         string             `json:"go"`
 	Date       string             `json:"date"`
 	Benchtime  string             `json:"benchtime"`
-	Benchmarks map[string]float64 `json:"benchmarks"` // name -> ns/op
+	Maxprocs   int                `json:"maxprocs,omitempty"` // GOMAXPROCS when the snapshot ran
+	Benchmarks map[string]float64 `json:"benchmarks"`         // name -> ns/op
 }
 
 const schemaVersion = 1
@@ -56,7 +57,8 @@ var required = []string{
 // benchmarks, skipping the per-artifact figure benchmarks (those are
 // subsets of RunAll and would double CI's bench wall time).
 const benchRegexp = "^Benchmark(RunAll|Engine|DeviceReadRow|Hammer512ms|" +
-	"StatisticalSubarray|TTFSample|SECDecode|Memsim|RowCloneScan)"
+	"StatisticalSubarray|TTFSample|SECDecode|Memsim|RowCloneScan|" +
+	"ShardSplitPlan|DiffReadsFiltered|CouplingEval)"
 
 // resultLine matches `go test -bench` output such as
 // "BenchmarkRunAllSerial-8   1   123456789 ns/op".
@@ -68,12 +70,16 @@ func main() {
 	bench := flag.String("bench", benchRegexp, "benchmark selection regexp")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	rev := flag.String("rev", "", "revision label (default: git rev-parse --short HEAD)")
+	minSpeedup := flag.Float64("min-speedup", -1,
+		"minimum RunAllSerial/RunAllParallel ns ratio accepted by -check; "+
+			"-1 selects a core-count-aware default (1.0 with >1 CPU, 0.85 single-core, "+
+			"where parallel can only add dispatch overhead)")
 	flag.Parse()
 
 	var err error
 	switch {
 	case *check != "":
-		err = checkFile(*check)
+		err = checkFile(*check, *minSpeedup)
 	case *out != "":
 		err = write(*out, *bench, *benchtime, *rev)
 	default:
@@ -122,6 +128,7 @@ func write(path, bench, benchtime, rev string) error {
 		Go:         runtime.Version(),
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		Benchtime:  benchtime,
+		Maxprocs:   runtime.GOMAXPROCS(0),
 		Benchmarks: benches,
 	}
 	buf, err := json.MarshalIndent(snap, "", "  ")
@@ -135,7 +142,7 @@ func write(path, bench, benchtime, rev string) error {
 	return nil
 }
 
-func checkFile(path string) error {
+func checkFile(path string, minSpeedup float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -159,6 +166,30 @@ func checkFile(path string) error {
 		if _, ok := snap.Benchmarks[name]; !ok {
 			return fmt.Errorf("%s: missing required benchmark %s", path, name)
 		}
+	}
+	speedup := snap.Benchmarks["BenchmarkRunAllSerial"] / snap.Benchmarks["BenchmarkRunAllParallel"]
+	switch {
+	case minSpeedup < 0 && snap.Maxprocs == 0:
+		// Pre-maxprocs snapshot: the core count it ran on is unknown, so
+		// there is no defensible default threshold. Explicit -min-speedup
+		// still applies.
+		fmt.Printf("benchjson: %s: parallel/serial speedup %.3f (no maxprocs recorded, gate skipped)\n",
+			path, speedup)
+	default:
+		min := minSpeedup
+		if min < 0 {
+			if snap.Maxprocs > 1 {
+				min = 1.0
+			} else {
+				min = 0.85 // single core: tolerate dispatch overhead only
+			}
+		}
+		if speedup < min {
+			return fmt.Errorf("%s: RunAllParallel speedup %.3f below minimum %.2f (maxprocs %d)",
+				path, speedup, min, snap.Maxprocs)
+		}
+		fmt.Printf("benchjson: %s: parallel/serial speedup %.3f (min %.2f at maxprocs %d)\n",
+			path, speedup, min, snap.Maxprocs)
 	}
 	fmt.Printf("benchjson: %s ok (%d benchmarks at rev %s)\n", path, len(snap.Benchmarks), snap.Rev)
 	return nil

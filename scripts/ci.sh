@@ -24,6 +24,14 @@ fi
 echo "== go test -race =="
 go test -race "$@" ./...
 
+echo "== bitset: focused vet + race (hot-loop membership sets) =="
+# The dense bitsets back every per-readout-bit membership probe in the
+# characterization pipeline and are shared read-only across shard
+# goroutines; keep an explicit vet + race pass on them even if the
+# package lists above are ever narrowed.
+go vet ./internal/bitset
+go test -race -count=2 ./internal/bitset
+
 echo "== wal decoder fuzz (committed corpus + 5s of new inputs) =="
 go test -run '^$' -fuzz FuzzReplaySegment -fuzztime 5s ./internal/wal
 
